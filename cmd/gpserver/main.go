@@ -1,0 +1,78 @@
+// Command gpserver runs a Graph Processor (Sect. V-B2): it loads a graph,
+// extracts one round-robin stripe of its nodes and edges, and serves adjacency
+// requests over TCP for an Active Processor to assemble active sets from.
+//
+// Example (3-GP deployment of a synthetic BibNet):
+//
+//	gpserver -dataset bibnet -scale 1.0 -stripe 0 -of 3 -listen :7001 &
+//	gpserver -dataset bibnet -scale 1.0 -stripe 1 -of 3 -listen :7002 &
+//	gpserver -dataset bibnet -scale 1.0 -stripe 2 -of 3 -listen :7003 &
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"roundtriprank/internal/datasets"
+	"roundtriprank/internal/distributed"
+	"roundtriprank/internal/graph"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "path to a gob-encoded graph (exclusive with -dataset)")
+		dataset   = flag.String("dataset", "", "synthetic dataset to generate: bibnet or qlog")
+		scale     = flag.Float64("scale", 1.0, "scale factor for synthetic datasets")
+		stripe    = flag.Int("stripe", 0, "stripe index served by this GP")
+		of        = flag.Int("of", 1, "total number of GPs in the deployment")
+		listen    = flag.String("listen", "127.0.0.1:7001", "listen address")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	switch {
+	case *graphPath != "":
+		g, err = graph.ReadFile(*graphPath)
+	case *dataset == "bibnet":
+		var net *datasets.BibNet
+		net, err = datasets.GenerateBibNet(datasets.ScaledBibNetConfig(*scale))
+		if err == nil {
+			g = net.Graph
+		}
+	case *dataset == "qlog":
+		var qlog *datasets.QLog
+		qlog, err = datasets.GenerateQLog(datasets.ScaledQLogConfig(*scale))
+		if err == nil {
+			g = qlog.Graph
+		}
+	default:
+		err = fmt.Errorf("provide either -graph or -dataset bibnet|qlog")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s, err := distributed.BuildStripe(g, *stripe, *of)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gp, err := distributed.ServeGP(*listen, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("graph processor serving stripe %d/%d (%.1f MB) on %s — %d nodes total",
+		*stripe, *of, float64(s.SizeBytes())/(1<<20), gp.Addr(), g.NumNodes())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	if err := gp.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+}

@@ -1,0 +1,319 @@
+// Package baselines implements every proximity measure the paper evaluates:
+// the proposed RoundTripRank / RoundTripRank+ (delegating to internal/core),
+// the mono-sensed baselines of Fig. 5 (F-Rank/PPR, T-Rank, SimRank,
+// AdamicAdar) and the dual-sensed baselines of Fig. 9 / Fig. 10 (truncated
+// commute time, ObjSqrtInv, harmonic and arithmetic means, plus their
+// β-customized "+" variants).
+//
+// All measures implement the Measure interface and are evaluated through a
+// per-query Context that memoizes the expensive shared quantities (F-Rank,
+// T-Rank) so a single query's F/T vectors are reused by every measure that
+// needs them — exactly how the paper's evaluation treats them as building
+// blocks.
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"roundtriprank/internal/core"
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/walk"
+)
+
+// Measure scores every node of a graph for a query; higher scores rank first.
+type Measure interface {
+	// Name is the label used in the paper's tables.
+	Name() string
+	// Score computes a score for every node in ctx.View.
+	Score(ctx *Context) ([]float64, error)
+}
+
+// Context carries one query's evaluation state and memoizes quantities shared
+// by several measures.
+type Context struct {
+	// View is the graph (possibly an edge-masked view for ground-truth
+	// removal).
+	View graph.View
+	// Query is the query distribution.
+	Query walk.Query
+	// Walk holds the random-walk parameters (α, tolerance).
+	Walk walk.Params
+	// GlobalPR optionally carries the global PageRank of the underlying
+	// graph, used by ObjSqrtInv; when nil it is computed on demand from View.
+	GlobalPR []float64
+	// Rand is the random source for sampling-based measures; when nil a
+	// deterministic default seed is used.
+	Rand *rand.Rand
+
+	f []float64
+	t []float64
+}
+
+// NewContext builds a Context with the paper's default walk parameters.
+func NewContext(view graph.View, q walk.Query) *Context {
+	return &Context{View: view, Query: q, Walk: walk.DefaultParams()}
+}
+
+// F returns the memoized F-Rank vector for the query.
+func (c *Context) F() ([]float64, error) {
+	if c.f != nil {
+		return c.f, nil
+	}
+	f, err := walk.FRank(c.View, c.Query, c.Walk)
+	if err != nil {
+		return nil, err
+	}
+	c.f = f
+	return f, nil
+}
+
+// T returns the memoized T-Rank vector for the query.
+func (c *Context) T() ([]float64, error) {
+	if c.t != nil {
+		return c.t, nil
+	}
+	t, err := walk.TRank(c.View, c.Query, c.Walk)
+	if err != nil {
+		return nil, err
+	}
+	c.t = t
+	return t, nil
+}
+
+// globalPR returns the global PageRank, computing it if the caller did not
+// supply one.
+func (c *Context) globalPR(damping float64) ([]float64, error) {
+	if c.GlobalPR != nil {
+		return c.GlobalPR, nil
+	}
+	pr, err := walk.GlobalPageRank(c.View, damping, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	c.GlobalPR = pr
+	return pr, nil
+}
+
+// rng returns the sampling source, creating a deterministic one if unset.
+func (c *Context) rng() *rand.Rand {
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(1))
+	}
+	return c.Rand
+}
+
+// ---- Random-walk measures built on F-Rank / T-Rank ----
+
+// FRankMeasure is the importance-only baseline (Personalized PageRank),
+// labelled "F-Rank/PPR" in Fig. 5.
+type FRankMeasure struct{}
+
+// NewFRank returns the F-Rank/PPR baseline.
+func NewFRank() FRankMeasure { return FRankMeasure{} }
+
+// Name implements Measure.
+func (FRankMeasure) Name() string { return "F-Rank/PPR" }
+
+// Score implements Measure.
+func (FRankMeasure) Score(ctx *Context) ([]float64, error) { return cloned(ctx.F()) }
+
+// TRankMeasure is the specificity-only baseline.
+type TRankMeasure struct{}
+
+// NewTRank returns the T-Rank baseline.
+func NewTRank() TRankMeasure { return TRankMeasure{} }
+
+// Name implements Measure.
+func (TRankMeasure) Name() string { return "T-Rank" }
+
+// Score implements Measure.
+func (TRankMeasure) Score(ctx *Context) ([]float64, error) { return cloned(ctx.T()) }
+
+// RoundTripRankMeasure is the paper's proposal with a fixed specificity bias:
+// β = 0.5 is RoundTripRank, other values are RoundTripRank+.
+type RoundTripRankMeasure struct {
+	Beta float64
+	name string
+}
+
+// NewRoundTripRank returns the balanced RoundTripRank measure.
+func NewRoundTripRank() RoundTripRankMeasure {
+	return RoundTripRankMeasure{Beta: core.BalancedBeta, name: "RoundTripRank"}
+}
+
+// NewRoundTripRankPlus returns RoundTripRank+ with the given specificity bias.
+func NewRoundTripRankPlus(beta float64) RoundTripRankMeasure {
+	return RoundTripRankMeasure{Beta: beta, name: "RoundTripRank+"}
+}
+
+// Name implements Measure.
+func (m RoundTripRankMeasure) Name() string { return m.name }
+
+// Score implements Measure.
+func (m RoundTripRankMeasure) Score(ctx *Context) ([]float64, error) {
+	if m.Beta < 0 || m.Beta > 1 {
+		return nil, fmt.Errorf("baselines: beta %g out of range", m.Beta)
+	}
+	f, err := ctx.F()
+	if err != nil {
+		return nil, err
+	}
+	t, err := ctx.T()
+	if err != nil {
+		return nil, err
+	}
+	return core.Combine(f, t, m.Beta), nil
+}
+
+// HarmonicMeasure is the harmonic mean of F-Rank and T-Rank, the fixed
+// combination used by Agarwal et al. and Fang & Chang (refs [12], [13]).
+// Beta customizes it into the weighted harmonic mean ("Harmonic+").
+type HarmonicMeasure struct {
+	Beta       float64
+	customized bool
+}
+
+// NewHarmonic returns the fixed harmonic-mean baseline.
+func NewHarmonic() HarmonicMeasure { return HarmonicMeasure{Beta: 0.5} }
+
+// NewHarmonicPlus returns the β-customized harmonic baseline of Fig. 10.
+func NewHarmonicPlus(beta float64) HarmonicMeasure {
+	return HarmonicMeasure{Beta: beta, customized: true}
+}
+
+// Name implements Measure.
+func (m HarmonicMeasure) Name() string {
+	if m.customized {
+		return "Harmonic+"
+	}
+	return "Harmonic"
+}
+
+// Score implements Measure.
+func (m HarmonicMeasure) Score(ctx *Context) ([]float64, error) {
+	f, err := ctx.F()
+	if err != nil {
+		return nil, err
+	}
+	t, err := ctx.T()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(f))
+	for i := range f {
+		if f[i] <= 0 || t[i] <= 0 {
+			continue
+		}
+		out[i] = 1.0 / ((1-m.Beta)/f[i] + m.Beta/t[i])
+	}
+	return out, nil
+}
+
+// ArithmeticMeasure is the arithmetic mean of F-Rank and T-Rank; Beta
+// customizes it into the weighted mean ("Arithmetic+").
+type ArithmeticMeasure struct {
+	Beta       float64
+	customized bool
+}
+
+// NewArithmetic returns the fixed arithmetic-mean baseline.
+func NewArithmetic() ArithmeticMeasure { return ArithmeticMeasure{Beta: 0.5} }
+
+// NewArithmeticPlus returns the β-customized arithmetic baseline of Fig. 10.
+func NewArithmeticPlus(beta float64) ArithmeticMeasure {
+	return ArithmeticMeasure{Beta: beta, customized: true}
+}
+
+// Name implements Measure.
+func (m ArithmeticMeasure) Name() string {
+	if m.customized {
+		return "Arithmetic+"
+	}
+	return "Arithmetic"
+}
+
+// Score implements Measure.
+func (m ArithmeticMeasure) Score(ctx *Context) ([]float64, error) {
+	f, err := ctx.F()
+	if err != nil {
+		return nil, err
+	}
+	t, err := ctx.T()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(f))
+	for i := range f {
+		out[i] = (1-m.Beta)*f[i] + m.Beta*t[i]
+	}
+	return out, nil
+}
+
+// ObjSqrtInvMeasure is the dual-sensed baseline of Hristidis et al. [5]:
+// query-specific ObjectRank (realized as F-Rank with damping d) combined with
+// the inverse of global ObjectRank (realized as global PageRank). The fixed
+// form is ObjectRank/sqrt(global); the "+" form applies weights 1−β and β to
+// the two sub-measures in a geometric combination.
+type ObjSqrtInvMeasure struct {
+	// D is the damping parameter d (the paper uses 0.25, mirroring α).
+	D          float64
+	Beta       float64
+	customized bool
+}
+
+// NewObjSqrtInv returns the fixed ObjSqrtInv baseline with damping d.
+func NewObjSqrtInv(d float64) ObjSqrtInvMeasure {
+	return ObjSqrtInvMeasure{D: d, Beta: 0.5}
+}
+
+// NewObjSqrtInvPlus returns the β-customized ObjSqrtInv baseline.
+func NewObjSqrtInvPlus(d, beta float64) ObjSqrtInvMeasure {
+	return ObjSqrtInvMeasure{D: d, Beta: beta, customized: true}
+}
+
+// Name implements Measure.
+func (m ObjSqrtInvMeasure) Name() string {
+	if m.customized {
+		return "ObjSqrtInv+"
+	}
+	return "ObjSqrtInv"
+}
+
+// Score implements Measure.
+func (m ObjSqrtInvMeasure) Score(ctx *Context) ([]float64, error) {
+	if m.D <= 0 || m.D >= 1 {
+		return nil, fmt.Errorf("baselines: ObjSqrtInv damping %g out of range", m.D)
+	}
+	f, err := ctx.F()
+	if err != nil {
+		return nil, err
+	}
+	global, err := ctx.globalPR(m.D)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(f))
+	for i := range f {
+		if f[i] <= 0 || global[i] <= 0 {
+			continue
+		}
+		// Weighted geometric combination of ObjectRank and inverse global
+		// ObjectRank with exponents 2(1−β) and β: at β = 0.5 this is exactly
+		// ObjectRank/sqrt(global ObjectRank), the published ObjSqrtInv; at
+		// β = 0 it is rank-equivalent to ObjectRank alone and at β = 1 to the
+		// inverse global ObjectRank alone.
+		out[i] = math.Pow(f[i], 2*(1-m.Beta)) * math.Pow(1/global[i], m.Beta)
+	}
+	return out, nil
+}
+
+func cloned(xs []float64, err error) ([]float64, error) {
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	return out, nil
+}

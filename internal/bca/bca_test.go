@@ -1,0 +1,272 @@
+package bca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/testgraphs"
+	"roundtriprank/internal/walk"
+)
+
+func TestNewValidation(t *testing.T) {
+	g := testgraphs.Cycle(4)
+	if _, err := New(g, walk.SingleNode(0), 0); err == nil {
+		t.Errorf("alpha 0 should error")
+	}
+	if _, err := New(g, walk.SingleNode(0), 1); err == nil {
+		t.Errorf("alpha 1 should error")
+	}
+	if _, err := New(g, walk.Query{}, 0.25); err == nil {
+		t.Errorf("empty query should error")
+	}
+	if _, err := New(g, walk.SingleNode(99), 0.25); err == nil {
+		t.Errorf("out-of-range query node should error")
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	g := testgraphs.Cycle(4)
+	s, err := New(g, walk.SingleNode(2), 0.25)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.Alpha() != 0.25 {
+		t.Errorf("Alpha = %g", s.Alpha())
+	}
+	if got := s.TotalResidual(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("initial total residual = %g, want 1", got)
+	}
+	if got := s.Residual(2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("initial residual at query = %g, want 1", got)
+	}
+	if s.MaxResidual() != s.Residual(2) {
+		t.Errorf("MaxResidual should equal the query residual initially")
+	}
+	if s.SeenCount() != 0 {
+		t.Errorf("no node should be seen before processing")
+	}
+	if s.Rho(2) != 0 {
+		t.Errorf("rho should start at zero")
+	}
+}
+
+func TestProcessSpreadsResidual(t *testing.T) {
+	toy := testgraphs.NewToy()
+	s, err := New(toy.Graph, walk.SingleNode(toy.T1), 0.25)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Process(toy.T1)
+	if got := s.Rho(toy.T1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("rho(q) after one process = %g, want 0.25", got)
+	}
+	// t1 has 5 neighbors (p1..p5), each receives 0.75/5 = 0.15 residual.
+	for i := 0; i < 5; i++ {
+		if got := s.Residual(toy.P[i]); math.Abs(got-0.15) > 1e-12 {
+			t.Errorf("residual at p%d = %g, want 0.15", i+1, got)
+		}
+	}
+	if got := s.TotalResidual(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("total residual = %g, want 0.75", got)
+	}
+	if s.SeenCount() != 1 {
+		t.Errorf("SeenCount = %d, want 1", s.SeenCount())
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Errorf("invariant: %v", err)
+	}
+	// Processing a node without residual is a no-op.
+	before := s.Processed()
+	s.Process(toy.V1)
+	if s.Processed() != before {
+		t.Errorf("processing a zero-residual node should be a no-op")
+	}
+}
+
+func TestRunConvergesToExactPPR(t *testing.T) {
+	toy := testgraphs.NewToy()
+	alpha := 0.25
+	q := walk.SingleNode(toy.T1)
+	exact, err := walk.FRank(toy.Graph, q, walk.Params{Alpha: alpha, Tol: 1e-12, MaxIter: 1000})
+	if err != nil {
+		t.Fatalf("FRank: %v", err)
+	}
+	s, err := New(toy.Graph, q, alpha)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Run(1e-10, 0)
+	if s.TotalResidual() > 1e-10 {
+		t.Fatalf("Run did not reach tolerance: residual %g", s.TotalResidual())
+	}
+	est := s.Estimates(toy.Graph.NumNodes())
+	for v := range est {
+		if math.Abs(est[v]-exact[v]) > 1e-8 {
+			t.Errorf("node %d: BCA %g vs exact %g", v, est[v], exact[v])
+		}
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Errorf("invariant after Run: %v", err)
+	}
+}
+
+func TestRhoIsAlwaysLowerBound(t *testing.T) {
+	toy := testgraphs.NewToy()
+	alpha := 0.25
+	q := walk.SingleNode(toy.T1)
+	exact, _ := walk.FRank(toy.Graph, q, walk.Params{Alpha: alpha, Tol: 1e-12, MaxIter: 1000})
+	s, err := New(toy.Graph, q, alpha)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for step := 0; step < 200; step++ {
+		if s.ProcessBest(1) == 0 {
+			break
+		}
+		bad := false
+		s.EachSeen(func(v graph.NodeID, rho float64) {
+			if rho > exact[v]+1e-9 {
+				bad = true
+			}
+		})
+		if bad {
+			t.Fatalf("rho exceeded exact PPR at step %d", step)
+		}
+	}
+}
+
+func TestProcessBestStopsWhenExhausted(t *testing.T) {
+	// On a line graph the residual eventually drains into the restart cycle;
+	// with a dangling end, residual restarts at the query.
+	g := testgraphs.Line(3)
+	s, err := New(g, walk.SingleNode(0), 0.5)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Run(1e-12, 100000)
+	if s.TotalResidual() > 1e-12 {
+		t.Fatalf("residual should drain, got %g", s.TotalResidual())
+	}
+	// Processing further must never increase the residual, and the residual
+	// only ever becomes exactly zero asymptotically (Berkhin), so ProcessBest
+	// may still perform a few vanishing steps.
+	before := s.TotalResidual()
+	s.ProcessBest(5)
+	if s.TotalResidual() > before+1e-15 {
+		t.Errorf("ProcessBest increased residual: %g -> %g", before, s.TotalResidual())
+	}
+	// The dangling correction keeps total estimates at 1.
+	est := s.Estimates(g.NumNodes())
+	total := 0.0
+	for _, e := range est {
+		total += e
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("estimates should sum to 1 with dangling restart, got %g", total)
+	}
+	// And must agree with the iterative solver, which uses the same
+	// dangling-node convention.
+	exact, _ := walk.FRank(g, walk.SingleNode(0), walk.Params{Alpha: 0.5, Tol: 1e-13, MaxIter: 2000})
+	for v := range est {
+		if math.Abs(est[v]-exact[v]) > 1e-8 {
+			t.Errorf("node %d: BCA %g vs iterative %g", v, est[v], exact[v])
+		}
+	}
+}
+
+func TestMultiNodeQuery(t *testing.T) {
+	toy := testgraphs.NewToy()
+	q := walk.MultiNode(toy.T1, toy.T2)
+	s, err := New(toy.Graph, q, 0.25)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if math.Abs(s.Residual(toy.T1)-0.5) > 1e-12 || math.Abs(s.Residual(toy.T2)-0.5) > 1e-12 {
+		t.Fatalf("initial residual should split evenly across query nodes")
+	}
+	s.Run(1e-10, 0)
+	exact, _ := walk.FRank(toy.Graph, q, walk.Params{Alpha: 0.25, Tol: 1e-12, MaxIter: 1000})
+	est := s.Estimates(toy.Graph.NumNodes())
+	for v := range est {
+		if math.Abs(est[v]-exact[v]) > 1e-8 {
+			t.Errorf("node %d: %g vs %g", v, est[v], exact[v])
+		}
+	}
+}
+
+func TestEachResidualAndSeen(t *testing.T) {
+	toy := testgraphs.NewToy()
+	s, _ := New(toy.Graph, walk.SingleNode(toy.T1), 0.25)
+	s.ProcessBest(3)
+	seen := 0
+	s.EachSeen(func(graph.NodeID, float64) { seen++ })
+	if seen != s.SeenCount() {
+		t.Errorf("EachSeen visited %d, SeenCount %d", seen, s.SeenCount())
+	}
+	resTotal := 0.0
+	s.EachResidual(func(_ graph.NodeID, mu float64) { resTotal += mu })
+	if math.Abs(resTotal-s.TotalResidual()) > 1e-9 {
+		t.Errorf("EachResidual total %g vs TotalResidual %g", resTotal, s.TotalResidual())
+	}
+}
+
+// Property: at any point during BCA, every rho is a lower bound of exact PPR,
+// residuals are non-negative, total residual decreases monotonically, and the
+// invariant check passes.
+func TestQuickBCAInvariants(t *testing.T) {
+	f := func(seed int64, stepsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		b := graph.NewBuilder()
+		ids := make([]graph.NodeID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = b.AddNode(graph.Untyped, "n"+string(rune('A'+i)))
+		}
+		m := n + rng.Intn(3*n)
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				v = (u + 1) % n
+			}
+			b.MustAddEdge(ids[u], ids[v], 0.5+rng.Float64())
+		}
+		g := b.MustBuild()
+		alpha := 0.15 + 0.6*rng.Float64()
+		q := ids[rng.Intn(n)]
+		exact, err := walk.FRank(g, walk.SingleNode(q), walk.Params{Alpha: alpha, Tol: 1e-12, MaxIter: 1000})
+		if err != nil {
+			return false
+		}
+		s, err := New(g, walk.SingleNode(q), alpha)
+		if err != nil {
+			return false
+		}
+		prevResidual := s.TotalResidual()
+		steps := 1 + int(stepsRaw%60)
+		for i := 0; i < steps; i++ {
+			if s.ProcessBest(1) == 0 {
+				break
+			}
+			if s.TotalResidual() > prevResidual+1e-9 {
+				return false
+			}
+			prevResidual = s.TotalResidual()
+			if s.CheckInvariant() != nil {
+				return false
+			}
+		}
+		ok := true
+		s.EachSeen(func(v graph.NodeID, rho float64) {
+			if rho > exact[v]+1e-8 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,340 @@
+package bounds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/testgraphs"
+	"roundtriprank/internal/walk"
+)
+
+// exactFT computes the exact F-Rank and T-Rank vectors for checking bounds.
+func exactFT(t *testing.T, view graph.View, q walk.Query, alpha float64) ([]float64, []float64) {
+	t.Helper()
+	p := walk.Params{Alpha: alpha, Tol: 1e-13, MaxIter: 2000}
+	f, err := walk.FRank(view, q, p)
+	if err != nil {
+		t.Fatalf("FRank: %v", err)
+	}
+	tr, err := walk.TRank(view, q, p)
+	if err != nil {
+		t.Fatalf("TRank: %v", err)
+	}
+	return f, tr
+}
+
+func checkFSound(t *testing.T, fb *FBounds, exact []float64, label string) {
+	t.Helper()
+	if err := fb.CheckConsistent(); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	for v := 0; v < len(exact); v++ {
+		node := graph.NodeID(v)
+		if fb.Seen(node) {
+			if exact[v] < fb.Lower(node)-1e-9 || exact[v] > fb.Upper(node)+1e-9 {
+				t.Errorf("%s: seen node %d exact %.9f outside [%.9f, %.9f]",
+					label, v, exact[v], fb.Lower(node), fb.Upper(node))
+			}
+		} else if exact[v] > fb.UnseenUpper()+1e-9 {
+			t.Errorf("%s: unseen node %d exact %.9f above unseen bound %.9f",
+				label, v, exact[v], fb.UnseenUpper())
+		}
+	}
+}
+
+func checkTSound(t *testing.T, tb *TBounds, exact []float64, label string) {
+	t.Helper()
+	if err := tb.CheckConsistent(); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	for v := 0; v < len(exact); v++ {
+		node := graph.NodeID(v)
+		if tb.Seen(node) {
+			if exact[v] < tb.Lower(node)-1e-9 || exact[v] > tb.Upper(node)+1e-9 {
+				t.Errorf("%s: seen node %d exact %.9f outside [%.9f, %.9f]",
+					label, v, exact[v], tb.Lower(node), tb.Upper(node))
+			}
+		} else if exact[v] > tb.UnseenUpper()+1e-9 {
+			t.Errorf("%s: unseen node %d exact %.9f above unseen bound %.9f",
+				label, v, exact[v], tb.UnseenUpper())
+		}
+	}
+}
+
+func TestFBoundsSoundnessOnToy(t *testing.T) {
+	toy := testgraphs.NewToy()
+	q := walk.SingleNode(toy.T1)
+	alpha := 0.25
+	exactF, _ := exactFT(t, toy.Graph, q, alpha)
+
+	for _, improved := range []bool{true, false} {
+		for _, stageII := range []bool{true, false} {
+			opt := DefaultFOptions(alpha)
+			opt.M = 2
+			opt.ImprovedBound = improved
+			opt.StageII = stageII
+			fb, err := NewFBounds(toy.Graph, q, opt)
+			if err != nil {
+				t.Fatalf("NewFBounds: %v", err)
+			}
+			prevUnseen := fb.UnseenUpper()
+			for round := 0; round < 12; round++ {
+				fb.Expand()
+				label := "improved=" + boolStr(improved) + " stageII=" + boolStr(stageII)
+				checkFSound(t, fb, exactF, label)
+				if fb.UnseenUpper() > prevUnseen+1e-12 {
+					t.Errorf("%s: unseen upper bound increased", label)
+				}
+				prevUnseen = fb.UnseenUpper()
+			}
+			if fb.SeenCount() == 0 {
+				t.Errorf("f-neighborhood should not be empty after expansions")
+			}
+		}
+	}
+}
+
+func TestImprovedFBoundTighterThanWeak(t *testing.T) {
+	toy := testgraphs.NewToy()
+	q := walk.SingleNode(toy.T1)
+	alpha := 0.25
+
+	strong, _ := NewFBounds(toy.Graph, q, FOptions{Alpha: alpha, M: 3, ImprovedBound: true, StageII: false})
+	weak, _ := NewFBounds(toy.Graph, q, FOptions{Alpha: alpha, M: 3, ImprovedBound: false, StageII: false})
+	for i := 0; i < 5; i++ {
+		strong.Expand()
+		weak.Expand()
+	}
+	if strong.UnseenUpper() > weak.UnseenUpper()+1e-12 {
+		t.Errorf("Proposition 4 bound (%g) should not be looser than the first-arrival bound (%g)",
+			strong.UnseenUpper(), weak.UnseenUpper())
+	}
+}
+
+func TestStageIITightensFBounds(t *testing.T) {
+	toy := testgraphs.NewToy()
+	q := walk.SingleNode(toy.T1)
+	alpha := 0.25
+
+	with, _ := NewFBounds(toy.Graph, q, FOptions{Alpha: alpha, M: 3, ImprovedBound: true, StageII: true})
+	without, _ := NewFBounds(toy.Graph, q, FOptions{Alpha: alpha, M: 3, ImprovedBound: true, StageII: false})
+	for i := 0; i < 4; i++ {
+		with.Expand()
+		without.Expand()
+	}
+	// Width of the interval at the query node should be no larger with
+	// Stage II enabled.
+	widthWith := with.Upper(toy.T1) - with.Lower(toy.T1)
+	widthWithout := without.Upper(toy.T1) - without.Lower(toy.T1)
+	if widthWith > widthWithout+1e-12 {
+		t.Errorf("Stage II should tighten bounds: width %.9f vs %.9f", widthWith, widthWithout)
+	}
+}
+
+func TestTBoundsSoundnessOnToy(t *testing.T) {
+	toy := testgraphs.NewToy()
+	q := walk.SingleNode(toy.T1)
+	alpha := 0.25
+	_, exactT := exactFT(t, toy.Graph, q, alpha)
+
+	for _, stageII := range []bool{true, false} {
+		opt := DefaultTOptions(alpha)
+		opt.M = 2
+		opt.StageII = stageII
+		tb, err := NewTBounds(toy.Graph, q, opt)
+		if err != nil {
+			t.Fatalf("NewTBounds: %v", err)
+		}
+		checkTSound(t, tb, exactT, "initial stageII="+boolStr(stageII))
+		if math.Abs(tb.Lower(toy.T1)-alpha) > 1e-12 {
+			t.Errorf("initial lower bound at query should be alpha, got %g", tb.Lower(toy.T1))
+		}
+		if tb.Upper(toy.T1) != 1 {
+			t.Errorf("initial upper bound at query should be 1, got %g", tb.Upper(toy.T1))
+		}
+		if math.Abs(tb.UnseenUpper()-(1-alpha)) > 1e-12 && tb.UnseenUpper() > 1-alpha {
+			t.Errorf("initial unseen bound should be at most 1-alpha, got %g", tb.UnseenUpper())
+		}
+		prevUnseen := tb.UnseenUpper()
+		for round := 0; round < 10; round++ {
+			added := tb.Expand()
+			checkTSound(t, tb, exactT, "stageII="+boolStr(stageII))
+			if tb.UnseenUpper() > prevUnseen+1e-12 {
+				t.Errorf("unseen upper bound increased")
+			}
+			prevUnseen = tb.UnseenUpper()
+			if added == 0 && !tb.Exhausted() {
+				t.Errorf("Expand added nothing but border nodes remain")
+			}
+			if tb.Exhausted() {
+				break
+			}
+		}
+		// The toy graph is strongly connected (undirected edges), so the
+		// expansion eventually covers all nodes and the unseen bound drops.
+		if !tb.Exhausted() {
+			t.Errorf("t-neighborhood should eventually exhaust on the toy graph")
+		}
+		if tb.UnseenUpper() != 0 {
+			t.Errorf("exhausted neighborhood should have zero unseen bound, got %g", tb.UnseenUpper())
+		}
+		if tb.SeenCount() != toy.Graph.NumNodes() {
+			t.Errorf("exhausted neighborhood should contain all nodes: %d vs %d",
+				tb.SeenCount(), toy.Graph.NumNodes())
+		}
+	}
+}
+
+func TestTBoundsDirectedLine(t *testing.T) {
+	// On a directed line 0->1->2->3 with query 0, only node 0 can reach the
+	// query; the t-neighborhood exhausts immediately with no border nodes
+	// beyond the query's in-neighbors (there are none).
+	g := testgraphs.Line(4)
+	q := walk.SingleNode(0)
+	tb, err := NewTBounds(g, q, DefaultTOptions(0.25))
+	if err != nil {
+		t.Fatalf("NewTBounds: %v", err)
+	}
+	if !tb.Exhausted() {
+		t.Fatalf("query with no in-neighbors should exhaust immediately")
+	}
+	if tb.UnseenUpper() != 0 {
+		t.Errorf("unseen bound should be 0, got %g", tb.UnseenUpper())
+	}
+	if tb.Expand() != 0 {
+		t.Errorf("Expand on an exhausted neighborhood should add nothing")
+	}
+	_, exactT := exactFT(t, g, q, 0.25)
+	checkTSound(t, tb, exactT, "line")
+}
+
+func TestBoundsValidation(t *testing.T) {
+	toy := testgraphs.NewToy()
+	if _, err := NewFBounds(toy.Graph, walk.Query{}, DefaultFOptions(0.25)); err == nil {
+		t.Errorf("empty query should error for FBounds")
+	}
+	if _, err := NewFBounds(toy.Graph, walk.SingleNode(toy.T1), DefaultFOptions(0)); err == nil {
+		t.Errorf("alpha 0 should error for FBounds")
+	}
+	if _, err := NewTBounds(toy.Graph, walk.Query{}, DefaultTOptions(0.25)); err == nil {
+		t.Errorf("empty query should error for TBounds")
+	}
+	if _, err := NewTBounds(toy.Graph, walk.SingleNode(toy.T1), DefaultTOptions(1.5)); err == nil {
+		t.Errorf("alpha out of range should error for TBounds")
+	}
+	if _, err := NewTBounds(toy.Graph, walk.SingleNode(999), DefaultTOptions(0.25)); err == nil {
+		t.Errorf("out-of-range query should error for TBounds")
+	}
+}
+
+func TestMultiNodeQueryBounds(t *testing.T) {
+	toy := testgraphs.NewToy()
+	q := walk.MultiNode(toy.T1, toy.T2)
+	alpha := 0.25
+	exactF, exactT := exactFT(t, toy.Graph, q, alpha)
+
+	fb, err := NewFBounds(toy.Graph, q, DefaultFOptions(alpha))
+	if err != nil {
+		t.Fatalf("NewFBounds: %v", err)
+	}
+	tb, err := NewTBounds(toy.Graph, q, DefaultTOptions(alpha))
+	if err != nil {
+		t.Fatalf("NewTBounds: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		fb.Expand()
+		tb.Expand()
+	}
+	checkFSound(t, fb, exactF, "multi-node F")
+	checkTSound(t, tb, exactT, "multi-node T")
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// Property: on random strongly connected graphs, both bound frameworks always
+// sandwich the exact F-Rank / T-Rank values after a random number of
+// expansions, under every scheme combination.
+func TestQuickBoundsSoundness(t *testing.T) {
+	f := func(seed int64, roundsRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		b := graph.NewBuilder()
+		ids := make([]graph.NodeID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = b.AddNode(graph.Untyped, "n"+string(rune('0'+i%10))+string(rune('a'+i/10)))
+		}
+		// Base cycle guarantees strong connectivity, then random chords.
+		for i := 0; i < n; i++ {
+			b.MustAddEdge(ids[i], ids[(i+1)%n], 1)
+		}
+		extra := rng.Intn(3 * n)
+		for i := 0; i < extra; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				v = (u + 1) % n
+			}
+			b.MustAddEdge(ids[u], ids[v], 0.25+rng.Float64())
+		}
+		g := b.MustBuild()
+		alpha := 0.15 + 0.5*rng.Float64()
+		q := walk.SingleNode(ids[rng.Intn(n)])
+		p := walk.Params{Alpha: alpha, Tol: 1e-13, MaxIter: 2000}
+		exactF, err := walk.FRank(g, q, p)
+		if err != nil {
+			return false
+		}
+		exactT, err := walk.TRank(g, q, p)
+		if err != nil {
+			return false
+		}
+		rounds := 1 + int(roundsRaw%8)
+		m := 1 + int(mRaw%6)
+
+		improved := rng.Intn(2) == 0
+		stageII := rng.Intn(2) == 0
+		fb, err := NewFBounds(g, q, FOptions{Alpha: alpha, M: m, ImprovedBound: improved, StageII: stageII})
+		if err != nil {
+			return false
+		}
+		tb, err := NewTBounds(g, q, TOptions{Alpha: alpha, M: m, StageII: stageII})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < rounds; i++ {
+			fb.Expand()
+			tb.Expand()
+		}
+		if fb.CheckConsistent() != nil || tb.CheckConsistent() != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			node := graph.NodeID(v)
+			if fb.Seen(node) {
+				if exactF[v] < fb.Lower(node)-1e-8 || exactF[v] > fb.Upper(node)+1e-8 {
+					return false
+				}
+			} else if exactF[v] > fb.UnseenUpper()+1e-8 {
+				return false
+			}
+			if tb.Seen(node) {
+				if exactT[v] < tb.Lower(node)-1e-8 || exactT[v] > tb.Upper(node)+1e-8 {
+					return false
+				}
+			} else if exactT[v] > tb.UnseenUpper()+1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

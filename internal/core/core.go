@@ -1,0 +1,283 @@
+// Package core implements the paper's primary contribution: RoundTripRank
+// (Sect. III) and RoundTripRank+ (Sect. IV).
+//
+// RoundTripRank scores a target node v for a query q by the probability that
+// a round trip starting and ending at q passes through v as its target
+// (Definition 2). Proposition 2 shows the rank-equivalent decomposition
+//
+//	r(q, v)  ∝  f(q, v) · t(q, v)
+//
+// where f is F-Rank (reachability from the query, equal to Personalized
+// PageRank) and t is T-Rank (reachability to the query). RoundTripRank+
+// generalizes the combination with a specificity bias β derived from the
+// hybrid-random-surfer scheme (Eq. 12):
+//
+//	r_β(q, v)  ∝  f(q, v)^(1−β) · t(q, v)^β
+//
+// β = 0 degenerates to F-Rank (pure importance), β = 1 to T-Rank (pure
+// specificity), and β = 0.5 to RoundTripRank.
+//
+// The package also contains an exact round-trip path enumerator with constant
+// walk lengths, used to validate the decomposition against the toy example of
+// Fig. 2 / Fig. 4.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/walk"
+)
+
+// BalancedBeta is the specificity bias at which RoundTripRank+ equals
+// RoundTripRank: importance and specificity weigh equally.
+const BalancedBeta = 0.5
+
+// Params configures an exact RoundTripRank(+) computation.
+type Params struct {
+	// Walk holds the random-walk parameters (teleport probability α,
+	// convergence tolerance, iteration cap) shared by F-Rank and T-Rank.
+	Walk walk.Params
+	// Beta is the specificity bias in [0, 1]. 0.5 is RoundTripRank.
+	Beta float64
+}
+
+// DefaultParams returns the paper's default configuration: α = 0.25 and a
+// balanced trade-off β = 0.5.
+func DefaultParams() Params {
+	return Params{Walk: walk.DefaultParams(), Beta: BalancedBeta}
+}
+
+// Validate checks parameter ranges.
+func (p Params) Validate() error {
+	if p.Beta < 0 || p.Beta > 1 {
+		return fmt.Errorf("core: beta must be in [0,1], got %g", p.Beta)
+	}
+	if p.Walk.Alpha <= 0 || p.Walk.Alpha >= 1 {
+		return fmt.Errorf("core: alpha must be in (0,1), got %g", p.Walk.Alpha)
+	}
+	return nil
+}
+
+// Scores holds the three per-node score vectors produced by an exact
+// computation: F-Rank, T-Rank, and the combined RoundTripRank+ with the
+// requested β.
+type Scores struct {
+	F    []float64
+	T    []float64
+	R    []float64
+	Beta float64
+}
+
+// Compute runs the exact (iterative) F-Rank and T-Rank solvers for the query
+// and combines them into RoundTripRank+ scores.
+func Compute(view graph.View, q walk.Query, p Params) (*Scores, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := walk.FRank(view, q, p.Walk)
+	if err != nil {
+		return nil, err
+	}
+	t, err := walk.TRank(view, q, p.Walk)
+	if err != nil {
+		return nil, err
+	}
+	return &Scores{F: f, T: t, R: Combine(f, t, p.Beta), Beta: p.Beta}, nil
+}
+
+// RoundTripRank computes the balanced (β = 0.5) RoundTripRank scores for the
+// query: rank-equivalent to f·t by Proposition 2.
+func RoundTripRank(view graph.View, q walk.Query, wp walk.Params) ([]float64, error) {
+	s, err := Compute(view, q, Params{Walk: wp, Beta: BalancedBeta})
+	if err != nil {
+		return nil, err
+	}
+	return s.R, nil
+}
+
+// RoundTripRankPlus computes RoundTripRank+ scores with the given specificity
+// bias β (Eq. 12).
+func RoundTripRankPlus(view graph.View, q walk.Query, wp walk.Params, beta float64) ([]float64, error) {
+	s, err := Compute(view, q, Params{Walk: wp, Beta: beta})
+	if err != nil {
+		return nil, err
+	}
+	return s.R, nil
+}
+
+// Combine merges F-Rank and T-Rank vectors into RoundTripRank+ scores
+// f^(1−β)·t^β. β = 0 returns a copy of f, β = 1 a copy of t; intermediate
+// values use the geometric weighting of Eq. 12. Zero scores stay zero.
+func Combine(f, t []float64, beta float64) []float64 {
+	out := make([]float64, len(f))
+	switch {
+	case beta == 0:
+		copy(out, f)
+	case beta == 1:
+		copy(out, t)
+	default:
+		for i := range f {
+			if f[i] <= 0 || t[i] <= 0 {
+				out[i] = 0
+				continue
+			}
+			out[i] = math.Pow(f[i], 1-beta) * math.Pow(t[i], beta)
+		}
+	}
+	return out
+}
+
+// Ranked pairs a node with its score.
+type Ranked struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// Rank sorts nodes by descending score. Nodes for which keep returns false are
+// dropped (pass nil to keep everything); ties are broken by node ID for
+// deterministic output. Zero-score nodes are retained so that recall-oriented
+// metrics can still find ground-truth nodes deep in the ranking.
+func Rank(scores []float64, keep func(graph.NodeID) bool) []Ranked {
+	out := make([]Ranked, 0, len(scores))
+	for i, s := range scores {
+		v := graph.NodeID(i)
+		if keep != nil && !keep(v) {
+			continue
+		}
+		out = append(out, Ranked{Node: v, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// TopN returns the first n entries of Rank(scores, keep).
+func TopN(scores []float64, n int, keep func(graph.NodeID) bool) []Ranked {
+	r := Rank(scores, keep)
+	if len(r) > n {
+		r = r[:n]
+	}
+	return r
+}
+
+// TypeFilter returns a keep-function that retains only nodes of the given type
+// and drops the listed excluded nodes (typically the query itself), matching
+// the evaluation protocol of Sect. VI-A ("we filter out the query node itself
+// and nodes not of the target type").
+func TypeFilter(g *graph.Graph, t graph.Type, exclude ...graph.NodeID) func(graph.NodeID) bool {
+	ex := make(map[graph.NodeID]bool, len(exclude))
+	for _, v := range exclude {
+		ex[v] = true
+	}
+	return func(v graph.NodeID) bool {
+		return g.Type(v) == t && !ex[v]
+	}
+}
+
+// EnumerateRoundTrips computes, for every target node v, the exact probability
+// that a round trip of constant length L + Lp starting and ending at q has v
+// as its target (the numerator of Eq. 4). It materializes dense transition
+// matrix powers and is intended for small validation graphs only (Fig. 4 uses
+// L = Lp = 2 on the toy network of Fig. 2).
+func EnumerateRoundTrips(view graph.View, q graph.NodeID, L, Lp int) ([]float64, error) {
+	n := view.NumNodes()
+	if int(q) < 0 || int(q) >= n {
+		return nil, fmt.Errorf("core: query node %d out of range", q)
+	}
+	if L < 0 || Lp < 0 {
+		return nil, fmt.Errorf("core: walk lengths must be non-negative")
+	}
+	if n > 4096 {
+		return nil, fmt.Errorf("core: EnumerateRoundTrips is restricted to small graphs (%d nodes)", n)
+	}
+	m := denseTransition(view)
+	fromQ := unitRow(n, int(q)) // distribution after k steps starting at q
+	for i := 0; i < L; i++ {
+		fromQ = mulRow(fromQ, m)
+	}
+	// For the return leg we need, for each v, the probability that Lp steps
+	// from v end at q: column q of M^Lp, computed as a row of the transpose.
+	toQ := unitRow(n, int(q))
+	mt := transpose(m)
+	for i := 0; i < Lp; i++ {
+		toQ = mulRow(toQ, mt)
+	}
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		out[v] = fromQ[v] * toQ[v]
+	}
+	return out, nil
+}
+
+func denseTransition(view graph.View) [][]float64 {
+	n := view.NumNodes()
+	m := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n)
+		sum := view.OutWeightSum(graph.NodeID(i))
+		if sum <= 0 {
+			continue
+		}
+		view.EachOut(graph.NodeID(i), func(to graph.NodeID, w float64) bool {
+			m[i][to] += w / sum
+			return true
+		})
+	}
+	return m
+}
+
+func transpose(m [][]float64) [][]float64 {
+	n := len(m)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			out[i][j] = m[j][i]
+		}
+	}
+	return out
+}
+
+func unitRow(n, i int) []float64 {
+	r := make([]float64, n)
+	r[i] = 1
+	return r
+}
+
+func mulRow(row []float64, m [][]float64) []float64 {
+	n := len(row)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if row[i] == 0 {
+			continue
+		}
+		mi := m[i]
+		for j := 0; j < n; j++ {
+			if mi[j] != 0 {
+				out[j] += row[i] * mi[j]
+			}
+		}
+	}
+	return out
+}
+
+// SpecificityBiasFromSurfers converts a hybrid-surfer composition
+// (|Ω11|, |Ω10|, |Ω01|) into the equivalent specificity bias β of Eq. 11–12:
+// β = (|Ω11| + |Ω01|) / (|Ω| + |Ω11|). It errors when no surfers are given.
+func SpecificityBiasFromSurfers(balanced, importanceOnly, specificityOnly int) (float64, error) {
+	if balanced < 0 || importanceOnly < 0 || specificityOnly < 0 {
+		return 0, fmt.Errorf("core: surfer counts must be non-negative")
+	}
+	total := balanced + importanceOnly + specificityOnly
+	if total == 0 {
+		return 0, fmt.Errorf("core: at least one surfer is required")
+	}
+	return float64(balanced+specificityOnly) / float64(total+balanced), nil
+}

@@ -1,0 +1,89 @@
+// Package datasets provides synthetic stand-ins for the two real-world graphs
+// of the paper's evaluation (Sect. VI): BibNet, a heterogeneous bibliographic
+// network of papers, authors, terms and venues extracted from DBLP/Citeseer,
+// and QLog, a search-engine click graph of phrases and URLs.
+//
+// The originals are not redistributable, so the generators reproduce the
+// structural properties the proximity measures are sensitive to — topical
+// locality, popularity skew (broad venues / hub URLs versus narrowly focused
+// ones, the importance-specificity tension of Fig. 1), power-law degrees, and
+// growth over time for the scalability snapshots — as documented in the
+// substitution table of DESIGN.md.
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"roundtriprank/internal/graph"
+)
+
+// Node types shared by the generated graphs.
+const (
+	TypePaper graph.Type = iota + 1
+	TypeAuthor
+	TypeTerm
+	TypeVenue
+	TypePhrase
+	TypeURL
+)
+
+// RegisterTypes names the node types on a builder so generated graphs are
+// self-describing.
+func RegisterTypes(b *graph.Builder) {
+	b.RegisterType(TypePaper, "paper")
+	b.RegisterType(TypeAuthor, "author")
+	b.RegisterType(TypeTerm, "term")
+	b.RegisterType(TypeVenue, "venue")
+	b.RegisterType(TypePhrase, "phrase")
+	b.RegisterType(TypeURL, "url")
+}
+
+// zipfWeights returns n weights following a Zipf-like distribution with the
+// given exponent, normalized to sum to one.
+func zipfWeights(n int, exponent float64) []float64 {
+	w := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w[i] = 1.0 / math.Pow(float64(i+1), exponent)
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// sample draws an index from a normalized weight vector.
+func sample(rng *rand.Rand, weights []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u <= acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// sampleDistinct draws up to k distinct indices from a weight vector.
+func sampleDistinct(rng *rand.Rand, weights []float64, k int) []int {
+	if k >= len(weights) {
+		out := make([]int, len(weights))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	chosen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for attempts := 0; len(out) < k && attempts < 20*k; attempts++ {
+		i := sample(rng, weights)
+		if !chosen[i] {
+			chosen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}

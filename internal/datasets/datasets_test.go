@@ -1,0 +1,267 @@
+package datasets
+
+import (
+	"testing"
+
+	"roundtriprank/internal/graph"
+)
+
+func TestGenerateBibNetSmall(t *testing.T) {
+	cfg := SmallBibNetConfig()
+	net, err := GenerateBibNet(cfg)
+	if err != nil {
+		t.Fatalf("GenerateBibNet: %v", err)
+	}
+	g := net.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatalf("generated graph invalid: %v", err)
+	}
+	if len(net.Papers) != cfg.Papers {
+		t.Errorf("papers = %d, want %d", len(net.Papers), cfg.Papers)
+	}
+	if g.CountOfType(TypePaper) != cfg.Papers {
+		t.Errorf("paper node count mismatch")
+	}
+	if g.CountOfType(TypeVenue) != len(net.Venues) || len(net.Venues) == 0 {
+		t.Errorf("venue bookkeeping mismatch: %d vs %d", g.CountOfType(TypeVenue), len(net.Venues))
+	}
+	if g.CountOfType(TypeAuthor) != cfg.Authors {
+		t.Errorf("author count mismatch")
+	}
+	if len(net.Terms) != g.CountOfType(TypeTerm) {
+		t.Errorf("term bookkeeping mismatch: %d vs %d", len(net.Terms), g.CountOfType(TypeTerm))
+	}
+	// Every paper has a venue and at least one author recorded, and the graph
+	// contains the corresponding edges.
+	for _, p := range net.Papers[:50] {
+		v, ok := net.VenueOf[p]
+		if !ok || !g.HasEdge(p, v) || !g.HasEdge(v, p) {
+			t.Fatalf("paper %d venue association broken", p)
+		}
+		authors := net.AuthorsOf[p]
+		if len(authors) == 0 {
+			t.Fatalf("paper %d has no authors", p)
+		}
+		for _, a := range authors {
+			if !g.HasEdge(p, a) {
+				t.Fatalf("paper %d missing author edge", p)
+			}
+		}
+	}
+	// The named query topics exist.
+	for _, topic := range []string{"spatio temporal data", "semantic web"} {
+		terms := net.QueryTermsFor(topic)
+		if len(terms) == 0 {
+			t.Errorf("topic %q has no query terms", topic)
+		}
+		for _, id := range terms {
+			if g.Type(id) != TypeTerm {
+				t.Errorf("query term %d is not a term node", id)
+			}
+		}
+	}
+	// Type names registered.
+	if g.TypeName(TypeVenue) != "venue" || g.TypeName(TypePaper) != "paper" {
+		t.Errorf("type names not registered")
+	}
+	// Determinism: same seed, same graph.
+	net2, err := GenerateBibNet(cfg)
+	if err != nil {
+		t.Fatalf("second GenerateBibNet: %v", err)
+	}
+	if net2.Graph.NumNodes() != g.NumNodes() || net2.Graph.NumEdges() != g.NumEdges() {
+		t.Errorf("generation is not deterministic: %d/%d vs %d/%d",
+			net2.Graph.NumNodes(), net2.Graph.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestBibNetBroadVenuesAreLarger(t *testing.T) {
+	net, err := GenerateBibNet(SmallBibNetConfig())
+	if err != nil {
+		t.Fatalf("GenerateBibNet: %v", err)
+	}
+	g := net.Graph
+	broad := g.NodeByLabel("venue:VLDB")
+	specific := g.NodeByLabel("venue:Spatio-Temporal Databases")
+	if broad == graph.NoNode || specific == graph.NoNode {
+		t.Fatalf("expected named venues to exist")
+	}
+	if g.Degree(broad) <= g.Degree(specific) {
+		t.Errorf("broad venue should accept more papers: VLDB degree %d vs specific %d",
+			g.Degree(broad), g.Degree(specific))
+	}
+}
+
+func TestBibNetSnapshotsGrow(t *testing.T) {
+	net, err := GenerateBibNet(SmallBibNetConfig())
+	if err != nil {
+		t.Fatalf("GenerateBibNet: %v", err)
+	}
+	snaps, err := net.Snapshots(5)
+	if err != nil {
+		t.Fatalf("Snapshots: %v", err)
+	}
+	if len(snaps) != 5 {
+		t.Fatalf("got %d snapshots, want 5", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Graph.NumNodes() < snaps[i-1].Graph.NumNodes() {
+			t.Errorf("snapshot %d shrank in nodes", i)
+		}
+		if snaps[i].Graph.NumEdges() < snaps[i-1].Graph.NumEdges() {
+			t.Errorf("snapshot %d shrank in edges", i)
+		}
+	}
+	last := snaps[len(snaps)-1].Graph
+	if last.CountOfType(TypePaper) != len(net.Papers) {
+		t.Errorf("final snapshot should contain all papers: %d vs %d",
+			last.CountOfType(TypePaper), len(net.Papers))
+	}
+	if _, err := net.Snapshots(0); err == nil {
+		t.Errorf("zero snapshot count should error")
+	}
+}
+
+func TestGenerateBibNetValidation(t *testing.T) {
+	if _, err := GenerateBibNet(BibNetConfig{}); err == nil {
+		t.Errorf("zero config should error")
+	}
+	bad := SmallBibNetConfig()
+	bad.BroadVenueBias = 2
+	if _, err := GenerateBibNet(bad); err == nil {
+		t.Errorf("invalid BroadVenueBias should error")
+	}
+}
+
+func TestScaledConfigs(t *testing.T) {
+	small := ScaledBibNetConfig(0.001)
+	if small.Papers < 50 || small.Authors < 30 {
+		t.Errorf("scaled config should respect minimums: %+v", small)
+	}
+	big := ScaledBibNetConfig(2)
+	if big.Papers != DefaultBibNetConfig().Papers*2 {
+		t.Errorf("scaling factor not applied")
+	}
+	qs := ScaledQLogConfig(0.0001)
+	if qs.Concepts < 20 {
+		t.Errorf("scaled QLog config should respect minimum concepts")
+	}
+}
+
+func TestGenerateQLogSmall(t *testing.T) {
+	cfg := SmallQLogConfig()
+	q, err := GenerateQLog(cfg)
+	if err != nil {
+		t.Fatalf("GenerateQLog: %v", err)
+	}
+	g := q.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatalf("generated graph invalid: %v", err)
+	}
+	if len(q.Phrases) == 0 || len(q.URLs) == 0 {
+		t.Fatalf("empty phrase or URL set")
+	}
+	if g.CountOfType(TypePhrase) != len(q.Phrases) {
+		t.Errorf("phrase bookkeeping mismatch")
+	}
+	// Every phrase has at least one clicked URL and the edges exist with
+	// positive click weights.
+	for _, p := range q.Phrases[:50] {
+		urls := q.ClickedURLs[p]
+		if len(urls) == 0 {
+			t.Fatalf("phrase %d has no clicked URLs", p)
+		}
+		for _, u := range urls {
+			w, ok := g.EdgeWeight(p, u)
+			if !ok || w < 1 {
+				t.Fatalf("phrase %d missing click edge to %d", p, u)
+			}
+		}
+		if _, ok := q.ConceptOf[p]; !ok {
+			t.Fatalf("phrase %d has no concept", p)
+		}
+	}
+	// Phrases of the same concept normalize to the same key; phrases of
+	// different concepts normally do not.
+	for c, phrases := range q.PhrasesOfConcept {
+		if len(phrases) < 2 {
+			continue
+		}
+		key := NormalizePhrase(g.Label(phrases[0]))
+		for _, p := range phrases[1:] {
+			if NormalizePhrase(g.Label(p)) != key {
+				t.Errorf("concept %d phrases normalize differently: %q vs %q",
+					c, key, NormalizePhrase(g.Label(p)))
+			}
+		}
+	}
+	// Hub URLs should have much higher degree than concept URLs.
+	hub := g.NodeByLabel("url:http://www.wikipedia.org/")
+	if hub == graph.NoNode {
+		t.Fatalf("hub URL missing")
+	}
+	if g.Degree(hub) < 5 {
+		t.Errorf("hub URL degree suspiciously low: %d", g.Degree(hub))
+	}
+	// Determinism.
+	q2, _ := GenerateQLog(cfg)
+	if q2.Graph.NumNodes() != g.NumNodes() || q2.Graph.NumEdges() != g.NumEdges() {
+		t.Errorf("QLog generation is not deterministic")
+	}
+}
+
+func TestQLogSnapshotsGrow(t *testing.T) {
+	q, err := GenerateQLog(SmallQLogConfig())
+	if err != nil {
+		t.Fatalf("GenerateQLog: %v", err)
+	}
+	snaps, err := q.Snapshots(4)
+	if err != nil {
+		t.Fatalf("Snapshots: %v", err)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Graph.NumNodes() < snaps[i-1].Graph.NumNodes() {
+			t.Errorf("QLog snapshot %d shrank", i)
+		}
+	}
+	if _, err := q.Snapshots(-1); err == nil {
+		t.Errorf("negative snapshot count should error")
+	}
+}
+
+func TestGenerateQLogValidation(t *testing.T) {
+	if _, err := GenerateQLog(QLogConfig{}); err == nil {
+		t.Errorf("zero config should error")
+	}
+}
+
+func TestNormalizePhrase(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{"the apple ipod", "ipod of apple"},
+		{"phrase:cheap flight ticket", "ticket flight cheap"},
+		{"how to best pasta recipe", "recipe pasta"},
+	}
+	for _, c := range cases {
+		if NormalizePhrase(c.a) != NormalizePhrase(c.b) {
+			t.Errorf("%q and %q should normalize equally: %q vs %q",
+				c.a, c.b, NormalizePhrase(c.a), NormalizePhrase(c.b))
+		}
+	}
+	if NormalizePhrase("apple ipod") == NormalizePhrase("apple macbook") {
+		t.Errorf("different concepts should not collide")
+	}
+}
+
+func TestZipfAndSampling(t *testing.T) {
+	w := zipfWeights(10, 1.0)
+	total := 0.0
+	for i, x := range w {
+		total += x
+		if i > 0 && x > w[i-1] {
+			t.Errorf("zipf weights should be non-increasing")
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("zipf weights should sum to 1, got %g", total)
+	}
+}

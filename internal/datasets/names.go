@@ -1,0 +1,118 @@
+package datasets
+
+// areaSpec describes one research area of the synthetic bibliographic network:
+// its broad ("important") venues, and its topics, each with a specific venue
+// and characteristic terms. The DB area mirrors the running examples of the
+// paper (Fig. 1, Fig. 6, Fig. 7) so the illustrative rankings are directly
+// comparable: broad venues such as VLDB/SIGMOD/ICDE accept papers on every DB
+// topic, while Spatio-Temporal Databases or ACM GIS concentrate on one topic.
+type areaSpec struct {
+	Name        string
+	BroadVenues []string
+	Topics      []topicSpec
+}
+
+type topicSpec struct {
+	Name          string
+	SpecificVenue string
+	Terms         []string
+}
+
+func defaultAreas() []areaSpec {
+	return []areaSpec{
+		{
+			Name:        "DB",
+			BroadVenues: []string{"SIGMOD", "VLDB", "ICDE"},
+			Topics: []topicSpec{
+				{Name: "spatio temporal data", SpecificVenue: "Spatio-Temporal Databases",
+					Terms: []string{"spatio", "temporal", "data", "moving", "trajectory", "gis"}},
+				{Name: "geographic information systems", SpecificVenue: "ACM GIS",
+					Terms: []string{"spatial", "geographic", "gis", "map", "location", "spatio"}},
+				{Name: "temporal reasoning", SpecificVenue: "Temporal Representation and Reasoning",
+					Terms: []string{"temporal", "reasoning", "interval", "time", "logic"}},
+				{Name: "information integration", SpecificVenue: "Workshop on Information Integration",
+					Terms: []string{"information", "integration", "schema", "mapping", "mediation"}},
+				{Name: "transaction processing", SpecificVenue: "Transaction Processing Systems",
+					Terms: []string{"transaction", "concurrency", "locking", "recovery", "logging"}},
+				{Name: "query optimization", SpecificVenue: "Workshop on Query Processing",
+					Terms: []string{"query", "optimization", "join", "plan", "cost"}},
+			},
+		},
+		{
+			Name:        "IR",
+			BroadVenues: []string{"SIGIR", "CIKM", "WWW"},
+			Topics: []topicSpec{
+				{Name: "semantic web", SpecificVenue: "International Semantic Web Conference",
+					Terms: []string{"semantic", "web", "ontology", "rdf", "linked"}},
+				{Name: "web services", SpecificVenue: "International Conference on Web Services",
+					Terms: []string{"web", "service", "soap", "composition", "rest"}},
+				{Name: "web search", SpecificVenue: "Workshop on Web Search and Mining",
+					Terms: []string{"search", "ranking", "web", "click", "relevance"}},
+				{Name: "question answering", SpecificVenue: "Question Answering Workshop",
+					Terms: []string{"question", "answering", "passage", "answer", "retrieval"}},
+				{Name: "entity retrieval", SpecificVenue: "Entity Retrieval Track",
+					Terms: []string{"entity", "retrieval", "linking", "knowledge", "graph"}},
+			},
+		},
+		{
+			Name:        "DM",
+			BroadVenues: []string{"KDD", "ICDM", "SDM"},
+			Topics: []topicSpec{
+				{Name: "spatio temporal data mining", SpecificVenue: "Spatio-Temporal Data Mining Workshop",
+					Terms: []string{"spatio", "temporal", "mining", "pattern", "trajectory"}},
+				{Name: "graph mining", SpecificVenue: "Workshop on Mining Graphs",
+					Terms: []string{"graph", "mining", "subgraph", "network", "pattern"}},
+				{Name: "clustering", SpecificVenue: "Clustering Workshop",
+					Terms: []string{"clustering", "kmeans", "density", "partition", "similarity"}},
+				{Name: "frequent patterns", SpecificVenue: "Frequent Itemset Mining Implementations",
+					Terms: []string{"frequent", "itemset", "association", "rule", "support"}},
+				{Name: "anomaly detection", SpecificVenue: "Outlier Detection Workshop",
+					Terms: []string{"anomaly", "outlier", "detection", "fraud", "deviation"}},
+			},
+		},
+		{
+			Name:        "AI",
+			BroadVenues: []string{"AAAI", "IJCAI", "NIPS"},
+			Topics: []topicSpec{
+				{Name: "machine learning", SpecificVenue: "Machine Learning Journal",
+					Terms: []string{"learning", "model", "training", "classification", "feature"}},
+				{Name: "probabilistic reasoning", SpecificVenue: "Uncertainty in Artificial Intelligence",
+					Terms: []string{"probabilistic", "bayesian", "inference", "graphical", "belief"}},
+				{Name: "planning", SpecificVenue: "International Conference on Planning and Scheduling",
+					Terms: []string{"planning", "scheduling", "search", "heuristic", "domain"}},
+				{Name: "natural language", SpecificVenue: "Computational Linguistics Workshop",
+					Terms: []string{"language", "parsing", "semantics", "corpus", "translation"}},
+				{Name: "knowledge representation", SpecificVenue: "Knowledge Representation and Reasoning",
+					Terms: []string{"knowledge", "representation", "logic", "ontology", "reasoning"}},
+			},
+		},
+	}
+}
+
+// stopWords are ignored when normalizing search phrases into concepts; the
+// Task 4 ground truth treats two phrases as equivalent when they contain the
+// same non-stop words (Sect. VI-A).
+var stopWords = map[string]bool{
+	"the": true, "a": true, "an": true, "of": true, "for": true, "to": true,
+	"in": true, "on": true, "and": true, "with": true, "how": true, "best": true,
+}
+
+// conceptVocabulary is the word pool used to assemble QLog concepts.
+var conceptVocabulary = []string{
+	"hotel", "booking", "cheap", "flight", "ticket", "weather", "forecast",
+	"apple", "ipod", "google", "mail", "gmail", "yahoo", "maps", "driving",
+	"directions", "recipe", "chicken", "pasta", "movie", "times", "review",
+	"car", "insurance", "quote", "mortgage", "rate", "calculator", "news",
+	"sports", "score", "music", "lyrics", "download", "game", "online",
+	"university", "admission", "job", "resume", "salary", "tax", "return",
+	"phone", "number", "lookup", "address", "zip", "code", "dictionary",
+	"translate", "spanish", "french", "pizza", "delivery", "coupon", "deal",
+}
+
+// hubURLHosts are the broadly popular ("important") sites linked from many
+// concepts, giving QLog the popularity skew that makes importance-only ranking
+// insufficiently specific.
+var hubURLHosts = []string{
+	"wikipedia.org", "amazon.com", "youtube.com", "facebook.com", "yahoo.com",
+	"about.com", "answers.com", "ebay.com",
+}

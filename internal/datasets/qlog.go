@@ -1,0 +1,257 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"roundtriprank/internal/graph"
+)
+
+// QLogConfig controls the synthetic query-log (click graph) generator.
+type QLogConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Concepts is the number of underlying search intents.
+	Concepts int
+	// MaxPhrasesPerConcept caps the equivalent phrasings of one concept
+	// (word permutations and stop-word variants); at least one per concept.
+	MaxPhrasesPerConcept int
+	// URLsPerConcept is the number of concept-specific URLs.
+	URLsPerConcept int
+	// HubClickProb is the probability that a phrase also has clicks on one of
+	// the broadly popular hub URLs, which injects the popularity skew that
+	// makes importance-only ranking insufficient.
+	HubClickProb float64
+	// MaxClicks is the maximum click count on an edge (weights are 1..MaxClicks).
+	MaxClicks int
+}
+
+// DefaultQLogConfig returns the effectiveness-scale configuration (roughly the
+// size of the paper's 23k-node QLog subgraph).
+func DefaultQLogConfig() QLogConfig {
+	return QLogConfig{
+		Seed:                 2,
+		Concepts:             4200,
+		MaxPhrasesPerConcept: 4,
+		URLsPerConcept:       3,
+		HubClickProb:         0.55,
+		MaxClicks:            30,
+	}
+}
+
+// SmallQLogConfig returns a small configuration for unit tests.
+func SmallQLogConfig() QLogConfig {
+	cfg := DefaultQLogConfig()
+	cfg.Concepts = 150
+	return cfg
+}
+
+// ScaledQLogConfig scales the default configuration for the scalability
+// experiments.
+func ScaledQLogConfig(factor float64) QLogConfig {
+	cfg := DefaultQLogConfig()
+	cfg.Concepts = int(float64(cfg.Concepts) * factor)
+	if cfg.Concepts < 20 {
+		cfg.Concepts = 20
+	}
+	return cfg
+}
+
+// QLog is a generated click graph plus the metadata used by Tasks 3 and 4.
+type QLog struct {
+	Graph   *graph.Graph
+	Phrases []graph.NodeID
+	URLs    []graph.NodeID
+	// ConceptOf maps a phrase node to its concept index; phrases with the same
+	// concept are the Task 4 ground truth ("equivalent searches").
+	ConceptOf map[graph.NodeID]int
+	// PhrasesOfConcept is the inverse mapping, in phrase insertion order.
+	PhrasesOfConcept map[int][]graph.NodeID
+	// ClickedURLs maps a phrase node to the URLs it has clicks on (the Task 3
+	// ground-truth candidates).
+	ClickedURLs map[graph.NodeID][]graph.NodeID
+}
+
+// GenerateQLog builds a synthetic phrase-URL click graph.
+func GenerateQLog(cfg QLogConfig) (*QLog, error) {
+	if cfg.Concepts <= 0 {
+		return nil, fmt.Errorf("datasets: QLog needs a positive concept count")
+	}
+	if cfg.MaxPhrasesPerConcept <= 0 {
+		cfg.MaxPhrasesPerConcept = 1
+	}
+	if cfg.URLsPerConcept <= 0 {
+		cfg.URLsPerConcept = 2
+	}
+	if cfg.MaxClicks <= 0 {
+		cfg.MaxClicks = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder()
+	RegisterTypes(b)
+	q := &QLog{
+		ConceptOf:        make(map[graph.NodeID]int),
+		PhrasesOfConcept: make(map[int][]graph.NodeID),
+		ClickedURLs:      make(map[graph.NodeID][]graph.NodeID),
+	}
+
+	// Hub URLs shared across many concepts.
+	hubs := make([]graph.NodeID, len(hubURLHosts))
+	for i, host := range hubURLHosts {
+		hubs[i] = b.AddNode(TypeURL, "url:http://www."+host+"/")
+		q.URLs = append(q.URLs, hubs[i])
+	}
+	hubPick := zipfWeights(len(hubs), 1.0)
+
+	addClick := func(phrase, url graph.NodeID, clicks float64) {
+		b.MustAddUndirectedEdge(phrase, url, clicks)
+		q.ClickedURLs[phrase] = append(q.ClickedURLs[phrase], url)
+	}
+
+	usedConcepts := map[string]bool{}
+	for c := 0; c < cfg.Concepts; c++ {
+		// Concept = 2-4 distinct non-stop words from the vocabulary, unique as
+		// a set across concepts so that Task 4 equivalence classes are exactly
+		// the per-concept phrase groups.
+		var words []string
+		for attempt := 0; ; attempt++ {
+			nWords := 2 + rng.Intn(3)
+			words = words[:0]
+			used := map[string]bool{}
+			for len(words) < nWords {
+				w := conceptVocabulary[rng.Intn(len(conceptVocabulary))]
+				if !used[w] {
+					used[w] = true
+					words = append(words, w)
+				}
+			}
+			key := NormalizePhrase(strings.Join(words, " "))
+			if !usedConcepts[key] {
+				usedConcepts[key] = true
+				break
+			}
+			if attempt > 200 {
+				// Vocabulary exhausted for this size; extend with a unique
+				// disambiguating token.
+				words = append(words, fmt.Sprintf("v%d", c))
+				usedConcepts[NormalizePhrase(strings.Join(words, " "))] = true
+				break
+			}
+		}
+
+		// Concept-specific URLs.
+		urls := make([]graph.NodeID, 0, cfg.URLsPerConcept)
+		for u := 0; u < cfg.URLsPerConcept; u++ {
+			id := b.AddNode(TypeURL, fmt.Sprintf("url:http://%s%d-%d.com/", strings.Join(words, "-"), c, u))
+			urls = append(urls, id)
+			q.URLs = append(q.URLs, id)
+		}
+
+		// Equivalent phrases: permutations and stop-word decorated variants of
+		// the same word set.
+		nPhrases := 1 + rng.Intn(cfg.MaxPhrasesPerConcept)
+		seenPhrase := map[string]bool{}
+		for p := 0; p < nPhrases; p++ {
+			variant := phraseVariant(rng, words, p)
+			if seenPhrase[variant] {
+				continue
+			}
+			seenPhrase[variant] = true
+			phrase := b.AddNode(TypePhrase, "phrase:"+variant)
+			q.Phrases = append(q.Phrases, phrase)
+			q.ConceptOf[phrase] = c
+			q.PhrasesOfConcept[c] = append(q.PhrasesOfConcept[c], phrase)
+
+			// Clicks on the concept URLs (Zipf-skewed) ...
+			for ui, url := range urls {
+				if ui > 0 && rng.Float64() < 0.3 {
+					continue
+				}
+				clicks := 1 + rng.Intn(cfg.MaxClicks/(ui+1)+1)
+				addClick(phrase, url, float64(clicks))
+			}
+			// ... and sometimes on a popular hub URL.
+			if rng.Float64() < cfg.HubClickProb {
+				hub := hubs[sample(rng, hubPick)]
+				addClick(phrase, hub, float64(1+rng.Intn(cfg.MaxClicks)))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	q.Graph = g
+	return q, nil
+}
+
+// phraseVariant renders an equivalent phrasing of the concept's word set:
+// variant 0 is the canonical order, later variants shuffle the words and may
+// insert stop words, preserving the non-stop word set that defines Task 4
+// equivalence.
+func phraseVariant(rng *rand.Rand, words []string, variant int) string {
+	perm := append([]string(nil), words...)
+	if variant > 0 {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	}
+	if variant >= 2 {
+		stops := []string{"the", "best", "how", "to", "for"}
+		pos := rng.Intn(len(perm) + 1)
+		stop := stops[rng.Intn(len(stops))]
+		perm = append(perm[:pos], append([]string{stop}, perm[pos:]...)...)
+	}
+	return strings.Join(perm, " ")
+}
+
+// NormalizePhrase returns the canonical concept key of a phrase label: its
+// sorted non-stop words joined by spaces. Two phrases are Task-4 equivalent
+// iff their normalized forms are equal ("the apple ipod" ~ "ipod of apple").
+func NormalizePhrase(label string) string {
+	label = strings.TrimPrefix(label, "phrase:")
+	fields := strings.Fields(label)
+	var kept []string
+	for _, f := range fields {
+		if !stopWords[strings.ToLower(f)] {
+			kept = append(kept, strings.ToLower(f))
+		}
+	}
+	sort.Strings(kept)
+	return strings.Join(kept, " ")
+}
+
+// Snapshots returns cumulative snapshots of the click graph, modelling log
+// growth over time: the i-th snapshot keeps the phrases of the first
+// (i+1)/count fraction of concepts and every URL they click.
+func (q *QLog) Snapshots(count int) ([]*graph.Subgraph, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("datasets: snapshot count must be positive")
+	}
+	maxConcept := 0
+	for _, c := range q.ConceptOf {
+		if c > maxConcept {
+			maxConcept = c
+		}
+	}
+	out := make([]*graph.Subgraph, 0, count)
+	for i := 1; i <= count; i++ {
+		cut := (maxConcept + 1) * i / count
+		keep := make(map[graph.NodeID]bool)
+		for c := 0; c < cut; c++ {
+			for _, phrase := range q.PhrasesOfConcept[c] {
+				keep[phrase] = true
+				for _, url := range q.ClickedURLs[phrase] {
+					keep[url] = true
+				}
+			}
+		}
+		nodes := make([]graph.NodeID, 0, len(keep))
+		for v := range keep {
+			nodes = append(nodes, v)
+		}
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+		out = append(out, graph.Induced(q.Graph, nodes))
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"roundtriprank/internal/baselines"
+	"roundtriprank/internal/datasets"
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/tasks"
+	"roundtriprank/internal/topk"
+	"roundtriprank/internal/walk"
+)
+
+func tinyBibNet(t *testing.T) *datasets.BibNet {
+	t.Helper()
+	cfg := datasets.SmallBibNetConfig()
+	cfg.Papers = 250
+	cfg.Authors = 150
+	net, err := datasets.GenerateBibNet(cfg)
+	if err != nil {
+		t.Fatalf("GenerateBibNet: %v", err)
+	}
+	return net
+}
+
+func TestEvaluateTaskVenue(t *testing.T) {
+	net := tinyBibNet(t)
+	instances, err := tasks.SampleBibNet(net, tasks.TaskVenue, 15, 1)
+	if err != nil {
+		t.Fatalf("SampleBibNet: %v", err)
+	}
+	measures := []baselines.Measure{
+		baselines.NewRoundTripRank(),
+		baselines.NewFRank(),
+		baselines.NewTRank(),
+		baselines.NewAdamicAdar(),
+	}
+	wp := walk.Params{Alpha: 0.25, Tol: 1e-8, MaxIter: 100}
+	results, err := EvaluateTask(net.Graph, instances, measures, []int{5, 10}, wp, nil)
+	if err != nil {
+		t.Fatalf("EvaluateTask: %v", err)
+	}
+	if len(results) != len(measures) {
+		t.Fatalf("got %d results, want %d", len(results), len(measures))
+	}
+	for _, r := range results {
+		for _, k := range []int{5, 10} {
+			if len(r.PerQuery[k]) != len(instances) {
+				t.Errorf("%s: per-query length mismatch", r.Name)
+			}
+			if r.MeanNDCG[k] < 0 || r.MeanNDCG[k] > 1 {
+				t.Errorf("%s: mean NDCG@%d out of range: %g", r.Name, k, r.MeanNDCG[k])
+			}
+		}
+		if r.MeanNDCG[10] < r.MeanNDCG[5]-1e-9 {
+			t.Errorf("%s: NDCG@10 (%g) should not be below NDCG@5 (%g)", r.Name, r.MeanNDCG[10], r.MeanNDCG[5])
+		}
+	}
+	// The random-walk measures must recover venues far better than chance;
+	// RoundTripRank and F-Rank should both be clearly positive.
+	if results[0].MeanNDCG[5] <= 0.2 {
+		t.Errorf("RoundTripRank NDCG@5 suspiciously low: %g", results[0].MeanNDCG[5])
+	}
+	// Significance helper runs.
+	if _, err := SignificanceP(results[0], results[1], 5); err != nil {
+		t.Errorf("SignificanceP: %v", err)
+	}
+	// Renderer includes every measure name.
+	table := RenderNDCGTable("test", []string{"Task 2 (Venue)"},
+		map[string][]MeasureResult{"Task 2 (Venue)": results}, []int{5, 10})
+	for _, m := range measures {
+		if !strings.Contains(table, m.Name()) {
+			t.Errorf("table missing measure %s", m.Name())
+		}
+	}
+}
+
+func TestEvaluateTaskErrors(t *testing.T) {
+	net := tinyBibNet(t)
+	if _, err := EvaluateTask(net.Graph, nil, nil, nil, walk.DefaultParams(), nil); err == nil {
+		t.Errorf("empty instances should error")
+	}
+}
+
+func TestSweepAndTuneBeta(t *testing.T) {
+	net := tinyBibNet(t)
+	instances, err := tasks.SampleBibNet(net, tasks.TaskVenue, 10, 2)
+	if err != nil {
+		t.Fatalf("SampleBibNet: %v", err)
+	}
+	wp := walk.Params{Alpha: 0.25, Tol: 1e-8, MaxIter: 100}
+	betas := []float64{0, 0.5, 1}
+	sweep, err := SweepBeta(net.Graph, instances, betas, 5, wp)
+	if err != nil {
+		t.Fatalf("SweepBeta: %v", err)
+	}
+	if len(sweep) != len(betas) {
+		t.Fatalf("sweep size %d, want %d", len(sweep), len(betas))
+	}
+	best, err := TuneBeta(net.Graph, instances, betas, 5, wp)
+	if err != nil {
+		t.Fatalf("TuneBeta: %v", err)
+	}
+	if sweep[best] < sweep[0] || sweep[best] < sweep[1] || sweep[best] < sweep[0.5] {
+		t.Errorf("TuneBeta did not pick the best beta: %g", best)
+	}
+	if len(DefaultBetaGrid()) != 11 {
+		t.Errorf("default beta grid should have 11 points")
+	}
+	out := RenderBetaSweep("Task 2 (Venue)", sweep)
+	if !strings.Contains(out, "beta=0.50") {
+		t.Errorf("beta sweep rendering missing entries:\n%s", out)
+	}
+}
+
+func TestEvaluateEfficiencyAndScalability(t *testing.T) {
+	net := tinyBibNet(t)
+	g := net.Graph
+	queries := []graph.NodeID{net.Papers[0], net.Papers[5], net.Papers[10]}
+	rows, err := EvaluateEfficiency(g, EfficiencyConfig{
+		K:            5,
+		Queries:      queries,
+		Epsilons:     []float64{0.01},
+		Schemes:      []topk.Scheme{topk.Scheme2SBound, topk.SchemeGS},
+		IncludeNaive: true,
+	})
+	if err != nil {
+		t.Fatalf("EvaluateEfficiency: %v", err)
+	}
+	if len(rows) != 3 { // naive + 2 schemes × 1 epsilon
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanTimeMS < 0 {
+			t.Errorf("negative time for %s", r.Scheme)
+		}
+		if r.Scheme != "Naive" {
+			if r.NDCG < 0.5 {
+				t.Errorf("%s: approximation NDCG too low: %g", r.Scheme, r.NDCG)
+			}
+			if r.ActiveSetBytes <= 0 {
+				t.Errorf("%s: active set should be positive", r.Scheme)
+			}
+		}
+	}
+	table := RenderEfficiencyTable(rows)
+	if !strings.Contains(table, "2SBound") || !strings.Contains(table, "Naive") {
+		t.Errorf("efficiency table missing schemes:\n%s", table)
+	}
+
+	snaps, err := net.Snapshots(3)
+	if err != nil {
+		t.Fatalf("Snapshots: %v", err)
+	}
+	srows, err := EvaluateScalability(snaps, []string{"s1", "s2", "s3"}, 3, 0.01, 5, 9)
+	if err != nil {
+		t.Fatalf("EvaluateScalability: %v", err)
+	}
+	if len(srows) != 3 {
+		t.Fatalf("got %d snapshot rows", len(srows))
+	}
+	if srows[2].SnapshotBytes < srows[0].SnapshotBytes {
+		t.Errorf("snapshot sizes should grow")
+	}
+	gr, err := ComputeGrowthRates(srows)
+	if err != nil {
+		t.Fatalf("ComputeGrowthRates: %v", err)
+	}
+	if gr.Snapshot[0] != 1 || gr.Active[0] != 1 || gr.Time[0] != 1 {
+		t.Errorf("growth rates should be normalized to the first snapshot")
+	}
+	if !strings.Contains(RenderSnapshotTable("BibNet", srows), "active set") {
+		t.Errorf("snapshot table missing header")
+	}
+	if !strings.Contains(RenderGrowthRates("BibNet", gr), "rate of growth") {
+		t.Errorf("growth table missing header")
+	}
+	if _, err := ComputeGrowthRates(nil); err == nil {
+		t.Errorf("empty rows should error")
+	}
+	if _, err := EvaluateEfficiency(g, EfficiencyConfig{}); err == nil {
+		t.Errorf("no queries should error")
+	}
+	if _, err := EvaluateScalability(nil, nil, 1, 0.01, 5, 1); err == nil {
+		t.Errorf("no snapshots should error")
+	}
+}
+
+func TestIllustrativeRanking(t *testing.T) {
+	net := tinyBibNet(t)
+	terms := net.QueryTermsFor("spatio temporal data")
+	if len(terms) == 0 {
+		t.Fatalf("no query terms")
+	}
+	wp := walk.Params{Alpha: 0.25, Tol: 1e-8, MaxIter: 100}
+	venuesF, err := IllustrativeRanking(net.Graph, terms, baselines.NewFRank(), datasets.TypeVenue, 5, wp)
+	if err != nil {
+		t.Fatalf("IllustrativeRanking: %v", err)
+	}
+	venuesR, err := IllustrativeRanking(net.Graph, terms, baselines.NewRoundTripRank(), datasets.TypeVenue, 5, wp)
+	if err != nil {
+		t.Fatalf("IllustrativeRanking: %v", err)
+	}
+	if len(venuesF) != 5 || len(venuesR) != 5 {
+		t.Fatalf("expected 5 venues per measure")
+	}
+	out := RenderIllustrative("spatio temporal data",
+		map[string][]string{"F-Rank/PPR": venuesF, "RoundTripRank": venuesR},
+		[]string{"F-Rank/PPR", "RoundTripRank"})
+	if !strings.Contains(out, "RoundTripRank") {
+		t.Errorf("illustrative rendering missing measure")
+	}
+	if _, err := IllustrativeRanking(net.Graph, nil, baselines.NewFRank(), datasets.TypeVenue, 5, wp); err == nil {
+		t.Errorf("empty query should error")
+	}
+}

@@ -1,0 +1,133 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderNDCGTable renders a Fig. 5 / Fig. 9 style table: one row per measure,
+// one column group per task, columns K = 5, 10, 20 plus the cross-task
+// average. taskResults maps task label -> (one MeasureResult per measure, in
+// the same measure order for every task).
+func RenderNDCGTable(title string, taskLabels []string, taskResults map[string][]MeasureResult, ks []int) string {
+	if len(ks) == 0 {
+		ks = KValues
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	// Header.
+	fmt.Fprintf(&sb, "%-18s", "Measure")
+	for _, task := range taskLabels {
+		for _, k := range ks {
+			fmt.Fprintf(&sb, " %12s", fmt.Sprintf("%s@%d", shorten(task), k))
+		}
+	}
+	for _, k := range ks {
+		fmt.Fprintf(&sb, " %12s", fmt.Sprintf("Avg@%d", k))
+	}
+	sb.WriteString("\n")
+	if len(taskLabels) == 0 {
+		return sb.String()
+	}
+	nMeasures := len(taskResults[taskLabels[0]])
+	for mi := 0; mi < nMeasures; mi++ {
+		name := taskResults[taskLabels[0]][mi].Name
+		fmt.Fprintf(&sb, "%-18s", name)
+		avgs := make(map[int]float64, len(ks))
+		for _, task := range taskLabels {
+			res := taskResults[task][mi]
+			for _, k := range ks {
+				fmt.Fprintf(&sb, " %12.4f", res.MeanNDCG[k])
+				avgs[k] += res.MeanNDCG[k]
+			}
+		}
+		for _, k := range ks {
+			fmt.Fprintf(&sb, " %12.4f", avgs[k]/float64(len(taskLabels)))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func shorten(task string) string {
+	task = strings.TrimPrefix(task, "Task ")
+	if i := strings.Index(task, " ("); i > 0 {
+		return "T" + task[:i]
+	}
+	return task
+}
+
+// RenderBetaSweep renders the Fig. 8 series: NDCG@5 as a function of β for one
+// task.
+func RenderBetaSweep(task string, sweep map[float64]float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Specificity bias sweep — %s (NDCG@5)\n", task)
+	betas := make([]float64, 0, len(sweep))
+	for b := range sweep {
+		betas = append(betas, b)
+	}
+	sort.Float64s(betas)
+	for _, b := range betas {
+		fmt.Fprintf(&sb, "  beta=%.2f  %.4f\n", b, sweep[b])
+	}
+	return sb.String()
+}
+
+// RenderEfficiencyTable renders Fig. 11(a)/(b): query time per scheme and
+// slack, plus quality metrics for the approximate results.
+func RenderEfficiencyTable(rows []EfficiencyResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %8s %12s %12s %8s %10s %12s\n",
+		"Scheme", "eps", "time(ms)", "±99%CI", "NDCG", "precision", "Kendall tau")
+	for _, r := range rows {
+		eps := "-"
+		if r.Epsilon > 0 {
+			eps = fmt.Sprintf("%.3f", r.Epsilon)
+		}
+		fmt.Fprintf(&sb, "%-10s %8s %12.2f %12.2f %8.3f %10.3f %12.3f\n",
+			r.Scheme, eps, r.MeanTimeMS, r.CITimeMS, r.NDCG, r.Precision, r.KendallTau)
+	}
+	return sb.String()
+}
+
+// RenderSnapshotTable renders Fig. 12: snapshot size, active-set size and
+// query time per snapshot.
+func RenderSnapshotTable(name string, rows []SnapshotResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s snapshots\n", name)
+	fmt.Fprintf(&sb, "%-14s %14s %18s %18s\n", "Snapshot", "size(MB)", "active set(KB)", "query time(ms)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %14.2f %11.1f±%-5.1f %12.1f±%-5.1f\n",
+			r.Label, float64(r.SnapshotBytes)/(1<<20),
+			r.ActiveSetBytes/1024, r.CIActiveSetBytes/1024,
+			r.QueryTimeMS, r.CIQueryTimeMS)
+	}
+	return sb.String()
+}
+
+// RenderGrowthRates renders Fig. 13: growth of snapshot, active set and query
+// time relative to the first snapshot.
+func RenderGrowthRates(name string, gr *GrowthRates) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s rate of growth (relative to first snapshot)\n", name)
+	fmt.Fprintf(&sb, "%-14s %10s %12s %12s\n", "Snapshot", "snapshot", "active set", "query time")
+	for i := range gr.Labels {
+		fmt.Fprintf(&sb, "%-14s %10.2f %12.2f %12.2f\n", gr.Labels[i], gr.Snapshot[i], gr.Active[i], gr.Time[i])
+	}
+	return sb.String()
+}
+
+// RenderIllustrative renders a Fig. 6 / Fig. 7 style side-by-side listing of
+// per-measure top venues for a topic query.
+func RenderIllustrative(topic string, columns map[string][]string, order []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Top venues for %q\n", topic)
+	for _, name := range order {
+		fmt.Fprintf(&sb, "  [%s]\n", name)
+		for i, venue := range columns[name] {
+			fmt.Fprintf(&sb, "    %d. %s\n", i+1, venue)
+		}
+	}
+	return sb.String()
+}

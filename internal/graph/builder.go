@@ -1,0 +1,210 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// Builders are not safe for concurrent use.
+type Builder struct {
+	types     []Type
+	labels    []string
+	byLabel   map[string]NodeID
+	typeNames map[Type]string
+
+	// edge accumulation: parallel edges between the same ordered pair are
+	// merged by summing weights at Build time.
+	from    []NodeID
+	to      []NodeID
+	weights []float64
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		byLabel:   make(map[string]NodeID),
+		typeNames: make(map[Type]string),
+	}
+}
+
+// RegisterType gives a human-readable name to a node type.
+func (b *Builder) RegisterType(t Type, name string) {
+	b.typeNames[t] = name
+}
+
+// AddNode adds a node with the given type and label and returns its ID. Labels
+// must be unique; adding a duplicate label returns the existing node's ID.
+func (b *Builder) AddNode(t Type, label string) NodeID {
+	if id, ok := b.byLabel[label]; ok {
+		return id
+	}
+	id := NodeID(len(b.types))
+	b.types = append(b.types, t)
+	b.labels = append(b.labels, label)
+	b.byLabel[label] = id
+	return id
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.types) }
+
+// NodeByLabel returns the node previously added with the given label, or
+// NoNode.
+func (b *Builder) NodeByLabel(label string) NodeID {
+	if id, ok := b.byLabel[label]; ok {
+		return id
+	}
+	return NoNode
+}
+
+// AddEdge adds a directed edge from->to with the given positive weight.
+// Self-loops are rejected: the neighborhood bounds of Sect. V-A (Prop. 4 and
+// the border-node bound of Eq. 22) assume a random surfer cannot stay in
+// place, which holds for the paper's bibliographic and query-log graphs.
+func (b *Builder) AddEdge(from, to NodeID, w float64) error {
+	if w <= 0 {
+		return fmt.Errorf("graph: edge weight must be positive, got %g", w)
+	}
+	if from == to {
+		return fmt.Errorf("graph: self-loop on node %d is not supported", from)
+	}
+	if err := b.checkNode(from); err != nil {
+		return err
+	}
+	if err := b.checkNode(to); err != nil {
+		return err
+	}
+	b.from = append(b.from, from)
+	b.to = append(b.to, to)
+	b.weights = append(b.weights, w)
+	return nil
+}
+
+// AddUndirectedEdge adds an undirected edge as two directed edges of equal
+// weight.
+func (b *Builder) AddUndirectedEdge(a, bNode NodeID, w float64) error {
+	if err := b.AddEdge(a, bNode, w); err != nil {
+		return err
+	}
+	return b.AddEdge(bNode, a, w)
+}
+
+// MustAddEdge is AddEdge but panics on error; convenient for generators whose
+// inputs are known valid.
+func (b *Builder) MustAddEdge(from, to NodeID, w float64) {
+	if err := b.AddEdge(from, to, w); err != nil {
+		panic(err)
+	}
+}
+
+// MustAddUndirectedEdge is AddUndirectedEdge but panics on error.
+func (b *Builder) MustAddUndirectedEdge(a, bNode NodeID, w float64) {
+	if err := b.AddUndirectedEdge(a, bNode, w); err != nil {
+		panic(err)
+	}
+}
+
+func (b *Builder) checkNode(v NodeID) error {
+	if v < 0 || int(v) >= len(b.types) {
+		return fmt.Errorf("graph: node %d does not exist (have %d nodes)", v, len(b.types))
+	}
+	return nil
+}
+
+// Build produces the immutable CSR Graph. Parallel directed edges between the
+// same ordered pair are merged by summing their weights. Self-loops are kept.
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.types)
+	// Merge parallel edges via a sort by (from, to).
+	type edge struct {
+		from, to NodeID
+		w        float64
+	}
+	edges := make([]edge, len(b.from))
+	for i := range b.from {
+		edges[i] = edge{b.from[i], b.to[i], b.weights[i]}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	merged := edges[:0]
+	for _, e := range edges {
+		if len(merged) > 0 && merged[len(merged)-1].from == e.from && merged[len(merged)-1].to == e.to {
+			merged[len(merged)-1].w += e.w
+			continue
+		}
+		merged = append(merged, e)
+	}
+	m := len(merged)
+
+	g := &Graph{
+		numNodes:  n,
+		numEdges:  m,
+		types:     append([]Type(nil), b.types...),
+		labels:    append([]string(nil), b.labels...),
+		outOff:    make([]int64, n+1),
+		outTo:     make([]NodeID, m),
+		outW:      make([]float64, m),
+		outSum:    make([]float64, n),
+		inOff:     make([]int64, n+1),
+		inFrom:    make([]NodeID, m),
+		inW:       make([]float64, m),
+		inSum:     make([]float64, n),
+		typeNames: make(map[Type]string, len(b.typeNames)),
+		byLabel:   make(map[string]NodeID, len(b.byLabel)),
+	}
+	for t, name := range b.typeNames {
+		g.typeNames[t] = name
+	}
+	for l, id := range b.byLabel {
+		g.byLabel[l] = id
+	}
+
+	// Out CSR (merged is already sorted by from).
+	for _, e := range merged {
+		g.outOff[e.from+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.outOff[v+1] += g.outOff[v]
+	}
+	cursor := make([]int64, n)
+	copy(cursor, g.outOff[:n])
+	for _, e := range merged {
+		i := cursor[e.from]
+		g.outTo[i] = e.to
+		g.outW[i] = e.w
+		cursor[e.from]++
+		g.outSum[e.from] += e.w
+	}
+
+	// In CSR.
+	for _, e := range merged {
+		g.inOff[e.to+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.inOff[v+1] += g.inOff[v]
+	}
+	copy(cursor, g.inOff[:n])
+	for _, e := range merged {
+		i := cursor[e.to]
+		g.inFrom[i] = e.from
+		g.inW[i] = e.w
+		cursor[e.to]++
+		g.inSum[e.to] += e.w
+	}
+
+	return g, nil
+}
+
+// MustBuild is Build but panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

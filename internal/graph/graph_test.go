@@ -1,0 +1,459 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildSmall(t *testing.T) (*Graph, []NodeID) {
+	t.Helper()
+	b := NewBuilder()
+	b.RegisterType(1, "kind")
+	a := b.AddNode(1, "a")
+	c := b.AddNode(1, "b")
+	d := b.AddNode(2, "c")
+	e := b.AddNode(2, "d")
+	b.MustAddEdge(a, c, 1)
+	b.MustAddEdge(c, d, 2)
+	b.MustAddEdge(d, a, 0.5)
+	b.MustAddUndirectedEdge(d, e, 3)
+	b.MustAddEdge(a, c, 1) // parallel edge, should merge to weight 2
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g, []NodeID{a, c, d, e}
+}
+
+func TestBuilderAndAccessors(t *testing.T) {
+	g, ids := buildSmall(t)
+	a, c, d, e := ids[0], ids[1], ids[2], ids[3]
+
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	// a->c (merged), c->d, d->a, d->e, e->d => 5 directed edges.
+	if g.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d, want 5", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if w, ok := g.EdgeWeight(a, c); !ok || w != 2 {
+		t.Errorf("EdgeWeight(a,c) = %v,%v want 2,true", w, ok)
+	}
+	if g.OutDegree(d) != 2 || g.InDegree(d) != 2 {
+		t.Errorf("degrees of d: out=%d in=%d, want 2,2", g.OutDegree(d), g.InDegree(d))
+	}
+	if got := g.TransitionProb(d, a); math.Abs(got-0.5/3.5) > 1e-12 {
+		t.Errorf("TransitionProb(d,a) = %g, want %g", got, 0.5/3.5)
+	}
+	if g.Type(a) != 1 || g.Type(e) != 2 {
+		t.Errorf("types wrong: %d %d", g.Type(a), g.Type(e))
+	}
+	if g.TypeName(1) != "kind" {
+		t.Errorf("TypeName(1) = %q", g.TypeName(1))
+	}
+	if g.TypeName(9) == "" {
+		t.Errorf("TypeName fallback should be non-empty")
+	}
+	if g.NodeByLabel("b") != c {
+		t.Errorf("NodeByLabel(b) = %d, want %d", g.NodeByLabel("b"), c)
+	}
+	if g.NodeByLabel("zzz") != NoNode {
+		t.Errorf("NodeByLabel(zzz) should be NoNode")
+	}
+	if n := len(g.NodesOfType(2)); n != 2 {
+		t.Errorf("NodesOfType(2) has %d nodes, want 2", n)
+	}
+	if g.CountOfType(1) != 2 {
+		t.Errorf("CountOfType(1) = %d, want 2", g.CountOfType(1))
+	}
+	if g.Degree(d) != 4 {
+		t.Errorf("Degree(d) = %d, want 4", g.Degree(d))
+	}
+	if g.AverageDegree() <= 0 {
+		t.Errorf("AverageDegree should be positive")
+	}
+	if g.SizeBytes() <= 0 {
+		t.Errorf("SizeBytes should be positive")
+	}
+	if !g.HasEdge(c, d) || g.HasEdge(c, a) {
+		t.Errorf("HasEdge results wrong")
+	}
+	outs, ws := g.OutNeighbors(d)
+	if len(outs) != 2 || len(ws) != 2 {
+		t.Errorf("OutNeighbors(d) lengths %d,%d", len(outs), len(ws))
+	}
+	ins, iws := g.InNeighbors(d)
+	if len(ins) != 2 || len(iws) != 2 {
+		t.Errorf("InNeighbors(d) lengths %d,%d", len(ins), len(iws))
+	}
+}
+
+func TestBuilderDuplicateLabelAndErrors(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode(Untyped, "x")
+	a2 := b.AddNode(Untyped, "x")
+	if a != a2 {
+		t.Fatalf("duplicate label should return same node: %d vs %d", a, a2)
+	}
+	if b.NodeByLabel("x") != a {
+		t.Fatalf("NodeByLabel on builder failed")
+	}
+	if b.NodeByLabel("missing") != NoNode {
+		t.Fatalf("NodeByLabel(missing) should be NoNode")
+	}
+	if err := b.AddEdge(a, a, 0); err == nil {
+		t.Errorf("zero-weight edge should be rejected")
+	}
+	if err := b.AddEdge(a, 99, 1); err == nil {
+		t.Errorf("edge to missing node should be rejected")
+	}
+	if err := b.AddEdge(99, a, 1); err == nil {
+		t.Errorf("edge from missing node should be rejected")
+	}
+	if b.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d, want 1", b.NumNodes())
+	}
+}
+
+func TestEachOutEarlyStop(t *testing.T) {
+	g, ids := buildSmall(t)
+	d := ids[2]
+	count := 0
+	g.EachOut(d, func(NodeID, float64) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("EachOut early stop visited %d edges, want 1", count)
+	}
+	count = 0
+	g.EachIn(d, func(NodeID, float64) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("EachIn early stop visited %d edges, want 1", count)
+	}
+}
+
+func TestMaskedView(t *testing.T) {
+	g, ids := buildSmall(t)
+	a, c, d, e := ids[0], ids[1], ids[2], ids[3]
+	mv := NewMaskedView(g, []EdgeKey{{From: d, To: e}, {From: e, To: d}, {From: a, To: e} /* nonexistent */})
+	if mv.HiddenCount() != 2 {
+		t.Fatalf("HiddenCount = %d, want 2", mv.HiddenCount())
+	}
+	if mv.NumNodes() != g.NumNodes() {
+		t.Errorf("NumNodes mismatch")
+	}
+	if mv.OutDegree(d) != 1 || mv.InDegree(d) != 1 {
+		t.Errorf("masked degrees of d: out=%d in=%d, want 1,1", mv.OutDegree(d), mv.InDegree(d))
+	}
+	if mv.OutDegree(e) != 0 {
+		t.Errorf("masked out degree of e = %d, want 0", mv.OutDegree(e))
+	}
+	if got := mv.OutWeightSum(d); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("masked OutWeightSum(d) = %g, want 0.5", got)
+	}
+	if got := mv.InWeightSum(e); got != 0 {
+		t.Errorf("masked InWeightSum(e) = %g, want 0", got)
+	}
+	seen := false
+	mv.EachOut(d, func(to NodeID, w float64) bool {
+		if to == e {
+			seen = true
+		}
+		return true
+	})
+	if seen {
+		t.Errorf("masked edge d->e still visible")
+	}
+	// Unaffected nodes keep their values.
+	if mv.OutWeightSum(c) != g.OutWeightSum(c) {
+		t.Errorf("unaffected node sum changed")
+	}
+	// Renormalized transition over the mask.
+	if p := TransitionProb(mv, d, a); math.Abs(p-1.0) > 1e-12 {
+		t.Errorf("TransitionProb on mask = %g, want 1", p)
+	}
+	_ = c
+}
+
+func TestTransitionProbZeroOutDegree(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode(Untyped, "a")
+	c := b.AddNode(Untyped, "b")
+	b.MustAddEdge(a, c, 1)
+	g := b.MustBuild()
+	if p := g.TransitionProb(c, a); p != 0 {
+		t.Errorf("dangling node transition = %g, want 0", p)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g, ids := buildSmall(t)
+	a, c, d := ids[0], ids[1], ids[2]
+	sub := Induced(g, []NodeID{a, c, d, d})
+	if sub.Graph.NumNodes() != 3 {
+		t.Fatalf("subgraph nodes = %d, want 3", sub.Graph.NumNodes())
+	}
+	// Edges within {a,c,d}: a->c, c->d, d->a.
+	if sub.Graph.NumEdges() != 3 {
+		t.Fatalf("subgraph edges = %d, want 3", sub.Graph.NumEdges())
+	}
+	for sv, pv := range sub.ToParent {
+		if sub.FromParent[pv] != NodeID(sv) {
+			t.Errorf("mapping inconsistent for parent %d", pv)
+		}
+		if sub.Graph.Label(NodeID(sv)) != g.Label(pv) {
+			t.Errorf("label not preserved for parent %d", pv)
+		}
+		if sub.Graph.Type(NodeID(sv)) != g.Type(pv) {
+			t.Errorf("type not preserved for parent %d", pv)
+		}
+	}
+	if err := sub.Graph.Validate(); err != nil {
+		t.Fatalf("subgraph Validate: %v", err)
+	}
+}
+
+func TestExpandHops(t *testing.T) {
+	// Line 0->1->2->3->4 built directly to control direction.
+	b := NewBuilder()
+	var ids []NodeID
+	for i := 0; i < 5; i++ {
+		ids = append(ids, b.AddNode(Untyped, string(rune('a'+i))))
+	}
+	for i := 0; i+1 < 5; i++ {
+		b.MustAddEdge(ids[i], ids[i+1], 1)
+	}
+	g := b.MustBuild()
+	got := ExpandHops(g, []NodeID{ids[2]}, 1)
+	if len(got) != 3 {
+		t.Fatalf("1-hop expansion size = %d, want 3 (uses both directions)", len(got))
+	}
+	got = ExpandHops(g, []NodeID{ids[0]}, 10)
+	if len(got) != 5 {
+		t.Fatalf("full expansion size = %d, want 5", len(got))
+	}
+	if len(ExpandHops(g, nil, 3)) != 0 {
+		t.Fatalf("empty seeds should expand to nothing")
+	}
+}
+
+func TestLargestSCC(t *testing.T) {
+	// Two cycles of size 3 and 4 plus a bridge.
+	b := NewBuilder()
+	var ids []NodeID
+	for i := 0; i < 7; i++ {
+		ids = append(ids, b.AddNode(Untyped, string(rune('a'+i))))
+	}
+	for i := 0; i < 3; i++ {
+		b.MustAddEdge(ids[i], ids[(i+1)%3], 1)
+	}
+	for i := 3; i < 7; i++ {
+		b.MustAddEdge(ids[i], ids[3+(i-3+1)%4], 1)
+	}
+	b.MustAddEdge(ids[0], ids[3], 1)
+	g := b.MustBuild()
+	scc := LargestStronglyConnectedComponent(g)
+	if len(scc) != 4 {
+		t.Fatalf("largest SCC size = %d, want 4", len(scc))
+	}
+	for _, v := range scc {
+		if v < 3 {
+			t.Errorf("node %d should not be in the largest SCC", v)
+		}
+	}
+}
+
+func TestIsStronglyReachable(t *testing.T) {
+	cyc := buildCycle(5)
+	if !IsStronglyReachable(cyc, 0) {
+		t.Errorf("cycle should be strongly reachable from any node")
+	}
+	line := buildLine(4)
+	if IsStronglyReachable(line, 0) {
+		t.Errorf("line should not be strongly reachable")
+	}
+}
+
+func buildCycle(n int) *Graph {
+	b := NewBuilder()
+	ids := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = b.AddNode(Untyped, string(rune('a'+i)))
+	}
+	for i := 0; i < n; i++ {
+		b.MustAddEdge(ids[i], ids[(i+1)%n], 1)
+	}
+	return b.MustBuild()
+}
+
+func buildLine(n int) *Graph {
+	b := NewBuilder()
+	ids := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = b.AddNode(Untyped, string(rune('a'+i)))
+	}
+	for i := 0; i+1 < n; i++ {
+		b.MustAddEdge(ids[i], ids[i+1], 1)
+	}
+	return b.MustBuild()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g, _ := buildSmall(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	g2, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if g2.Label(NodeID(v)) != g.Label(NodeID(v)) || g2.Type(NodeID(v)) != g.Type(NodeID(v)) {
+			t.Errorf("node %d metadata mismatch", v)
+		}
+		if math.Abs(g2.OutWeightSum(NodeID(v))-g.OutWeightSum(NodeID(v))) > 1e-12 {
+			t.Errorf("node %d out weight sum mismatch", v)
+		}
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatalf("decoded graph Validate: %v", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	g, _ := buildSmall(t)
+	path := t.TempDir() + "/g.gob"
+	if err := WriteFile(path, g); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	g2, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count mismatch after file round trip")
+	}
+	if _, err := ReadFile(path + ".missing"); err == nil {
+		t.Fatalf("ReadFile on missing path should fail")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatalf("Decode of garbage should fail")
+	}
+}
+
+// randomGraph builds a random graph with n nodes and about m directed edges.
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	b := NewBuilder()
+	ids := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = b.AddNode(Type(rng.Intn(3)), "n"+itoa(i))
+	}
+	for i := 0; i < m; i++ {
+		ui, vi := rng.Intn(n), rng.Intn(n)
+		if ui == vi {
+			vi = (ui + 1) % n
+		}
+		b.MustAddEdge(ids[ui], ids[vi], 0.1+rng.Float64())
+	}
+	return b.MustBuild()
+}
+
+func itoa(i int) string {
+	var buf [8]byte
+	pos := len(buf)
+	if i == 0 {
+		return "0"
+	}
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// Property: every built random graph passes Validate, and total out weight
+// equals total in weight (each edge contributes to both).
+func TestQuickGraphInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw%30)
+		m := 1 + int(mRaw%100)
+		g := randomGraph(rng, n, m)
+		if err := g.Validate(); err != nil {
+			t.Logf("validate failed: %v", err)
+			return false
+		}
+		outTotal, inTotal := 0.0, 0.0
+		for v := 0; v < g.NumNodes(); v++ {
+			outTotal += g.OutWeightSum(NodeID(v))
+			inTotal += g.InWeightSum(NodeID(v))
+		}
+		return math.Abs(outTotal-inTotal) < 1e-6*(1+outTotal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transition probabilities out of any node with out-degree > 0 sum
+// to one, both on the plain graph and on a masked view.
+func TestQuickTransitionRowsStochastic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(20), 5+rng.Intn(80))
+		views := []View{g}
+		// Mask a random existing edge if any.
+		if g.NumEdges() > 0 {
+			var key EdgeKey
+			found := false
+			for v := 0; v < g.NumNodes() && !found; v++ {
+				g.EachOut(NodeID(v), func(to NodeID, w float64) bool {
+					key = EdgeKey{NodeID(v), to}
+					found = true
+					return false
+				})
+			}
+			views = append(views, NewMaskedView(g, []EdgeKey{key}))
+		}
+		for _, view := range views {
+			for v := 0; v < view.NumNodes(); v++ {
+				sum := 0.0
+				deg := 0
+				wsum := view.OutWeightSum(NodeID(v))
+				view.EachOut(NodeID(v), func(to NodeID, w float64) bool {
+					deg++
+					if wsum > 0 {
+						sum += w / wsum
+					}
+					return true
+				})
+				if deg > 0 && math.Abs(sum-1) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// wireGraph is the gob-serializable form of a Graph.
+type wireGraph struct {
+	NumNodes  int
+	NumEdges  int
+	Types     []Type
+	Labels    []string
+	OutOff    []int64
+	OutTo     []NodeID
+	OutW      []float64
+	TypeNames map[Type]string
+}
+
+// Encode writes g to w in a compact gob format. Only the out-adjacency is
+// written; the in-adjacency and weight sums are rebuilt on decode.
+func Encode(w io.Writer, g *Graph) error {
+	wg := wireGraph{
+		NumNodes:  g.numNodes,
+		NumEdges:  g.numEdges,
+		Types:     g.types,
+		Labels:    g.labels,
+		OutOff:    g.outOff,
+		OutTo:     g.outTo,
+		OutW:      g.outW,
+		TypeNames: g.typeNames,
+	}
+	return gob.NewEncoder(w).Encode(&wg)
+}
+
+// Decode reads a Graph previously written with Encode.
+func Decode(r io.Reader) (*Graph, error) {
+	var wg wireGraph
+	if err := gob.NewDecoder(r).Decode(&wg); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	if len(wg.OutOff) != wg.NumNodes+1 {
+		return nil, fmt.Errorf("graph: decode: corrupt offsets")
+	}
+	b := NewBuilder()
+	for t, name := range wg.TypeNames {
+		b.RegisterType(t, name)
+	}
+	for i := 0; i < wg.NumNodes; i++ {
+		b.AddNode(wg.Types[i], wg.Labels[i])
+	}
+	for v := 0; v < wg.NumNodes; v++ {
+		lo, hi := wg.OutOff[v], wg.OutOff[v+1]
+		for i := lo; i < hi; i++ {
+			if err := b.AddEdge(NodeID(v), wg.OutTo[i], wg.OutW[i]); err != nil {
+				return nil, fmt.Errorf("graph: decode: %w", err)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// WriteFile encodes g into the named file.
+func WriteFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	if err := Encode(bw, g); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile decodes a graph from the named file.
+func ReadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(bufio.NewReader(f))
+}

@@ -1,0 +1,114 @@
+package graph
+
+// EdgeKey identifies a directed edge by its endpoints.
+type EdgeKey struct {
+	From NodeID
+	To   NodeID
+}
+
+// MaskedView wraps a View and hides a set of directed edges. It is used by the
+// evaluation tasks to remove the direct edges between a query node and its
+// ground-truth nodes without copying the underlying graph.
+//
+// Hiding an edge changes the out- and in-weight sums of the affected nodes;
+// MaskedView adjusts those sums so that transition probabilities over the
+// remaining edges renormalize correctly.
+type MaskedView struct {
+	base    View
+	hidden  map[EdgeKey]bool
+	outLoss map[NodeID]float64
+	inLoss  map[NodeID]float64
+	outDrop map[NodeID]int
+	inDrop  map[NodeID]int
+}
+
+// NewMaskedView returns a view of base with the given directed edges hidden.
+// Edges that do not exist in base are ignored. To hide an undirected edge,
+// pass both directions.
+func NewMaskedView(base View, hide []EdgeKey) *MaskedView {
+	mv := &MaskedView{
+		base:    base,
+		hidden:  make(map[EdgeKey]bool, len(hide)),
+		outLoss: make(map[NodeID]float64),
+		inLoss:  make(map[NodeID]float64),
+		outDrop: make(map[NodeID]int),
+		inDrop:  make(map[NodeID]int),
+	}
+	for _, k := range hide {
+		if mv.hidden[k] {
+			continue
+		}
+		w, ok := edgeWeightOn(base, k.From, k.To)
+		if !ok {
+			continue
+		}
+		mv.hidden[k] = true
+		mv.outLoss[k.From] += w
+		mv.inLoss[k.To] += w
+		mv.outDrop[k.From]++
+		mv.inDrop[k.To]++
+	}
+	return mv
+}
+
+func edgeWeightOn(v View, from, to NodeID) (float64, bool) {
+	w, found := 0.0, false
+	v.EachOut(from, func(t NodeID, ew float64) bool {
+		if t == to {
+			w, found = ew, true
+			return false
+		}
+		return true
+	})
+	return w, found
+}
+
+// NumNodes implements View.
+func (m *MaskedView) NumNodes() int { return m.base.NumNodes() }
+
+// OutDegree implements View.
+func (m *MaskedView) OutDegree(v NodeID) int { return m.base.OutDegree(v) - m.outDrop[v] }
+
+// InDegree implements View.
+func (m *MaskedView) InDegree(v NodeID) int { return m.base.InDegree(v) - m.inDrop[v] }
+
+// OutWeightSum implements View.
+func (m *MaskedView) OutWeightSum(v NodeID) float64 {
+	s := m.base.OutWeightSum(v) - m.outLoss[v]
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// InWeightSum implements View.
+func (m *MaskedView) InWeightSum(v NodeID) float64 {
+	s := m.base.InWeightSum(v) - m.inLoss[v]
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// EachOut implements View, skipping hidden edges.
+func (m *MaskedView) EachOut(v NodeID, fn func(to NodeID, w float64) bool) {
+	m.base.EachOut(v, func(to NodeID, w float64) bool {
+		if m.hidden[EdgeKey{v, to}] {
+			return true
+		}
+		return fn(to, w)
+	})
+}
+
+// EachIn implements View, skipping hidden edges.
+func (m *MaskedView) EachIn(v NodeID, fn func(from NodeID, w float64) bool) {
+	m.base.EachIn(v, func(from NodeID, w float64) bool {
+		if m.hidden[EdgeKey{from, v}] {
+			return true
+		}
+		return fn(from, w)
+	})
+}
+
+// HiddenCount returns the number of directed edges hidden by this view.
+func (m *MaskedView) HiddenCount() int { return len(m.hidden) }

@@ -1,0 +1,134 @@
+// Package heapx provides a small generic binary max-heap keyed by float64
+// priorities. It is used for benefit-ordered node selection in the BCA engine
+// and for border-node selection in the T-Rank bounds framework.
+//
+// The heap intentionally does not support decrease-key; callers push updated
+// entries and discard stale ones on pop (lazy invalidation), which is simpler
+// and fast enough for the access patterns in this repository.
+package heapx
+
+// Entry is a heap element: an item with a priority.
+type Entry[T any] struct {
+	Item     T
+	Priority float64
+}
+
+// Max is a binary max-heap over Entry values. The zero value is ready to use.
+type Max[T any] struct {
+	entries []Entry[T]
+}
+
+// NewMax returns an empty max-heap with the given initial capacity.
+func NewMax[T any](capacity int) *Max[T] {
+	return &Max[T]{entries: make([]Entry[T], 0, capacity)}
+}
+
+// Len returns the number of entries in the heap.
+func (h *Max[T]) Len() int { return len(h.entries) }
+
+// Push adds an item with the given priority.
+func (h *Max[T]) Push(item T, priority float64) {
+	h.entries = append(h.entries, Entry[T]{Item: item, Priority: priority})
+	h.siftUp(len(h.entries) - 1)
+}
+
+// Peek returns the highest-priority entry without removing it. ok is false
+// when the heap is empty.
+func (h *Max[T]) Peek() (item T, priority float64, ok bool) {
+	if len(h.entries) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	e := h.entries[0]
+	return e.Item, e.Priority, true
+}
+
+// Pop removes and returns the highest-priority entry. ok is false when the
+// heap is empty.
+func (h *Max[T]) Pop() (item T, priority float64, ok bool) {
+	if len(h.entries) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	top := h.entries[0]
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries = h.entries[:last]
+	if len(h.entries) > 0 {
+		h.siftDown(0)
+	}
+	return top.Item, top.Priority, true
+}
+
+// Reset removes all entries but keeps the allocated capacity.
+func (h *Max[T]) Reset() { h.entries = h.entries[:0] }
+
+func (h *Max[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.entries[parent].Priority >= h.entries[i].Priority {
+			return
+		}
+		h.entries[parent], h.entries[i] = h.entries[i], h.entries[parent]
+		i = parent
+	}
+}
+
+func (h *Max[T]) siftDown(i int) {
+	n := len(h.entries)
+	for {
+		left, right := 2*i+1, 2*i+2
+		largest := i
+		if left < n && h.entries[left].Priority > h.entries[largest].Priority {
+			largest = left
+		}
+		if right < n && h.entries[right].Priority > h.entries[largest].Priority {
+			largest = right
+		}
+		if largest == i {
+			return
+		}
+		h.entries[i], h.entries[largest] = h.entries[largest], h.entries[i]
+		i = largest
+	}
+}
+
+// TopK maintains the K largest items seen so far by score, with deterministic
+// tie-breaking by insertion order. It is used to assemble candidate top-K
+// rankings from lower bounds.
+type TopK[T any] struct {
+	k     int
+	items []Entry[T]
+}
+
+// NewTopK returns a TopK keeping the k largest scores.
+func NewTopK[T any](k int) *TopK[T] {
+	return &TopK[T]{k: k}
+}
+
+// Offer inserts an item; if more than k items are held, the smallest is
+// dropped.
+func (t *TopK[T]) Offer(item T, score float64) {
+	t.items = append(t.items, Entry[T]{Item: item, Priority: score})
+	// Insertion into a small sorted slice keeps code simple; k is small.
+	for i := len(t.items) - 1; i > 0; i-- {
+		if t.items[i].Priority > t.items[i-1].Priority {
+			t.items[i], t.items[i-1] = t.items[i-1], t.items[i]
+		} else {
+			break
+		}
+	}
+	if len(t.items) > t.k {
+		t.items = t.items[:t.k]
+	}
+}
+
+// Items returns the retained entries in descending score order.
+func (t *TopK[T]) Items() []Entry[T] {
+	out := make([]Entry[T], len(t.items))
+	copy(out, t.items)
+	return out
+}
+
+// Len returns the number of retained entries.
+func (t *TopK[T]) Len() int { return len(t.items) }

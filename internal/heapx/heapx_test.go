@@ -1,0 +1,113 @@
+package heapx
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxHeapBasic(t *testing.T) {
+	h := NewMax[string](4)
+	if _, _, ok := h.Pop(); ok {
+		t.Fatalf("Pop on empty heap should report !ok")
+	}
+	if _, _, ok := h.Peek(); ok {
+		t.Fatalf("Peek on empty heap should report !ok")
+	}
+	h.Push("a", 1)
+	h.Push("b", 5)
+	h.Push("c", 3)
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	if item, pri, ok := h.Peek(); !ok || item != "b" || pri != 5 {
+		t.Fatalf("Peek = %v,%v,%v", item, pri, ok)
+	}
+	order := []string{}
+	for {
+		item, _, ok := h.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, item)
+	}
+	if len(order) != 3 || order[0] != "b" || order[1] != "c" || order[2] != "a" {
+		t.Fatalf("pop order = %v", order)
+	}
+	h.Push("x", 2)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Reset should empty the heap")
+	}
+}
+
+// Property: popping everything yields priorities in non-increasing order.
+func TestQuickMaxHeapOrdering(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewMax[int](len(vals))
+		for i, v := range vals {
+			h.Push(i, v)
+		}
+		prev := 0.0
+		first := true
+		for {
+			_, pri, ok := h.Pop()
+			if !ok {
+				break
+			}
+			if !first && pri > prev {
+				return false
+			}
+			prev = pri
+			first = false
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	tk := NewTopK[int](3)
+	for i, s := range []float64{5, 1, 9, 3, 7, 2} {
+		tk.Offer(i, s)
+	}
+	items := tk.Items()
+	if tk.Len() != 3 || len(items) != 3 {
+		t.Fatalf("TopK length = %d, want 3", len(items))
+	}
+	if items[0].Priority != 9 || items[1].Priority != 7 || items[2].Priority != 5 {
+		t.Fatalf("TopK priorities = %v", items)
+	}
+}
+
+func TestTopKAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(10)
+		scores := make([]float64, n)
+		tk := NewTopK[int](k)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			tk.Offer(i, scores[i])
+		}
+		sorted := append([]float64(nil), scores...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		want := k
+		if n < k {
+			want = n
+		}
+		items := tk.Items()
+		if len(items) != want {
+			t.Fatalf("TopK kept %d items, want %d", len(items), want)
+		}
+		for i := 0; i < want; i++ {
+			if items[i].Priority != sorted[i] {
+				t.Fatalf("trial %d: rank %d priority %g, want %g", trial, i, items[i].Priority, sorted[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package topk implements online approximate top-K processing for
+// RoundTripRank: the 2SBound algorithm of Sect. V-A (Algorithm 1) with the
+// ε-relaxed top-K conditions of Eq. 13–14, the weaker bound schemes used as
+// efficiency baselines in Sect. VI-B (G+S, Gupta, Sarkar), and the naive
+// iterative baseline that computes the exact ranking.
+package topk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"roundtriprank/internal/bounds"
+	"roundtriprank/internal/core"
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/walk"
+)
+
+// Scheme selects the bound-updating machinery used for each side of the
+// decomposition, mirroring the efficiency baselines of Fig. 11(a).
+type Scheme int
+
+const (
+	// Scheme2SBound uses the paper's two-stage framework for both F-Rank and
+	// T-Rank (Proposition 4 bounds + Stage II refinement).
+	Scheme2SBound Scheme = iota
+	// SchemeGS uses the weaker Gupta bounds for F-Rank and the Sarkar
+	// expansion-only bounds for T-Rank.
+	SchemeGS
+	// SchemeGupta uses the weaker Gupta bounds for F-Rank but the two-stage
+	// framework for T-Rank.
+	SchemeGupta
+	// SchemeSarkar uses the two-stage framework for F-Rank but the Sarkar
+	// expansion-only bounds for T-Rank.
+	SchemeSarkar
+)
+
+// String returns the scheme name used in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case Scheme2SBound:
+		return "2SBound"
+	case SchemeGS:
+		return "G+S"
+	case SchemeGupta:
+		return "Gupta"
+	case SchemeSarkar:
+		return "Sarkar"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Options configures a top-K query.
+type Options struct {
+	// K is the number of results to return.
+	K int
+	// Epsilon is the approximation slack ε of the relaxed top-K conditions;
+	// zero demands the exact top K.
+	Epsilon float64
+	// Alpha is the teleport probability (default walk.DefaultAlpha).
+	Alpha float64
+	// Beta is the specificity bias; 0.5 gives RoundTripRank. Bounds are
+	// combined as f^(2(1−β))·t^(2β), which equals the paper's f·t scale at
+	// β = 0.5 and remains rank-equivalent to Eq. 12 otherwise.
+	Beta float64
+	// Scheme selects the bound machinery (default Scheme2SBound).
+	Scheme Scheme
+	// FExpansion and TExpansion override the per-round expansion widths m for
+	// the two neighborhoods (defaults 100 and 5).
+	FExpansion int
+	// TExpansion is the border-node expansion width.
+	TExpansion int
+	// MaxRounds caps the number of expansion rounds as a safety valve; the
+	// result is marked not converged when the cap is hit. Zero means a large
+	// default.
+	MaxRounds int
+}
+
+// DefaultOptions returns the configuration used in the paper's efficiency
+// study: K = 10, ε = 0.01, α = 0.25, balanced β.
+func DefaultOptions() Options {
+	return Options{
+		K:       10,
+		Epsilon: 0.01,
+		Alpha:   walk.DefaultAlpha,
+		Beta:    core.BalancedBeta,
+		Scheme:  Scheme2SBound,
+	}
+}
+
+func (o Options) normalized() (Options, error) {
+	if o.K <= 0 {
+		return o, fmt.Errorf("topk: K must be positive, got %d", o.K)
+	}
+	if o.Epsilon < 0 {
+		return o, fmt.Errorf("topk: epsilon must be non-negative, got %g", o.Epsilon)
+	}
+	if o.Alpha == 0 {
+		o.Alpha = walk.DefaultAlpha
+	}
+	if o.Alpha <= 0 || o.Alpha >= 1 {
+		return o, fmt.Errorf("topk: alpha must be in (0,1), got %g", o.Alpha)
+	}
+	if o.Beta < 0 || o.Beta > 1 {
+		return o, fmt.Errorf("topk: beta must be in [0,1], got %g", o.Beta)
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 100000
+	}
+	return o, nil
+}
+
+// Result is the outcome of an online top-K query.
+type Result struct {
+	// TopK lists the selected nodes in ranked order; Score is the node's
+	// lower bound at termination (the quantity the candidate ranking is built
+	// from in Algorithm 1).
+	TopK []core.Ranked
+	// Converged reports whether the ε-relaxed top-K conditions were met; false
+	// means the round cap was hit or no further expansion was possible and the
+	// current candidate ranking was returned best-effort.
+	Converged bool
+	// Rounds is the number of expansion rounds executed.
+	Rounds int
+	// FSeen, TSeen and RSeen are the final sizes of the f-, t- and
+	// r-neighborhoods (|Sf|, |St|, |S| = |Sf ∩ St|).
+	FSeen, TSeen, RSeen int
+}
+
+// searcher carries the per-query state of Algorithm 1.
+type searcher struct {
+	view graph.View
+	opt  Options
+	fb   *bounds.FBounds
+	tb   *bounds.TBounds
+	expF float64 // exponent applied to F bounds: 2(1−β)
+	expT float64 // exponent applied to T bounds: 2β
+}
+
+// TopK runs the online top-K algorithm for the query and returns the
+// approximate top-K ranking by RoundTripRank+.
+func TopK(view graph.View, q walk.Query, opt Options) (*Result, error) {
+	opt, err := opt.normalized()
+	if err != nil {
+		return nil, err
+	}
+	fOpt := bounds.DefaultFOptions(opt.Alpha)
+	tOpt := bounds.DefaultTOptions(opt.Alpha)
+	if opt.FExpansion > 0 {
+		fOpt.M = opt.FExpansion
+	}
+	if opt.TExpansion > 0 {
+		tOpt.M = opt.TExpansion
+	}
+	// Scheme selection. The weaker baseline schemes keep the refinement loop
+	// (so that every scheme still converges to a correct answer) but swap in
+	// the looser bound rules the paper attributes to the prior works: Gupta's
+	// first-arrival unseen bound for F-Rank, and expansion-time-only unseen
+	// tightening (Sarkar-style) for T-Rank. Looser bounds force more
+	// expansions and therefore longer query times (Fig. 11a).
+	switch opt.Scheme {
+	case Scheme2SBound:
+	case SchemeGS:
+		fOpt.ImprovedBound = false
+		tOpt.TightenUnseenInRefine = false
+	case SchemeGupta:
+		fOpt.ImprovedBound = false
+	case SchemeSarkar:
+		tOpt.TightenUnseenInRefine = false
+	default:
+		return nil, fmt.Errorf("topk: unknown scheme %d", int(opt.Scheme))
+	}
+	fb, err := bounds.NewFBounds(view, q, fOpt)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := bounds.NewTBounds(view, q, tOpt)
+	if err != nil {
+		return nil, err
+	}
+	s := &searcher{
+		view: view,
+		opt:  opt,
+		fb:   fb,
+		tb:   tb,
+		expF: 2 * (1 - opt.Beta),
+		expT: 2 * opt.Beta,
+	}
+	return s.run()
+}
+
+func (s *searcher) run() (*Result, error) {
+	res := &Result{}
+	for round := 0; round < s.opt.MaxRounds; round++ {
+		fProgress := s.fb.Expand()
+		tProgress := s.tb.Expand()
+		res.Rounds++
+
+		candidate, ok := s.candidate()
+		if ok && s.satisfied(candidate) {
+			res.TopK = s.rankedFrom(candidate)
+			res.Converged = true
+			break
+		}
+		if fProgress == 0 && tProgress == 0 {
+			// Nothing left to expand. Refine both sides to convergence (the
+			// only remaining way to tighten bounds), then return whatever the
+			// neighborhood holds — possibly fewer than K nodes when the graph
+			// around the query is smaller than K.
+			s.fb.Refine()
+			s.tb.Refine()
+			candidate, ok = s.candidate()
+			res.TopK = s.rankedFrom(candidate)
+			res.Converged = ok && s.satisfied(candidate)
+			break
+		}
+	}
+	if res.TopK == nil {
+		candidate, _ := s.candidate()
+		res.TopK = s.rankedFrom(candidate)
+	}
+	res.FSeen = s.fb.SeenCount()
+	res.TSeen = s.tb.SeenCount()
+	res.RSeen = s.intersectionSize()
+	return res, nil
+}
+
+// rLower and rUpper combine the F/T bounds for a node in S (Eq. 15, with the
+// β exponents).
+func (s *searcher) rLower(v graph.NodeID) float64 {
+	return s.combine(s.fb.Lower(v), s.tb.Lower(v))
+}
+
+func (s *searcher) rUpper(v graph.NodeID) float64 {
+	return s.combine(s.fb.Upper(v), s.tb.Upper(v))
+}
+
+func (s *searcher) combine(f, t float64) float64 {
+	if f < 0 {
+		f = 0
+	}
+	if t < 0 {
+		t = 0
+	}
+	switch {
+	case s.expF == 1 && s.expT == 1:
+		return f * t
+	case s.expT == 0:
+		return math.Pow(f, s.expF)
+	case s.expF == 0:
+		return math.Pow(t, s.expT)
+	default:
+		return math.Pow(f, s.expF) * math.Pow(t, s.expT)
+	}
+}
+
+// unseenUpper computes the unseen upper bound rˆ(q) for nodes outside
+// S = Sf ∩ St (Eq. 16): the maximum of (a) both-unseen, (b) seen only by Sf,
+// (c) seen only by St.
+func (s *searcher) unseenUpper() float64 {
+	fu, tu := s.fb.UnseenUpper(), s.tb.UnseenUpper()
+	best := s.combine(fu, tu)
+	s.fb.EachSeen(func(v graph.NodeID, _, upper float64) {
+		if !s.tb.Seen(v) {
+			if c := s.combine(upper, tu); c > best {
+				best = c
+			}
+		}
+	})
+	s.tb.EachSeen(func(v graph.NodeID, _, upper float64) {
+		if !s.fb.Seen(v) {
+			if c := s.combine(fu, upper); c > best {
+				best = c
+			}
+		}
+	})
+	return best
+}
+
+func (s *searcher) intersectionSize() int {
+	n := 0
+	s.fb.EachSeen(func(v graph.NodeID, _, _ float64) {
+		if s.tb.Seen(v) {
+			n++
+		}
+	})
+	return n
+}
+
+// member is a node of the r-neighborhood with its combined bounds.
+type member struct {
+	node         graph.NodeID
+	lower, upper float64
+}
+
+// candidate assembles the r-neighborhood S = Sf ∩ St sorted by lower bound and
+// reports whether it already holds at least K nodes.
+func (s *searcher) candidate() ([]member, bool) {
+	var members []member
+	s.fb.EachSeen(func(v graph.NodeID, _, _ float64) {
+		if s.tb.Seen(v) {
+			members = append(members, member{node: v, lower: s.rLower(v), upper: s.rUpper(v)})
+		}
+	})
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].lower != members[j].lower {
+			return members[i].lower > members[j].lower
+		}
+		return members[i].node < members[j].node
+	})
+	return members, len(members) >= s.opt.K
+}
+
+// satisfied checks the ε-relaxed top-K conditions (Eq. 13–14) against the
+// sorted candidate neighborhood.
+func (s *searcher) satisfied(members []member) bool {
+	k := s.opt.K
+	if len(members) < k {
+		return false
+	}
+	eps := s.opt.Epsilon
+	// Eq. 13: the K-th lower bound must dominate every other node's upper
+	// bound (seen beyond K, or unseen) up to ε.
+	maxOther := s.unseenUpper()
+	for _, m := range members[k:] {
+		if m.upper > maxOther {
+			maxOther = m.upper
+		}
+	}
+	if !(members[k-1].lower > maxOther-eps) {
+		return false
+	}
+	// Eq. 14: the top K must be correctly ordered up to ε.
+	for i := 0; i+1 < k; i++ {
+		if !(members[i].lower > members[i+1].upper-eps) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *searcher) rankedFrom(members []member) []core.Ranked {
+	k := s.opt.K
+	if len(members) < k {
+		k = len(members)
+	}
+	out := make([]core.Ranked, k)
+	for i := 0; i < k; i++ {
+		out[i] = core.Ranked{Node: members[i].node, Score: members[i].lower}
+	}
+	return out
+}
+
+// Naive computes the exact top-K ranking with the iterative solvers (Eq. 5 and
+// 8), the baseline labelled "Naive" in Fig. 11(a). It also returns the full
+// exact score vector so that callers can evaluate approximation quality.
+func Naive(view graph.View, q walk.Query, opt Options) ([]core.Ranked, []float64, error) {
+	opt, err := opt.normalized()
+	if err != nil {
+		return nil, nil, err
+	}
+	scores, err := core.Compute(view, q, core.Params{
+		Walk: walk.Params{Alpha: opt.Alpha},
+		Beta: opt.Beta,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Rescale to the same 2(1−β)/2β exponent scale used by the bound
+	// combination so scores are comparable across implementations.
+	rescaled := make([]float64, len(scores.R))
+	for i := range rescaled {
+		rescaled[i] = math.Pow(scores.F[i], 2*(1-opt.Beta)) * math.Pow(scores.T[i], 2*opt.Beta)
+	}
+	return core.TopN(rescaled, opt.K, nil), rescaled, nil
+}

@@ -1,0 +1,310 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roundtriprank/internal/core"
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/testgraphs"
+	"roundtriprank/internal/walk"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	toy := testgraphs.NewToy()
+	q := walk.SingleNode(toy.T1)
+	bad := []Options{
+		{K: 0, Alpha: 0.25, Beta: 0.5},
+		{K: 3, Epsilon: -1, Alpha: 0.25, Beta: 0.5},
+		{K: 3, Alpha: 2, Beta: 0.5},
+		{K: 3, Alpha: 0.25, Beta: -0.5},
+		{K: 3, Alpha: 0.25, Beta: 0.5, Scheme: Scheme(99)},
+	}
+	for i, o := range bad {
+		if _, err := TopK(toy.Graph, q, o); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+	if _, _, err := Naive(toy.Graph, q, Options{K: 0}); err == nil {
+		t.Errorf("Naive with K=0 should error")
+	}
+	if _, err := TopK(toy.Graph, walk.Query{}, DefaultOptions()); err == nil {
+		t.Errorf("empty query should error")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	names := map[Scheme]string{
+		Scheme2SBound: "2SBound",
+		SchemeGS:      "G+S",
+		SchemeGupta:   "Gupta",
+		SchemeSarkar:  "Sarkar",
+		Scheme(42):    "Scheme(42)",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("Scheme(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestNaiveTopVenueOnToy(t *testing.T) {
+	toy := testgraphs.NewToy()
+	ranked, scores, err := Naive(toy.Graph, walk.SingleNode(toy.T1), Options{K: 3, Alpha: 0.25, Beta: 0.5})
+	if err != nil {
+		t.Fatalf("Naive: %v", err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("Naive returned %d results, want 3", len(ranked))
+	}
+	if ranked[0].Node != toy.T1 {
+		t.Errorf("self-proximity should rank the query first, got node %d", ranked[0].Node)
+	}
+	// Among the venues, v2 should rank highest (important and specific).
+	if !(scores[toy.V2] > scores[toy.V1]) || !(scores[toy.V2] > scores[toy.V3]) {
+		t.Errorf("v2 should outrank v1 and v3: %g %g %g", scores[toy.V1], scores[toy.V2], scores[toy.V3])
+	}
+}
+
+func TestTopKMatchesNaiveOnToy(t *testing.T) {
+	toy := testgraphs.NewToy()
+	q := walk.SingleNode(toy.T1)
+	for _, scheme := range []Scheme{Scheme2SBound, SchemeGS, SchemeGupta, SchemeSarkar} {
+		opt := Options{K: 5, Epsilon: 1e-6, Alpha: 0.25, Beta: 0.5, Scheme: scheme, FExpansion: 3, TExpansion: 2}
+		res, err := TopK(toy.Graph, q, opt)
+		if err != nil {
+			t.Fatalf("%v: TopK: %v", scheme, err)
+		}
+		if !res.Converged {
+			t.Errorf("%v: should converge on the toy graph", scheme)
+		}
+		naive, _, err := Naive(toy.Graph, q, opt)
+		if err != nil {
+			t.Fatalf("Naive: %v", err)
+		}
+		if len(res.TopK) != len(naive) {
+			t.Fatalf("%v: size mismatch %d vs %d", scheme, len(res.TopK), len(naive))
+		}
+		for i := range naive {
+			if res.TopK[i].Node != naive[i].Node {
+				t.Errorf("%v: rank %d node %d, naive has %d", scheme, i, res.TopK[i].Node, naive[i].Node)
+			}
+		}
+		if res.FSeen == 0 || res.TSeen == 0 || res.RSeen == 0 {
+			t.Errorf("%v: neighborhood sizes should be positive: %d %d %d", scheme, res.FSeen, res.TSeen, res.RSeen)
+		}
+		if res.Rounds <= 0 {
+			t.Errorf("%v: rounds should be positive", scheme)
+		}
+	}
+}
+
+func TestTopKBetaExtremes(t *testing.T) {
+	toy := testgraphs.NewToy()
+	q := walk.SingleNode(toy.T1)
+	for _, beta := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		opt := Options{K: 4, Epsilon: 1e-6, Alpha: 0.25, Beta: beta, FExpansion: 3, TExpansion: 2}
+		res, err := TopK(toy.Graph, q, opt)
+		if err != nil {
+			t.Fatalf("beta=%g: %v", beta, err)
+		}
+		naive, _, err := Naive(toy.Graph, q, opt)
+		if err != nil {
+			t.Fatalf("beta=%g naive: %v", beta, err)
+		}
+		for i := range naive {
+			if i < len(res.TopK) && res.TopK[i].Node != naive[i].Node {
+				t.Errorf("beta=%g rank %d: %d vs naive %d", beta, i, res.TopK[i].Node, naive[i].Node)
+			}
+		}
+	}
+}
+
+func TestTopKDisconnectedTarget(t *testing.T) {
+	// Directed line: nothing can walk back to the query, so T-Rank is zero for
+	// everything but the query and the combined score collapses to the query
+	// alone; the algorithm must terminate (exhaustion) and not spin.
+	g := testgraphs.Line(5)
+	opt := Options{K: 3, Epsilon: 0.001, Alpha: 0.25, Beta: 0.5, MaxRounds: 1000}
+	res, err := TopK(g, walk.SingleNode(0), opt)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	if len(res.TopK) == 0 {
+		t.Fatalf("should return at least the query node")
+	}
+	if res.TopK[0].Node != 0 {
+		t.Errorf("query should rank first, got %d", res.TopK[0].Node)
+	}
+}
+
+func TestTopKMaxRoundsCap(t *testing.T) {
+	toy := testgraphs.NewToy()
+	opt := Options{K: 5, Epsilon: 0, Alpha: 0.25, Beta: 0.5, MaxRounds: 1, FExpansion: 1, TExpansion: 1}
+	res, err := TopK(toy.Graph, walk.SingleNode(toy.T1), opt)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1 (cap)", res.Rounds)
+	}
+}
+
+// epsilonGuarantee checks the two guarantees of the ε-approximate top-K
+// (Sect. V-A1): (a) no node whose exact score exceeds the K-th returned node's
+// exact score by at least ε is missing; (b) no two returned nodes whose exact
+// scores differ by at least ε are swapped.
+func epsilonGuarantee(res *Result, exact []float64, eps float64, k int) bool {
+	if len(res.TopK) == 0 {
+		return false
+	}
+	inTop := make(map[graph.NodeID]bool, len(res.TopK))
+	for _, r := range res.TopK {
+		inTop[r.Node] = true
+	}
+	kth := res.TopK[len(res.TopK)-1].Node
+	for v := range exact {
+		node := graph.NodeID(v)
+		if inTop[node] {
+			continue
+		}
+		if exact[v] >= exact[kth]+eps {
+			return false
+		}
+	}
+	for i := 0; i < len(res.TopK); i++ {
+		for j := i + 1; j < len(res.TopK); j++ {
+			if exact[res.TopK[j].Node] >= exact[res.TopK[i].Node]+eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestEpsilonGuaranteeOnToy(t *testing.T) {
+	toy := testgraphs.NewToy()
+	q := walk.SingleNode(toy.T1)
+	for _, eps := range []float64{0.001, 0.01, 0.05} {
+		opt := Options{K: 5, Epsilon: eps, Alpha: 0.25, Beta: 0.5, FExpansion: 2, TExpansion: 2}
+		res, err := TopK(toy.Graph, q, opt)
+		if err != nil {
+			t.Fatalf("TopK: %v", err)
+		}
+		_, exact, err := Naive(toy.Graph, q, opt)
+		if err != nil {
+			t.Fatalf("Naive: %v", err)
+		}
+		if !epsilonGuarantee(res, exact, eps, opt.K) {
+			t.Errorf("epsilon=%g: approximation guarantee violated", eps)
+		}
+	}
+}
+
+// Property: on random strongly connected graphs, 2SBound with slack ε meets
+// the ε-approximation guarantee against the exact (naive) scores, for every
+// scheme.
+func TestQuickTopKApproximationGuarantee(t *testing.T) {
+	schemes := []Scheme{Scheme2SBound, SchemeGS, SchemeGupta, SchemeSarkar}
+	f := func(seed int64, kRaw, schemeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(30)
+		b := graph.NewBuilder()
+		ids := make([]graph.NodeID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = b.AddNode(graph.Untyped, "n"+string(rune('0'+i%10))+string(rune('a'+i/10)))
+		}
+		for i := 0; i < n; i++ {
+			b.MustAddEdge(ids[i], ids[(i+1)%n], 1)
+		}
+		extra := rng.Intn(4 * n)
+		for i := 0; i < extra; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				v = (u + 1) % n
+			}
+			b.MustAddEdge(ids[u], ids[v], 0.25+rng.Float64())
+		}
+		g := b.MustBuild()
+		q := walk.SingleNode(ids[rng.Intn(n)])
+		k := 1 + int(kRaw%5)
+		eps := 0.0005 + 0.01*rng.Float64()
+		opt := Options{
+			K:          k,
+			Epsilon:    eps,
+			Alpha:      0.25,
+			Beta:       0.5,
+			Scheme:     schemes[int(schemeRaw)%len(schemes)],
+			FExpansion: 1 + rng.Intn(10),
+			TExpansion: 1 + rng.Intn(4),
+		}
+		res, err := TopK(g, q, opt)
+		if err != nil {
+			return false
+		}
+		_, exact, err := Naive(g, q, opt)
+		if err != nil {
+			return false
+		}
+		return epsilonGuarantee(res, exact, eps, k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a tiny slack the returned node set matches the exact top-K
+// node set whenever the exact scores have no near-ties at the boundary.
+func TestQuickTopKMatchesExactWithoutTies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(20)
+		b := graph.NewBuilder()
+		ids := make([]graph.NodeID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = b.AddNode(graph.Untyped, "x"+string(rune('0'+i%10))+string(rune('a'+i/10)))
+		}
+		for i := 0; i < n; i++ {
+			b.MustAddEdge(ids[i], ids[(i+1)%n], 0.5+rng.Float64())
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				v = (u + 1) % n
+			}
+			b.MustAddEdge(ids[u], ids[v], 0.25+rng.Float64())
+		}
+		g := b.MustBuild()
+		q := walk.SingleNode(ids[rng.Intn(n)])
+		k := 3
+		eps := 1e-9
+		opt := Options{K: k, Epsilon: eps, Alpha: 0.25, Beta: 0.5, FExpansion: 5, TExpansion: 3}
+		res, err := TopK(g, q, opt)
+		if err != nil {
+			return false
+		}
+		naive, exact, err := Naive(g, q, opt)
+		if err != nil {
+			return false
+		}
+		// Skip graphs with a near-tie at the K-th boundary or within the top K,
+		// where the exact set is not uniquely determined at this slack.
+		all := core.Rank(exact, nil)
+		for i := 0; i+1 < len(all) && i < k+1; i++ {
+			if all[i].Score-all[i+1].Score < 1e-7 {
+				return true
+			}
+		}
+		if len(res.TopK) != len(naive) {
+			return false
+		}
+		for i := range naive {
+			if res.TopK[i].Node != naive[i].Node {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

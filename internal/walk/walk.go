@@ -1,0 +1,406 @@
+// Package walk implements the random-walk machinery underlying RoundTripRank:
+// the query abstraction (single- or multi-node with the PPR Linearity
+// Theorem), the iterative F-Rank solver (Eq. 5 of the paper, equivalent to
+// Personalized PageRank by Proposition 1), the iterative T-Rank solver
+// (Eq. 8), global PageRank (used by the ObjSqrtInv baseline), and Monte-Carlo
+// walk sampling utilities used by the sampling-based baselines.
+package walk
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"roundtriprank/internal/graph"
+)
+
+// DefaultAlpha is the teleport probability used throughout the paper's
+// experiments (Sect. VI-A1): walk lengths are Geometric(0.25).
+const DefaultAlpha = 0.25
+
+// Params controls the iterative F-Rank / T-Rank solvers.
+type Params struct {
+	// Alpha is the teleport (restart) probability; the geometric walk-length
+	// parameter of Proposition 1. Must be in (0, 1).
+	Alpha float64
+	// Tol is the L1 convergence tolerance of the power iteration. Zero means
+	// DefaultTol.
+	Tol float64
+	// MaxIter caps the number of iterations. Zero means DefaultMaxIter.
+	MaxIter int
+}
+
+// Default tolerances for the iterative solvers.
+const (
+	DefaultTol     = 1e-9
+	DefaultMaxIter = 200
+)
+
+// DefaultParams returns the parameters used in the paper's effectiveness
+// experiments.
+func DefaultParams() Params {
+	return Params{Alpha: DefaultAlpha, Tol: DefaultTol, MaxIter: DefaultMaxIter}
+}
+
+func (p Params) normalized() (Params, error) {
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		return p, fmt.Errorf("walk: alpha must be in (0,1), got %g", p.Alpha)
+	}
+	if p.Tol <= 0 {
+		p.Tol = DefaultTol
+	}
+	if p.MaxIter <= 0 {
+		p.MaxIter = DefaultMaxIter
+	}
+	return p, nil
+}
+
+// Query is a probability distribution over query nodes. Per the Linearity
+// Theorem (Jeh & Widom), F-Rank, T-Rank and hence RoundTripRank for a
+// multi-node query are the corresponding mixtures of the single-node values,
+// so the solvers simply start from the mixture.
+type Query struct {
+	Nodes   []graph.NodeID
+	Weights []float64
+}
+
+// SingleNode returns a query concentrated on one node.
+func SingleNode(v graph.NodeID) Query {
+	return Query{Nodes: []graph.NodeID{v}, Weights: []float64{1}}
+}
+
+// MultiNode returns a uniformly weighted query over the given nodes.
+// Duplicates accumulate weight.
+func MultiNode(nodes ...graph.NodeID) Query {
+	w := make([]float64, len(nodes))
+	for i := range w {
+		w[i] = 1
+	}
+	return Query{Nodes: nodes, Weights: w}
+}
+
+// Normalize returns a copy of q with weights scaled to sum to one. It returns
+// an error if the query is empty or has non-positive total weight.
+func (q Query) Normalize() (Query, error) {
+	if len(q.Nodes) == 0 || len(q.Nodes) != len(q.Weights) {
+		return Query{}, fmt.Errorf("walk: query must have matching non-empty nodes and weights")
+	}
+	total := 0.0
+	for _, w := range q.Weights {
+		if w < 0 {
+			return Query{}, fmt.Errorf("walk: query weights must be non-negative")
+		}
+		total += w
+	}
+	if total <= 0 {
+		return Query{}, fmt.Errorf("walk: query weights sum to zero")
+	}
+	out := Query{Nodes: append([]graph.NodeID(nil), q.Nodes...), Weights: make([]float64, len(q.Weights))}
+	for i, w := range q.Weights {
+		out.Weights[i] = w / total
+	}
+	return out, nil
+}
+
+// Contains reports whether v is one of the query nodes.
+func (q Query) Contains(v graph.NodeID) bool {
+	for _, n := range q.Nodes {
+		if n == v {
+			return true
+		}
+	}
+	return false
+}
+
+// restart fills dst with the normalized query distribution.
+func (q Query) restart(dst []float64) error {
+	nq, err := q.Normalize()
+	if err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, v := range nq.Nodes {
+		if int(v) < 0 || int(v) >= len(dst) {
+			return fmt.Errorf("walk: query node %d out of range [0,%d)", v, len(dst))
+		}
+		dst[v] += nq.Weights[i]
+	}
+	return nil
+}
+
+// FRank computes f(q, v) for every node v: the probability that a walk of
+// geometric length starting from the query ends at v (Eq. 1), equal to
+// Personalized PageRank with teleport probability Alpha (Proposition 1). The
+// returned slice sums to one. Mass at dangling nodes (zero out-degree) is
+// restarted at the query, the standard PPR correction.
+func FRank(view graph.View, q Query, p Params) ([]float64, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	n := view.NumNodes()
+	restart := make([]float64, n)
+	if err := q.restart(restart); err != nil {
+		return nil, err
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	copy(cur, restart)
+
+	for iter := 0; iter < p.MaxIter; iter++ {
+		for i := range next {
+			next[i] = p.Alpha * restart[i]
+		}
+		dangling := 0.0
+		for u := 0; u < n; u++ {
+			mass := cur[u]
+			if mass == 0 {
+				continue
+			}
+			sum := view.OutWeightSum(graph.NodeID(u))
+			if sum <= 0 {
+				dangling += mass
+				continue
+			}
+			scale := (1 - p.Alpha) * mass / sum
+			view.EachOut(graph.NodeID(u), func(to graph.NodeID, w float64) bool {
+				next[to] += scale * w
+				return true
+			})
+		}
+		if dangling > 0 {
+			scale := (1 - p.Alpha) * dangling
+			for i := range restart {
+				if restart[i] > 0 {
+					next[i] += scale * restart[i]
+				}
+			}
+		}
+		diff := l1Diff(cur, next)
+		cur, next = next, cur
+		if diff < p.Tol {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// TRank computes t(q, v) for every node v: the probability that a walk of
+// geometric length starting from v ends at the query (Eq. 8). Unlike F-Rank,
+// t(q, ·) is not a distribution over v; each entry is a probability in [0, 1].
+// For a multi-node query, t(q, v) is the query-weighted mixture of the
+// single-node values, mirroring the linearity used for F-Rank.
+func TRank(view graph.View, q Query, p Params) ([]float64, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	n := view.NumNodes()
+	restart := make([]float64, n)
+	if err := q.restart(restart); err != nil {
+		return nil, err
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = p.Alpha * restart[i]
+	}
+	for iter := 0; iter < p.MaxIter; iter++ {
+		for v := 0; v < n; v++ {
+			acc := p.Alpha * restart[v]
+			sum := view.OutWeightSum(graph.NodeID(v))
+			if sum > 0 {
+				s := 0.0
+				view.EachOut(graph.NodeID(v), func(to graph.NodeID, w float64) bool {
+					s += w * cur[to]
+					return true
+				})
+				acc += (1 - p.Alpha) * s / sum
+			}
+			next[v] = acc
+		}
+		diff := l1Diff(cur, next)
+		cur, next = next, cur
+		if diff < p.Tol {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// GlobalPageRank computes the standard (non-personalized) PageRank with the
+// given damping factor d: the stationary distribution of a surfer that
+// teleports to a uniformly random node with probability d. It is used by the
+// ObjSqrtInv baseline (global ObjectRank) and as a popularity prior in the
+// dataset generators.
+func GlobalPageRank(view graph.View, d float64, tol float64, maxIter int) ([]float64, error) {
+	if d <= 0 || d >= 1 {
+		return nil, fmt.Errorf("walk: damping must be in (0,1), got %g", d)
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	n := view.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("walk: empty graph")
+	}
+	uniform := 1.0 / float64(n)
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = uniform
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		dangling := 0.0
+		for i := range next {
+			next[i] = d * uniform
+		}
+		for u := 0; u < n; u++ {
+			mass := cur[u]
+			if mass == 0 {
+				continue
+			}
+			sum := view.OutWeightSum(graph.NodeID(u))
+			if sum <= 0 {
+				dangling += mass
+				continue
+			}
+			scale := (1 - d) * mass / sum
+			view.EachOut(graph.NodeID(u), func(to graph.NodeID, w float64) bool {
+				next[to] += scale * w
+				return true
+			})
+		}
+		if dangling > 0 {
+			add := (1 - d) * dangling * uniform
+			for i := range next {
+				next[i] += add
+			}
+		}
+		diff := l1Diff(cur, next)
+		cur, next = next, cur
+		if diff < tol {
+			break
+		}
+	}
+	return cur, nil
+}
+
+func l1Diff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}
+
+// Sampler draws random-walk trajectories on a View. It is used by the
+// Monte-Carlo baselines (SimRank, truncated commute time) and by tests that
+// cross-validate the iterative solvers against simulation.
+type Sampler struct {
+	view graph.View
+	rng  *rand.Rand
+}
+
+// NewSampler returns a Sampler using the given random source.
+func NewSampler(view graph.View, rng *rand.Rand) *Sampler {
+	return &Sampler{view: view, rng: rng}
+}
+
+// Step samples one forward random-walk step from v proportionally to edge
+// weights. It returns the next node and false when v has no outgoing edges.
+func (s *Sampler) Step(v graph.NodeID) (graph.NodeID, bool) {
+	sum := s.view.OutWeightSum(v)
+	if sum <= 0 {
+		return v, false
+	}
+	target := s.rng.Float64() * sum
+	var chosen graph.NodeID
+	found := false
+	acc := 0.0
+	s.view.EachOut(v, func(to graph.NodeID, w float64) bool {
+		acc += w
+		if acc >= target {
+			chosen = to
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		// Floating-point slack: fall back to the last edge.
+		s.view.EachOut(v, func(to graph.NodeID, w float64) bool {
+			chosen = to
+			found = true
+			return true
+		})
+	}
+	return chosen, found
+}
+
+// StepBack samples one backward step (an in-edge) from v proportionally to
+// edge weights, i.e. a forward step on the reversed graph.
+func (s *Sampler) StepBack(v graph.NodeID) (graph.NodeID, bool) {
+	sum := s.view.InWeightSum(v)
+	if sum <= 0 {
+		return v, false
+	}
+	target := s.rng.Float64() * sum
+	var chosen graph.NodeID
+	found := false
+	acc := 0.0
+	s.view.EachIn(v, func(from graph.NodeID, w float64) bool {
+		acc += w
+		if acc >= target {
+			chosen = from
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		s.view.EachIn(v, func(from graph.NodeID, w float64) bool {
+			chosen = from
+			found = true
+			return true
+		})
+	}
+	return chosen, found
+}
+
+// GeometricWalk walks forward from start with a geometric number of steps
+// (restart probability alpha) and returns the end node. The walk stops early
+// at dangling nodes.
+func (s *Sampler) GeometricWalk(start graph.NodeID, alpha float64) graph.NodeID {
+	cur := start
+	for s.rng.Float64() >= alpha {
+		next, ok := s.Step(cur)
+		if !ok {
+			return cur
+		}
+		cur = next
+	}
+	return cur
+}
+
+// FixedWalk walks forward exactly steps steps (or until a dangling node) and
+// returns the visited sequence including the start node.
+func (s *Sampler) FixedWalk(start graph.NodeID, steps int) []graph.NodeID {
+	path := make([]graph.NodeID, 1, steps+1)
+	path[0] = start
+	cur := start
+	for i := 0; i < steps; i++ {
+		next, ok := s.Step(cur)
+		if !ok {
+			break
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	return path
+}

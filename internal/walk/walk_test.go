@@ -1,0 +1,431 @@
+package walk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/testgraphs"
+)
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// denseTransition builds the dense one-step transition matrix of a small view.
+func denseTransition(v graph.View) [][]float64 {
+	n := v.NumNodes()
+	m := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n)
+		s := v.OutWeightSum(graph.NodeID(i))
+		if s <= 0 {
+			continue
+		}
+		v.EachOut(graph.NodeID(i), func(to graph.NodeID, w float64) bool {
+			m[i][to] += w / s
+			return true
+		})
+	}
+	return m
+}
+
+// denseGeometricReach computes sum_l alpha (1-alpha)^l (M^l)[src][dst] for all
+// dst, truncated at enough terms for 1e-10 accuracy.
+func denseGeometricReach(m [][]float64, src int, alpha float64) []float64 {
+	n := len(m)
+	cur := make([]float64, n)
+	cur[src] = 1
+	out := make([]float64, n)
+	weight := alpha
+	for l := 0; l < 400; l++ {
+		for i := range out {
+			out[i] += weight * cur[i]
+		}
+		next := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if cur[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if m[i][j] > 0 {
+					next[j] += cur[i] * m[i][j]
+				}
+			}
+		}
+		cur = next
+		weight *= 1 - alpha
+		if weight < 1e-14 {
+			break
+		}
+	}
+	return out
+}
+
+func TestFRankMatchesDenseEnumeration(t *testing.T) {
+	toy := testgraphs.NewToy()
+	p := Params{Alpha: 0.25, Tol: 1e-12, MaxIter: 500}
+	f, err := FRank(toy.Graph, SingleNode(toy.T1), p)
+	if err != nil {
+		t.Fatalf("FRank: %v", err)
+	}
+	m := denseTransition(toy.Graph)
+	want := denseGeometricReach(m, int(toy.T1), 0.25)
+	for v := range want {
+		if math.Abs(f[v]-want[v]) > 1e-8 {
+			t.Errorf("f(t1,%d) = %.10f, dense = %.10f", v, f[v], want[v])
+		}
+	}
+	if math.Abs(sum(f)-1) > 1e-8 {
+		t.Errorf("FRank should sum to 1, got %g", sum(f))
+	}
+}
+
+func TestTRankMatchesDenseEnumeration(t *testing.T) {
+	toy := testgraphs.NewToy()
+	p := Params{Alpha: 0.25, Tol: 1e-12, MaxIter: 500}
+	tr, err := TRank(toy.Graph, SingleNode(toy.T1), p)
+	if err != nil {
+		t.Fatalf("TRank: %v", err)
+	}
+	m := denseTransition(toy.Graph)
+	for v := 0; v < toy.Graph.NumNodes(); v++ {
+		want := denseGeometricReach(m, v, 0.25)[toy.T1]
+		if math.Abs(tr[v]-want) > 1e-8 {
+			t.Errorf("t(t1,%d) = %.10f, dense = %.10f", v, tr[v], want)
+		}
+	}
+}
+
+func TestFRankCycleClosedForm(t *testing.T) {
+	n := 6
+	alpha := 0.3
+	g := testgraphs.Cycle(n)
+	f, err := FRank(g, SingleNode(0), Params{Alpha: alpha, Tol: 1e-13, MaxIter: 1000})
+	if err != nil {
+		t.Fatalf("FRank: %v", err)
+	}
+	// On a directed cycle, f(0, d) = alpha (1-alpha)^d / (1 - (1-alpha)^n).
+	denom := 1 - math.Pow(1-alpha, float64(n))
+	for d := 0; d < n; d++ {
+		want := alpha * math.Pow(1-alpha, float64(d)) / denom
+		if math.Abs(f[d]-want) > 1e-9 {
+			t.Errorf("f(0,%d) = %.10f, want %.10f", d, f[d], want)
+		}
+	}
+}
+
+func TestTRankCycleClosedForm(t *testing.T) {
+	n := 5
+	alpha := 0.25
+	g := testgraphs.Cycle(n)
+	tr, err := TRank(g, SingleNode(0), Params{Alpha: alpha, Tol: 1e-13, MaxIter: 1000})
+	if err != nil {
+		t.Fatalf("TRank: %v", err)
+	}
+	// Reaching node 0 from node v requires (n - v) mod n steps at a time the
+	// geometric clock stops: t(0,v) = alpha (1-alpha)^dist / (1-(1-alpha)^n).
+	denom := 1 - math.Pow(1-alpha, float64(n))
+	for v := 0; v < n; v++ {
+		dist := (n - v) % n
+		want := alpha * math.Pow(1-alpha, float64(dist)) / denom
+		if math.Abs(tr[v]-want) > 1e-9 {
+			t.Errorf("t(0,%d) = %.10f, want %.10f", v, tr[v], want)
+		}
+	}
+}
+
+func TestToyGraphImportanceSpecificityOrdering(t *testing.T) {
+	// The paper's qualitative claims on Fig. 2: v1, v2 are more important than
+	// v3 (easier to reach from t1); v2, v3 are more specific than v1 (easier
+	// to return to t1 from them).
+	toy := testgraphs.NewToy()
+	p := DefaultParams()
+	f, err := FRank(toy.Graph, SingleNode(toy.T1), p)
+	if err != nil {
+		t.Fatalf("FRank: %v", err)
+	}
+	tr, err := TRank(toy.Graph, SingleNode(toy.T1), p)
+	if err != nil {
+		t.Fatalf("TRank: %v", err)
+	}
+	if !(f[toy.V1] > f[toy.V3]) || !(f[toy.V2] > f[toy.V3]) {
+		t.Errorf("importance ordering violated: f(v1)=%g f(v2)=%g f(v3)=%g", f[toy.V1], f[toy.V2], f[toy.V3])
+	}
+	if !(tr[toy.V2] > tr[toy.V1]) || !(tr[toy.V3] > tr[toy.V1]) {
+		t.Errorf("specificity ordering violated: t(v1)=%g t(v2)=%g t(v3)=%g", tr[toy.V1], tr[toy.V2], tr[toy.V3])
+	}
+}
+
+func TestFRankDanglingMassRestartsAtQuery(t *testing.T) {
+	// Line graph: node 3 is dangling; total mass must still sum to 1.
+	g := testgraphs.Line(4)
+	f, err := FRank(g, SingleNode(0), Params{Alpha: 0.2, Tol: 1e-12, MaxIter: 500})
+	if err != nil {
+		t.Fatalf("FRank: %v", err)
+	}
+	if math.Abs(sum(f)-1) > 1e-9 {
+		t.Errorf("FRank with dangling nodes should sum to 1, got %g", sum(f))
+	}
+	for v, x := range f {
+		if x < 0 {
+			t.Errorf("negative probability at %d: %g", v, x)
+		}
+	}
+}
+
+func TestTRankOnLineDirectionality(t *testing.T) {
+	// On a directed line 0->1->2->3 with query 3, every node can reach the
+	// query so t > 0 everywhere, but with query 0 only node 0 has t > 0.
+	g := testgraphs.Line(4)
+	p := DefaultParams()
+	tEnd, err := TRank(g, SingleNode(3), p)
+	if err != nil {
+		t.Fatalf("TRank: %v", err)
+	}
+	for v := 0; v < 4; v++ {
+		if tEnd[v] <= 0 {
+			t.Errorf("t(3,%d) should be positive, got %g", v, tEnd[v])
+		}
+	}
+	tStart, err := TRank(g, SingleNode(0), p)
+	if err != nil {
+		t.Fatalf("TRank: %v", err)
+	}
+	for v := 1; v < 4; v++ {
+		if tStart[v] != 0 {
+			t.Errorf("t(0,%d) should be zero on a forward line, got %g", v, tStart[v])
+		}
+	}
+	if tStart[0] <= 0 {
+		t.Errorf("t(0,0) should be positive")
+	}
+}
+
+func TestMultiNodeQueryLinearity(t *testing.T) {
+	toy := testgraphs.NewToy()
+	p := Params{Alpha: 0.25, Tol: 1e-12, MaxIter: 500}
+	q := MultiNode(toy.T1, toy.T2)
+	f, err := FRank(toy.Graph, q, p)
+	if err != nil {
+		t.Fatalf("FRank multi: %v", err)
+	}
+	f1, _ := FRank(toy.Graph, SingleNode(toy.T1), p)
+	f2, _ := FRank(toy.Graph, SingleNode(toy.T2), p)
+	for v := range f {
+		want := 0.5*f1[v] + 0.5*f2[v]
+		if math.Abs(f[v]-want) > 1e-8 {
+			t.Errorf("linearity violated at %d: %g vs %g", v, f[v], want)
+		}
+	}
+	tr, err := TRank(toy.Graph, q, p)
+	if err != nil {
+		t.Fatalf("TRank multi: %v", err)
+	}
+	t1, _ := TRank(toy.Graph, SingleNode(toy.T1), p)
+	t2, _ := TRank(toy.Graph, SingleNode(toy.T2), p)
+	for v := range tr {
+		want := 0.5*t1[v] + 0.5*t2[v]
+		if math.Abs(tr[v]-want) > 1e-8 {
+			t.Errorf("T-Rank linearity violated at %d: %g vs %g", v, tr[v], want)
+		}
+	}
+}
+
+func TestFRankMonteCarloAgreement(t *testing.T) {
+	toy := testgraphs.NewToy()
+	alpha := 0.25
+	f, err := FRank(toy.Graph, SingleNode(toy.T1), Params{Alpha: alpha})
+	if err != nil {
+		t.Fatalf("FRank: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	s := NewSampler(toy.Graph, rng)
+	const samples = 200000
+	counts := make([]float64, toy.Graph.NumNodes())
+	for i := 0; i < samples; i++ {
+		end := s.GeometricWalk(toy.T1, alpha)
+		counts[end]++
+	}
+	for v := range counts {
+		emp := counts[v] / samples
+		if math.Abs(emp-f[v]) > 0.01 {
+			t.Errorf("Monte-Carlo disagreement at node %d: empirical %.4f vs exact %.4f", v, emp, f[v])
+		}
+	}
+}
+
+func TestGlobalPageRank(t *testing.T) {
+	g := testgraphs.Cycle(8)
+	pr, err := GlobalPageRank(g, 0.15, 1e-12, 500)
+	if err != nil {
+		t.Fatalf("GlobalPageRank: %v", err)
+	}
+	if math.Abs(sum(pr)-1) > 1e-9 {
+		t.Errorf("PageRank should sum to 1, got %g", sum(pr))
+	}
+	for v := range pr {
+		if math.Abs(pr[v]-1.0/8) > 1e-9 {
+			t.Errorf("cycle PageRank should be uniform, node %d = %g", v, pr[v])
+		}
+	}
+	star := testgraphs.Star(10)
+	prs, err := GlobalPageRank(star, 0.15, 1e-12, 500)
+	if err != nil {
+		t.Fatalf("GlobalPageRank star: %v", err)
+	}
+	if prs[0] <= prs[1] {
+		t.Errorf("hub should outrank leaves: hub=%g leaf=%g", prs[0], prs[1])
+	}
+}
+
+func TestGlobalPageRankErrors(t *testing.T) {
+	g := testgraphs.Cycle(3)
+	if _, err := GlobalPageRank(g, 0, 1e-9, 10); err == nil {
+		t.Errorf("damping 0 should error")
+	}
+	if _, err := GlobalPageRank(g, 1.2, 1e-9, 10); err == nil {
+		t.Errorf("damping > 1 should error")
+	}
+	empty := graph.NewBuilder().MustBuild()
+	if _, err := GlobalPageRank(empty, 0.15, 1e-9, 10); err == nil {
+		t.Errorf("empty graph should error")
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	g := testgraphs.Cycle(3)
+	if _, err := FRank(g, SingleNode(0), Params{Alpha: 0}); err == nil {
+		t.Errorf("alpha 0 should error")
+	}
+	if _, err := TRank(g, SingleNode(0), Params{Alpha: 1}); err == nil {
+		t.Errorf("alpha 1 should error")
+	}
+	if _, err := FRank(g, Query{}, DefaultParams()); err == nil {
+		t.Errorf("empty query should error")
+	}
+	if _, err := FRank(g, Query{Nodes: []graph.NodeID{0}, Weights: []float64{-1}}, DefaultParams()); err == nil {
+		t.Errorf("negative query weight should error")
+	}
+	if _, err := FRank(g, Query{Nodes: []graph.NodeID{0}, Weights: []float64{0}}, DefaultParams()); err == nil {
+		t.Errorf("zero-total query should error")
+	}
+	if _, err := FRank(g, SingleNode(99), DefaultParams()); err == nil {
+		t.Errorf("out-of-range query node should error")
+	}
+	if _, err := TRank(g, SingleNode(99), DefaultParams()); err == nil {
+		t.Errorf("out-of-range query node should error for TRank")
+	}
+}
+
+func TestQueryHelpers(t *testing.T) {
+	q := MultiNode(1, 2, 2)
+	if !q.Contains(2) || q.Contains(5) {
+		t.Errorf("Contains results wrong")
+	}
+	nq, err := q.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if math.Abs(sum(nq.Weights)-1) > 1e-12 {
+		t.Errorf("normalized weights should sum to 1")
+	}
+	if _, err := (Query{Nodes: []graph.NodeID{1}, Weights: []float64{1, 2}}).Normalize(); err == nil {
+		t.Errorf("mismatched lengths should error")
+	}
+}
+
+func TestSamplerStepDistribution(t *testing.T) {
+	b := graph.NewBuilder()
+	a := b.AddNode(graph.Untyped, "a")
+	x := b.AddNode(graph.Untyped, "x")
+	y := b.AddNode(graph.Untyped, "y")
+	b.MustAddEdge(a, x, 3)
+	b.MustAddEdge(a, y, 1)
+	g := b.MustBuild()
+	rng := rand.New(rand.NewSource(7))
+	s := NewSampler(g, rng)
+	const n = 100000
+	cx := 0
+	for i := 0; i < n; i++ {
+		to, ok := s.Step(a)
+		if !ok {
+			t.Fatalf("Step should succeed")
+		}
+		if to == x {
+			cx++
+		}
+	}
+	frac := float64(cx) / n
+	if math.Abs(frac-0.75) > 0.01 {
+		t.Errorf("weighted step fraction = %.3f, want ~0.75", frac)
+	}
+	if _, ok := s.Step(x); ok {
+		t.Errorf("Step from dangling node should report failure")
+	}
+	if _, ok := s.StepBack(a); ok {
+		t.Errorf("StepBack from source-only node should report failure")
+	}
+	if from, ok := s.StepBack(x); !ok || from != a {
+		t.Errorf("StepBack(x) = %d,%v want %d,true", from, ok, a)
+	}
+	path := s.FixedWalk(a, 5)
+	if len(path) < 2 || path[0] != a {
+		t.Errorf("FixedWalk path wrong: %v", path)
+	}
+}
+
+// Property: on random graphs, F-Rank is a probability distribution and T-Rank
+// entries are probabilities in [0,1]; the query node always has positive
+// scores in both.
+func TestQuickRankInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		b := graph.NewBuilder()
+		ids := make([]graph.NodeID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = b.AddNode(graph.Untyped, "n"+string(rune('A'+i)))
+		}
+		m := n + rng.Intn(4*n)
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				v = (u + 1) % n
+			}
+			b.MustAddEdge(ids[u], ids[v], 0.5+rng.Float64())
+		}
+		g := b.MustBuild()
+		q := ids[rng.Intn(n)]
+		p := Params{Alpha: 0.1 + 0.8*rng.Float64(), Tol: 1e-10, MaxIter: 300}
+		fr, err := FRank(g, SingleNode(q), p)
+		if err != nil {
+			return false
+		}
+		tr, err := TRank(g, SingleNode(q), p)
+		if err != nil {
+			return false
+		}
+		if math.Abs(sum(fr)-1) > 1e-6 {
+			return false
+		}
+		if fr[q] <= 0 || tr[q] <= 0 {
+			return false
+		}
+		for i := range fr {
+			if fr[i] < -1e-12 || tr[i] < -1e-12 || tr[i] > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

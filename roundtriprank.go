@@ -1,0 +1,220 @@
+// Package roundtriprank is the public API of this repository: a from-scratch
+// Go implementation of RoundTripRank and RoundTripRank+ (Fang, Chang, Lauw —
+// "RoundTripRank: Graph-based Proximity with Importance and Specificity",
+// ICDE 2013) together with the 2SBound online top-K algorithm.
+//
+// RoundTripRank measures the proximity of a node v to a query q as the
+// probability that a random round trip starting and ending at q passes through
+// v, which integrates importance (reachability from the query, as in
+// Personalized PageRank) with specificity (reachability back to the query) in
+// one coherent random walk. RoundTripRank+ exposes a specificity bias β ∈
+// [0, 1] that trades the two senses off: β = 0 is pure importance, β = 1 pure
+// specificity, β = 0.5 the balanced RoundTripRank.
+//
+// Basic usage:
+//
+//	b := roundtriprank.NewGraphBuilder()
+//	alice := b.AddNode(1, "author:alice")
+//	paper := b.AddNode(2, "paper:p1")
+//	b.MustAddUndirectedEdge(alice, paper, 1)
+//	g := b.MustBuild()
+//
+//	ranker, _ := roundtriprank.NewRanker(g)
+//	results, _ := ranker.Rank(roundtriprank.SingleNode(paper), 10)
+//
+// For online queries on large graphs use Ranker.TopK, which runs the 2SBound
+// branch-and-bound algorithm and returns an ε-approximate top-K without
+// touching most of the graph.
+package roundtriprank
+
+import (
+	"fmt"
+
+	"roundtriprank/internal/core"
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/topk"
+	"roundtriprank/internal/walk"
+)
+
+// Re-exported graph construction types. A Graph is an immutable directed
+// weighted graph with typed, labelled nodes; build one with NewGraphBuilder.
+type (
+	// Graph is the immutable graph structure queries run against.
+	Graph = graph.Graph
+	// GraphBuilder accumulates nodes and edges.
+	GraphBuilder = graph.Builder
+	// NodeID identifies a node.
+	NodeID = graph.NodeID
+	// NodeType is a small integer node type (paper, author, venue, ...).
+	NodeType = graph.Type
+	// Query is a distribution over one or more query nodes.
+	Query = walk.Query
+	// View is the read-only graph interface accepted by all ranking entry
+	// points; *Graph implements it.
+	View = graph.View
+)
+
+// NoNode is returned by lookups that fail.
+const NoNode = graph.NoNode
+
+// NewGraphBuilder returns an empty graph builder.
+func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }
+
+// SingleNode returns a query consisting of one node.
+func SingleNode(v NodeID) Query { return walk.SingleNode(v) }
+
+// MultiNode returns a uniformly weighted multi-node query (the Linearity
+// Theorem makes multi-node RoundTripRank the mixture of single-node scores).
+func MultiNode(nodes ...NodeID) Query { return walk.MultiNode(nodes...) }
+
+// Result is one ranked node.
+type Result struct {
+	Node  NodeID
+	Score float64
+}
+
+// Option configures a Ranker.
+type Option func(*Ranker) error
+
+// WithAlpha sets the teleport probability α of the underlying geometric random
+// walks (default 0.25, the paper's setting).
+func WithAlpha(alpha float64) Option {
+	return func(r *Ranker) error {
+		if alpha <= 0 || alpha >= 1 {
+			return fmt.Errorf("roundtriprank: alpha must be in (0,1), got %g", alpha)
+		}
+		r.params.Walk.Alpha = alpha
+		return nil
+	}
+}
+
+// WithBeta sets the specificity bias β of RoundTripRank+ (default 0.5, the
+// balanced RoundTripRank).
+func WithBeta(beta float64) Option {
+	return func(r *Ranker) error {
+		if beta < 0 || beta > 1 {
+			return fmt.Errorf("roundtriprank: beta must be in [0,1], got %g", beta)
+		}
+		r.params.Beta = beta
+		return nil
+	}
+}
+
+// WithSurferComposition sets β from a hybrid-random-surfer composition
+// (Definition 3): balanced surfers walk full round trips, importance-only
+// surfers shortcut the return leg, specificity-only surfers shortcut the
+// outbound leg.
+func WithSurferComposition(balanced, importanceOnly, specificityOnly int) Option {
+	return func(r *Ranker) error {
+		beta, err := core.SpecificityBiasFromSurfers(balanced, importanceOnly, specificityOnly)
+		if err != nil {
+			return err
+		}
+		r.params.Beta = beta
+		return nil
+	}
+}
+
+// WithTolerance sets the convergence tolerance of the exact iterative solvers.
+func WithTolerance(tol float64) Option {
+	return func(r *Ranker) error {
+		if tol <= 0 {
+			return fmt.Errorf("roundtriprank: tolerance must be positive")
+		}
+		r.params.Walk.Tol = tol
+		return nil
+	}
+}
+
+// Ranker computes RoundTripRank(+) scores and rankings over one graph view.
+type Ranker struct {
+	view   View
+	params core.Params
+}
+
+// NewRanker creates a Ranker over the given graph view with the paper's
+// default parameters (α = 0.25, β = 0.5), modified by the options.
+func NewRanker(view View, opts ...Option) (*Ranker, error) {
+	if view == nil || view.NumNodes() == 0 {
+		return nil, fmt.Errorf("roundtriprank: empty graph")
+	}
+	r := &Ranker{view: view, params: core.DefaultParams()}
+	for _, opt := range opts {
+		if err := opt(r); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Beta returns the ranker's specificity bias.
+func (r *Ranker) Beta() float64 { return r.params.Beta }
+
+// Alpha returns the ranker's teleport probability.
+func (r *Ranker) Alpha() float64 { return r.params.Walk.Alpha }
+
+// Scores computes the full score vectors for a query: F-Rank (importance),
+// T-Rank (specificity) and the combined RoundTripRank+.
+type Scores struct {
+	Importance    []float64
+	Specificity   []float64
+	RoundTripRank []float64
+}
+
+// Scores computes exact scores for every node using the iterative solvers.
+func (r *Ranker) Scores(q Query) (*Scores, error) {
+	s, err := core.Compute(r.view, q, r.params)
+	if err != nil {
+		return nil, err
+	}
+	return &Scores{Importance: s.F, Specificity: s.T, RoundTripRank: s.R}, nil
+}
+
+// Rank returns the top n nodes by exact RoundTripRank+ score. A nil filter
+// keeps every node; otherwise only nodes for which filter returns true are
+// ranked (use this to restrict to a target type and exclude the query).
+func (r *Ranker) Rank(q Query, n int, filter ...func(NodeID) bool) ([]Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("roundtriprank: n must be positive")
+	}
+	s, err := core.Compute(r.view, q, r.params)
+	if err != nil {
+		return nil, err
+	}
+	var keep func(NodeID) bool
+	if len(filter) > 0 {
+		keep = filter[0]
+	}
+	top := core.TopN(s.R, n, keep)
+	return toResults(top), nil
+}
+
+// TopK runs the online 2SBound algorithm and returns an ε-approximate top-K
+// ranking without computing scores for the whole graph. epsilon = 0 demands
+// the exact top K; the paper's efficiency study uses ε between 0.01 and 0.03.
+func (r *Ranker) TopK(q Query, k int, epsilon float64) ([]Result, error) {
+	res, err := topk.TopK(r.view, q, topk.Options{
+		K:       k,
+		Epsilon: epsilon,
+		Alpha:   r.params.Walk.Alpha,
+		Beta:    r.params.Beta,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return toResults(res.TopK), nil
+}
+
+// TypeFilter builds a filter usable with Rank that keeps only nodes of the
+// given type and drops the listed nodes (typically the query itself).
+func TypeFilter(g *Graph, t NodeType, exclude ...NodeID) func(NodeID) bool {
+	return core.TypeFilter(g, t, exclude...)
+}
+
+func toResults(in []core.Ranked) []Result {
+	out := make([]Result, len(in))
+	for i, r := range in {
+		out[i] = Result{Node: r.Node, Score: r.Score}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package roundtriprank
+
+import (
+	"math"
+	"testing"
+
+	"roundtriprank/internal/testgraphs"
+)
+
+func TestPublicAPIOnToyGraph(t *testing.T) {
+	toy := testgraphs.NewToy()
+	ranker, err := NewRanker(toy.Graph)
+	if err != nil {
+		t.Fatalf("NewRanker: %v", err)
+	}
+	if ranker.Alpha() != 0.25 || ranker.Beta() != 0.5 {
+		t.Errorf("defaults wrong: alpha=%g beta=%g", ranker.Alpha(), ranker.Beta())
+	}
+	scores, err := ranker.Scores(SingleNode(toy.T1))
+	if err != nil {
+		t.Fatalf("Scores: %v", err)
+	}
+	if len(scores.RoundTripRank) != toy.Graph.NumNodes() {
+		t.Fatalf("score vector length mismatch")
+	}
+	// v2 (important and specific) must beat v1 and v3.
+	if !(scores.RoundTripRank[toy.V2] > scores.RoundTripRank[toy.V1]) ||
+		!(scores.RoundTripRank[toy.V2] > scores.RoundTripRank[toy.V3]) {
+		t.Errorf("v2 should win: %v", scores.RoundTripRank)
+	}
+
+	venueFilter := TypeFilter(toy.Graph, testgraphs.TypeVenue, toy.T1)
+	ranked, err := ranker.Rank(SingleNode(toy.T1), 3, venueFilter)
+	if err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+	if len(ranked) != 3 || ranked[0].Node != toy.V2 {
+		t.Errorf("venue ranking wrong: %+v", ranked)
+	}
+
+	online, err := ranker.TopK(SingleNode(toy.T1), 4, 0.001)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	if len(online) == 0 || online[0].Node != toy.T1 {
+		t.Errorf("online top-1 should be the query itself: %+v", online)
+	}
+}
+
+func TestOptions(t *testing.T) {
+	toy := testgraphs.NewToy()
+	r, err := NewRanker(toy.Graph, WithAlpha(0.3), WithBeta(0.7), WithTolerance(1e-10))
+	if err != nil {
+		t.Fatalf("NewRanker with options: %v", err)
+	}
+	if r.Alpha() != 0.3 || r.Beta() != 0.7 {
+		t.Errorf("options not applied")
+	}
+	// Surfer composition: only importance surfers -> beta 0.
+	r2, err := NewRanker(toy.Graph, WithSurferComposition(0, 5, 0))
+	if err != nil {
+		t.Fatalf("NewRanker: %v", err)
+	}
+	if r2.Beta() != 0 {
+		t.Errorf("surfer composition beta = %g, want 0", r2.Beta())
+	}
+	// β = 0 ranking equals pure importance ranking.
+	s, _ := r2.Scores(SingleNode(toy.T1))
+	for v := range s.RoundTripRank {
+		if math.Abs(s.RoundTripRank[v]-s.Importance[v]) > 1e-12 {
+			t.Errorf("beta=0 should equal importance at node %d", v)
+		}
+	}
+
+	for _, bad := range []Option{WithAlpha(0), WithAlpha(1), WithBeta(-1), WithBeta(2), WithTolerance(0), WithSurferComposition(0, 0, 0)} {
+		if _, err := NewRanker(toy.Graph, bad); err == nil {
+			t.Errorf("invalid option should error")
+		}
+	}
+	if _, err := NewRanker(nil); err == nil {
+		t.Errorf("nil view should error")
+	}
+	if _, err := NewRanker(NewGraphBuilder().MustBuild()); err == nil {
+		t.Errorf("empty graph should error")
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	toy := testgraphs.NewToy()
+	r, _ := NewRanker(toy.Graph)
+	if _, err := r.Rank(SingleNode(toy.T1), 0); err == nil {
+		t.Errorf("n=0 should error")
+	}
+	if _, err := r.Rank(Query{}, 3); err == nil {
+		t.Errorf("empty query should error")
+	}
+	if _, err := r.TopK(Query{}, 3, 0.01); err == nil {
+		t.Errorf("empty query should error in TopK")
+	}
+	if _, err := r.Scores(Query{}); err == nil {
+		t.Errorf("empty query should error in Scores")
+	}
+}
+
+func TestGraphBuilderReexports(t *testing.T) {
+	b := NewGraphBuilder()
+	a := b.AddNode(1, "a")
+	c := b.AddNode(1, "b")
+	b.MustAddUndirectedEdge(a, c, 2)
+	g := b.MustBuild()
+	if g.NumNodes() != 2 || g.NumEdges() != 2 {
+		t.Errorf("builder re-export broken")
+	}
+	if g.NodeByLabel("missing") != NoNode {
+		t.Errorf("NoNode re-export broken")
+	}
+	q := MultiNode(a, c)
+	if len(q.Nodes) != 2 {
+		t.Errorf("MultiNode broken")
+	}
+}
