@@ -11,6 +11,7 @@ package roundtriprank
 // paper-vs-measured comparison.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -77,7 +78,7 @@ func reportTaskNDCG(b *testing.B, task tasks.Task, measures []baselines.Measure,
 	g, inst := benchInstances(b, task, n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := eval.EvaluateTask(g, inst, measures, []int{5}, benchWalk, nil)
+		res, err := eval.EvaluateTask(context.Background(), g, inst, measures, []int{5}, benchWalk, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +110,7 @@ func BenchmarkFig4Toy(b *testing.B) {
 	var probs []float64
 	for i := 0; i < b.N; i++ {
 		var err error
-		probs, err = core.EnumerateRoundTrips(toy.Graph, toy.T1, 2, 2)
+		probs, err = core.EnumerateRoundTrips(context.Background(), toy.Graph, toy.T1, 2, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +175,7 @@ func benchIllustrative(b *testing.B, topic, specificVenue string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		venues, err = eval.IllustrativeRanking(net.Graph, terms, baselines.NewRoundTripRank(), datasets.TypeVenue, 10, benchWalk)
+		venues, err = eval.IllustrativeRanking(context.Background(), net.Graph, terms, baselines.NewRoundTripRank(), datasets.TypeVenue, 10, benchWalk)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -201,7 +202,7 @@ func BenchmarkFig8(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var err error
-				sweep, err = eval.SweepBeta(g, inst, betas, 5, benchWalk)
+				sweep, err = eval.SweepBeta(context.Background(), g, inst, betas, 5, benchWalk)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -270,7 +271,7 @@ func BenchmarkFig11a(b *testing.B) {
 	b.Run("Naive", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			q := queries[i%len(queries)]
-			if _, _, err := topk.Naive(g, walk.SingleNode(q), topk.Options{K: 10, Alpha: 0.25, Beta: 0.5}); err != nil {
+			if _, _, err := topk.Naive(context.Background(), g, walk.SingleNode(q), topk.Options{K: 10, Alpha: 0.25, Beta: 0.5}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -280,7 +281,7 @@ func BenchmarkFig11a(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				q := queries[i%len(queries)]
 				opt := topk.Options{K: 10, Epsilon: 0.01, Alpha: 0.25, Beta: 0.5, Scheme: scheme}
-				if _, err := topk.TopK(g, walk.SingleNode(q), opt); err != nil {
+				if _, err := topk.TopK(context.Background(), g, walk.SingleNode(q), opt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -307,7 +308,7 @@ func BenchmarkFig11b(b *testing.B) {
 			var rows []eval.EfficiencyResult
 			for i := 0; i < b.N; i++ {
 				var err error
-				rows, err = eval.EvaluateEfficiency(net.Graph, eval.EfficiencyConfig{
+				rows, err = eval.EvaluateEfficiency(context.Background(), net.Graph, eval.EfficiencyConfig{
 					K: 10, Queries: queries, Epsilons: []float64{eps},
 					Schemes: []topk.Scheme{topk.Scheme2SBound},
 				})
@@ -331,7 +332,7 @@ func BenchmarkFig12(b *testing.B) {
 		var rows []eval.SnapshotResult
 		for i := 0; i < b.N; i++ {
 			var err error
-			rows, err = eval.EvaluateScalability(snaps, []string{"t1", "t2", "t3", "t4", "t5"}, benchEffQueries, 0.01, 10, 7)
+			rows, err = eval.EvaluateScalability(context.Background(), snaps, []string{"t1", "t2", "t3", "t4", "t5"}, benchEffQueries, 0.01, 10, 7)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -371,7 +372,7 @@ func BenchmarkFig13(b *testing.B) {
 	var gr *eval.GrowthRates
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := eval.EvaluateScalability(snaps, nil, benchEffQueries, 0.01, 10, 7)
+		rows, err := eval.EvaluateScalability(context.Background(), snaps, nil, benchEffQueries, 0.01, 10, 7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -407,7 +408,7 @@ func BenchmarkExactRoundTripRank(b *testing.B) {
 	q := walk.SingleNode(net.Papers[0])
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Compute(net.Graph, q, core.Params{Walk: benchWalk, Beta: 0.5}); err != nil {
+		if _, err := core.Compute(context.Background(), net.Graph, q, core.Params{Walk: benchWalk, Beta: 0.5}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -422,7 +423,7 @@ func BenchmarkOnline2SBound(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := queries[i%len(queries)]
-		if _, err := topk.TopK(g, walk.SingleNode(q), topk.Options{K: 10, Epsilon: 0.01, Alpha: 0.25, Beta: 0.5}); err != nil {
+		if _, err := topk.TopK(context.Background(), g, walk.SingleNode(q), topk.Options{K: 10, Epsilon: 0.01, Alpha: 0.25, Beta: 0.5}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -17,10 +17,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"roundtriprank/internal/baselines"
@@ -34,6 +37,7 @@ import (
 )
 
 type runner struct {
+	ctx        context.Context
 	scale      float64
 	queries    int
 	devQueries int
@@ -58,7 +62,11 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	r := &runner{
+		ctx:   ctx,
 		scale: *scale, queries: *queries, devQueries: *devQueries,
 		effScale: *effScale, effQueries: *effQueries, seed: *seed,
 		wp: walk.Params{Alpha: 0.25, Tol: 1e-8, MaxIter: 150},
@@ -115,7 +123,7 @@ func (r *runner) qLog() (*datasets.QLog, error) {
 
 func (r *runner) fig4() error {
 	toy := testgraphs.NewToy()
-	probs, err := core.EnumerateRoundTrips(toy.Graph, toy.T1, 2, 2)
+	probs, err := core.EnumerateRoundTrips(r.ctx, toy.Graph, toy.T1, 2, 2)
 	if err != nil {
 		return err
 	}
@@ -169,7 +177,7 @@ func (r *runner) runMeasureTable(title string, measuresFor func(task tasks.Task)
 	taskLabels := []string{}
 	results := map[string][]eval.MeasureResult{}
 	for _, task := range tasks.AllTasks() {
-		res, err := eval.EvaluateTask(r.graphFor(task), instances[task], measuresFor(task), eval.KValues, r.wp, nil)
+		res, err := eval.EvaluateTask(r.ctx, r.graphFor(task), instances[task], measuresFor(task), eval.KValues, r.wp, nil)
 		if err != nil {
 			return err
 		}
@@ -217,7 +225,7 @@ func (r *runner) tunedBetas() (map[tasks.Task]float64, error) {
 	}
 	out := make(map[tasks.Task]float64, 4)
 	for _, task := range tasks.AllTasks() {
-		beta, err := eval.TuneBeta(r.graphFor(task), dev[task], eval.DefaultBetaGrid(), 5, r.wp)
+		beta, err := eval.TuneBeta(r.ctx, r.graphFor(task), dev[task], eval.DefaultBetaGrid(), 5, r.wp)
 		if err != nil {
 			return nil, err
 		}
@@ -232,7 +240,7 @@ func (r *runner) fig8() error {
 		return err
 	}
 	for _, task := range tasks.AllTasks() {
-		sweep, err := eval.SweepBeta(r.graphFor(task), instances[task], eval.DefaultBetaGrid(), 5, r.wp)
+		sweep, err := eval.SweepBeta(r.ctx, r.graphFor(task), instances[task], eval.DefaultBetaGrid(), 5, r.wp)
 		if err != nil {
 			return err
 		}
@@ -298,7 +306,7 @@ func (r *runner) fig10() error {
 			// Tune beta on dev queries for this family and task.
 			bestBeta, bestScore := 0.5, -1.0
 			for _, b := range grid {
-				res, err := eval.EvaluateTask(r.graphFor(task), dev[task],
+				res, err := eval.EvaluateTask(r.ctx, r.graphFor(task), dev[task],
 					[]baselines.Measure{fam.make(b)}, []int{5}, r.wp, nil)
 				if err != nil {
 					return err
@@ -307,7 +315,7 @@ func (r *runner) fig10() error {
 					bestBeta, bestScore = b, res[0].MeanNDCG[5]
 				}
 			}
-			res, err := eval.EvaluateTask(r.graphFor(task), test[task],
+			res, err := eval.EvaluateTask(r.ctx, r.graphFor(task), test[task],
 				[]baselines.Measure{fam.make(bestBeta)}, []int{5}, r.wp, nil)
 			if err != nil {
 				return err
@@ -331,7 +339,7 @@ func (r *runner) illustrative(topic string) error {
 	columns := map[string][]string{}
 	var order []string
 	for _, m := range measures {
-		venues, err := eval.IllustrativeRanking(net.Graph, terms, m, datasets.TypeVenue, 5, r.wp)
+		venues, err := eval.IllustrativeRanking(r.ctx, net.Graph, terms, m, datasets.TypeVenue, 5, r.wp)
 		if err != nil {
 			return err
 		}
@@ -356,7 +364,7 @@ func (r *runner) fig11() error {
 	for i := 0; i < r.effQueries; i++ {
 		queries = append(queries, net.Papers[(i*7919)%len(net.Papers)])
 	}
-	rows, err := eval.EvaluateEfficiency(net.Graph, eval.EfficiencyConfig{
+	rows, err := eval.EvaluateEfficiency(r.ctx, net.Graph, eval.EfficiencyConfig{
 		K:            10,
 		Queries:      queries,
 		Epsilons:     []float64{0.01, 0.02, 0.03},
@@ -391,7 +399,7 @@ func (r *runner) fig12and13() error {
 			return err
 		}
 		labels := []string{"t1", "t2", "t3", "t4", "t5"}
-		rows, err := eval.EvaluateScalability(snaps, labels, r.effQueries, 0.01, 10, r.seed)
+		rows, err := eval.EvaluateScalability(r.ctx, snaps, labels, r.effQueries, 0.01, 10, r.seed)
 		if err != nil {
 			return err
 		}

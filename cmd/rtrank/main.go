@@ -1,43 +1,53 @@
 // Command rtrank is a command-line query tool for RoundTripRank. It loads a
 // graph (a gob file written with graph.WriteFile, or a generated synthetic
-// dataset), resolves query node labels, and prints the top-K ranking either by
-// exact computation or online with 2SBound.
+// dataset), resolves query node labels, and runs one request through the
+// Engine, printing the top-K ranking.
 //
 // Examples:
 //
 //	rtrank -dataset bibnet -scale 0.3 -query term:spatio,term:temporal,term:data -type venue -k 5
-//	rtrank -graph mygraph.gob -query node:42 -k 10 -online -epsilon 0.01
+//	rtrank -graph mygraph.gob -query node:42 -k 10 -method 2sbound -epsilon 0.01
 //	rtrank -dataset qlog -query "phrase:cheap flight ticket" -type url -beta 0.3
+//
+// The -method flag selects the execution path: auto (the default planner),
+// exact, 2sbound, or one of the baseline bound schemes gs, gupta, sarkar.
+// Interrupting the process (Ctrl-C) cancels the in-flight query.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"roundtriprank"
-	"roundtriprank/internal/datasets"
-	"roundtriprank/internal/graph"
+	"roundtriprank/internal/cliutil"
 )
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "path to a gob-encoded graph (exclusive with -dataset)")
-		dataset   = flag.String("dataset", "", "synthetic dataset to generate: bibnet or qlog")
-		scale     = flag.Float64("scale", 0.3, "scale factor for synthetic datasets")
-		querySpec = flag.String("query", "", "comma-separated query node labels")
-		typeName  = flag.String("type", "", "restrict results to this node type name (paper, author, term, venue, phrase, url)")
-		k         = flag.Int("k", 10, "number of results")
-		alpha     = flag.Float64("alpha", 0.25, "teleport probability")
-		beta      = flag.Float64("beta", 0.5, "specificity bias (0 = importance only, 1 = specificity only)")
-		online    = flag.Bool("online", false, "use the 2SBound online top-K algorithm instead of exact computation")
-		epsilon   = flag.Float64("epsilon", 0.01, "approximation slack for -online")
+		graphPath  = flag.String("graph", "", "path to a gob-encoded graph (exclusive with -dataset)")
+		dataset    = flag.String("dataset", "", "synthetic dataset to generate: bibnet or qlog")
+		scale      = flag.Float64("scale", 0.3, "scale factor for synthetic datasets")
+		querySpec  = flag.String("query", "", "comma-separated query node labels")
+		typeName   = flag.String("type", "", "restrict results to this node type name as registered on the graph (e.g. paper, author, venue)")
+		k          = flag.Int("k", 10, "number of results")
+		alpha      = flag.Float64("alpha", 0.25, "teleport probability")
+		beta       = flag.Float64("beta", 0.5, "specificity bias (0 = importance only, 1 = specificity only)")
+		methodName = flag.String("method", "auto", "execution method: auto, exact, 2sbound, gs, gupta, sarkar")
+		epsilon    = flag.Float64("epsilon", 0.01, "approximation slack for the online methods")
+		keepQuery  = flag.Bool("keep-query", false, "keep the query nodes themselves in the results")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*graphPath, *dataset, *scale)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	g, err := cliutil.LoadGraph(*graphPath, *dataset, *scale)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,72 +65,39 @@ func main() {
 		}
 		queryNodes = append(queryNodes, v)
 	}
-	query := roundtriprank.MultiNode(queryNodes...)
 
-	ranker, err := roundtriprank.NewRanker(g, roundtriprank.WithAlpha(*alpha), roundtriprank.WithBeta(*beta))
+	method, err := roundtriprank.ParseMethod(*methodName)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	var filter func(roundtriprank.NodeID) bool
+	filter := &roundtriprank.Filter{ExcludeQuery: !*keepQuery}
 	if *typeName != "" {
-		t, err := typeByName(*typeName)
+		t, err := cliutil.TypeByName(g, *typeName)
 		if err != nil {
 			log.Fatal(err)
 		}
-		filter = roundtriprank.TypeFilter(g, t, queryNodes...)
+		filter.Types = []roundtriprank.NodeType{t}
 	}
 
-	var results []roundtriprank.Result
-	if *online {
-		results, err = ranker.TopK(query, *k, *epsilon)
-	} else {
-		results, err = ranker.Rank(query, *k, filter)
-	}
+	engine, err := roundtriprank.NewEngine(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, r := range results {
+	resp, err := engine.Rank(ctx, roundtriprank.Request{
+		Query:   roundtriprank.MultiNode(queryNodes...),
+		K:       *k,
+		Method:  method,
+		Filter:  filter,
+		Alpha:   *alpha,
+		Beta:    roundtriprank.Float64(*beta),
+		Epsilon: *epsilon,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "method: %s, converged: %v, elapsed: %s\n",
+		resp.Method, resp.Converged, resp.Elapsed.Round(resp.Elapsed/100+1))
+	for i, r := range resp.Results {
 		fmt.Printf("%2d. %-50s %.6g\n", i+1, g.Label(r.Node), r.Score)
-	}
-}
-
-func loadGraph(path, dataset string, scale float64) (*roundtriprank.Graph, error) {
-	switch {
-	case path != "":
-		return graph.ReadFile(path)
-	case dataset == "bibnet":
-		net, err := datasets.GenerateBibNet(datasets.ScaledBibNetConfig(scale))
-		if err != nil {
-			return nil, err
-		}
-		return net.Graph, nil
-	case dataset == "qlog":
-		qlog, err := datasets.GenerateQLog(datasets.ScaledQLogConfig(scale))
-		if err != nil {
-			return nil, err
-		}
-		return qlog.Graph, nil
-	default:
-		return nil, fmt.Errorf("provide either -graph or -dataset bibnet|qlog")
-	}
-}
-
-func typeByName(name string) (roundtriprank.NodeType, error) {
-	switch strings.ToLower(name) {
-	case "paper":
-		return datasets.TypePaper, nil
-	case "author":
-		return datasets.TypeAuthor, nil
-	case "term":
-		return datasets.TypeTerm, nil
-	case "venue":
-		return datasets.TypeVenue, nil
-	case "phrase":
-		return datasets.TypePhrase, nil
-	case "url":
-		return datasets.TypeURL, nil
-	default:
-		return 0, fmt.Errorf("unknown node type %q", name)
 	}
 }

@@ -1,0 +1,219 @@
+// Command rtrankd serves RoundTripRank queries over HTTP. It loads a graph (a
+// gob file or a generated synthetic dataset), builds an Engine, and exposes
+//
+//	POST /rank     — execute one ranking request (JSON in, JSON out)
+//	GET  /healthz  — liveness plus graph stats
+//
+// Example:
+//
+//	rtrankd -dataset bibnet -scale 0.3 -listen :8080 &
+//	curl -s localhost:8080/rank -d '{
+//	    "query": ["term:spatio", "term:temporal", "term:data"],
+//	    "k": 5, "type": "venue", "method": "auto"
+//	}'
+//
+// Every request runs under the HTTP request context, so a disconnecting
+// client cancels its in-flight computation; per-request alpha/beta/epsilon
+// override the engine defaults. The server shuts down gracefully on SIGINT.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"os/signal"
+	"syscall"
+
+	"roundtriprank"
+	"roundtriprank/internal/cliutil"
+)
+
+// rankRequest is the JSON body of POST /rank.
+type rankRequest struct {
+	// Query lists query node labels; Nodes lists raw node IDs. At least one
+	// of the two must be non-empty; they are combined when both are given.
+	Query []string               `json:"query,omitempty"`
+	Nodes []roundtriprank.NodeID `json:"nodes,omitempty"`
+	K     int                    `json:"k"`
+	// Method is auto (default), exact, 2sbound, gs, gupta or sarkar.
+	Method string `json:"method,omitempty"`
+	// Type restricts results to the named node type (as registered on the
+	// graph, e.g. "venue"); empty keeps all types.
+	Type string `json:"type,omitempty"`
+	// KeepQuery keeps the query nodes in the results (default: excluded).
+	KeepQuery bool     `json:"keep_query,omitempty"`
+	Alpha     float64  `json:"alpha,omitempty"`
+	Beta      *float64 `json:"beta,omitempty"`
+	Epsilon   float64  `json:"epsilon,omitempty"`
+}
+
+type rankResult struct {
+	Node  roundtriprank.NodeID `json:"node"`
+	Label string               `json:"label"`
+	Score float64              `json:"score"`
+}
+
+type rankResponse struct {
+	Results   []rankResult `json:"results"`
+	Method    string       `json:"method"`
+	Converged bool         `json:"converged"`
+	Rounds    int          `json:"rounds,omitempty"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+// maxRequestBytes caps the /rank request body; a ranking request is a few
+// labels and scalars, so 1 MiB is generous.
+const maxRequestBytes = 1 << 20
+
+type server struct {
+	g      *roundtriprank.Graph
+	engine *roundtriprank.Engine
+}
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "path to a gob-encoded graph (exclusive with -dataset)")
+		dataset   = flag.String("dataset", "", "synthetic dataset to generate: bibnet or qlog")
+		scale     = flag.Float64("scale", 0.3, "scale factor for synthetic datasets")
+		listen    = flag.String("listen", "127.0.0.1:8080", "listen address")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	g, err := cliutil.LoadGraph(*graphPath, *dataset, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := roundtriprank.NewEngine(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{g: g, engine: engine}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rank", s.handleRank)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	srv := &http.Server{Addr: *listen, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}()
+
+	log.Printf("rtrankd serving %d nodes, %d edges on %s", g.NumNodes(), g.NumEdges(), *listen)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// ListenAndServe returns as soon as Shutdown starts; wait for the drain
+	// of in-flight requests to finish before exiting.
+	<-drained
+	log.Printf("shut down")
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"nodes":  s.g.NumNodes(),
+		"edges":  s.g.NumEdges(),
+	})
+}
+
+func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a JSON request to /rank")
+		return
+	}
+	var in rankRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&in); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	req, err := s.buildRequest(in)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := s.engine.Rank(r.Context(), req)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// Client went away; nothing useful to write.
+			return
+		}
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := rankResponse{
+		Results:   make([]rankResult, len(resp.Results)),
+		Method:    resp.Method.String(),
+		Converged: resp.Converged,
+		Rounds:    resp.Rounds,
+		ElapsedMS: float64(resp.Elapsed.Microseconds()) / 1000.0,
+	}
+	for i, res := range resp.Results {
+		out.Results[i] = rankResult{Node: res.Node, Label: s.g.Label(res.Node), Score: res.Score}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// buildRequest translates the wire request into an Engine request.
+func (s *server) buildRequest(in rankRequest) (roundtriprank.Request, error) {
+	var nodes []roundtriprank.NodeID
+	for _, label := range in.Query {
+		v := s.g.NodeByLabel(label)
+		if v == roundtriprank.NoNode {
+			return roundtriprank.Request{}, fmt.Errorf("query node %q not found", label)
+		}
+		nodes = append(nodes, v)
+	}
+	nodes = append(nodes, in.Nodes...)
+	if len(nodes) == 0 {
+		return roundtriprank.Request{}, fmt.Errorf("empty query: provide \"query\" labels or \"nodes\" IDs")
+	}
+	method, err := roundtriprank.ParseMethod(in.Method)
+	if err != nil {
+		return roundtriprank.Request{}, err
+	}
+	filter := &roundtriprank.Filter{ExcludeQuery: !in.KeepQuery}
+	if in.Type != "" {
+		t, err := cliutil.TypeByName(s.g, in.Type)
+		if err != nil {
+			return roundtriprank.Request{}, err
+		}
+		filter.Types = []roundtriprank.NodeType{t}
+	}
+	k := in.K
+	if k == 0 {
+		k = 10
+	}
+	return roundtriprank.Request{
+		Query:   roundtriprank.MultiNode(nodes...),
+		K:       k,
+		Method:  method,
+		Filter:  filter,
+		Alpha:   in.Alpha,
+		Beta:    in.Beta,
+		Epsilon: in.Epsilon,
+	}, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

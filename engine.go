@@ -1,0 +1,467 @@
+package roundtriprank
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"roundtriprank/internal/core"
+	"roundtriprank/internal/topk"
+	"roundtriprank/internal/walk"
+)
+
+// Scheme selects the bound-updating machinery of the online top-K search; the
+// values mirror the efficiency baselines of Fig. 11(a).
+type Scheme = topk.Scheme
+
+// Re-exported bound schemes, usable with BoundScheme.
+const (
+	// Scheme2SBound is the paper's two-stage framework on both sides.
+	Scheme2SBound Scheme = topk.Scheme2SBound
+	// SchemeGS uses Gupta bounds for F-Rank and Sarkar bounds for T-Rank.
+	SchemeGS Scheme = topk.SchemeGS
+	// SchemeGupta uses Gupta bounds for F-Rank only.
+	SchemeGupta Scheme = topk.SchemeGupta
+	// SchemeSarkar uses Sarkar bounds for T-Rank only.
+	SchemeSarkar Scheme = topk.SchemeSarkar
+)
+
+type methodKind int
+
+const (
+	methodAuto methodKind = iota
+	methodExact
+	methodOnline
+)
+
+// Method selects how a Request is executed. The zero value is Auto.
+type Method struct {
+	kind   methodKind
+	scheme Scheme
+}
+
+// The built-in execution methods.
+var (
+	// Auto lets the engine plan: exact full-vector solves for small in-memory
+	// graphs, the online 2SBound search otherwise (large or remote graphs).
+	Auto = Method{kind: methodAuto}
+	// Exact runs the iterative F-Rank/T-Rank solvers over the whole graph.
+	Exact = Method{kind: methodExact}
+	// TwoSBound runs the online branch-and-bound top-K search (Algorithm 1).
+	TwoSBound = Method{kind: methodOnline, scheme: Scheme2SBound}
+)
+
+// BoundScheme returns an online method using the given bound scheme, for
+// reproducing the efficiency baselines (G+S, Gupta, Sarkar) of Sect. VI-B.
+func BoundScheme(s Scheme) Method { return Method{kind: methodOnline, scheme: s} }
+
+// String names the method; online methods are named after their scheme.
+func (m Method) String() string {
+	switch m.kind {
+	case methodAuto:
+		return "auto"
+	case methodExact:
+		return "exact"
+	default:
+		return m.scheme.String()
+	}
+}
+
+// IsExact reports whether the method runs the exact full-vector solvers.
+func (m Method) IsExact() bool { return m.kind == methodExact }
+
+// ParseMethod parses a method name (case-insensitive) as printed by
+// Method.String: "auto" (or empty), "exact", "2sbound", or a baseline bound
+// scheme — "gs"/"g+s", "gupta", "sarkar".
+func ParseMethod(name string) (Method, error) {
+	switch strings.ToLower(name) {
+	case "", "auto":
+		return Auto, nil
+	case "exact":
+		return Exact, nil
+	case "2sbound":
+		return TwoSBound, nil
+	case "gs", "g+s":
+		return BoundScheme(SchemeGS), nil
+	case "gupta":
+		return BoundScheme(SchemeGupta), nil
+	case "sarkar":
+		return BoundScheme(SchemeSarkar), nil
+	default:
+		return Method{}, fmt.Errorf("roundtriprank: unknown method %q", name)
+	}
+}
+
+// TypedView is a graph view that also knows node types; *Graph implements it.
+// Type filters require the engine's view to be typed.
+type TypedView interface {
+	View
+	Type(v NodeID) NodeType
+}
+
+// Filter declaratively restricts the result set of a Request. It compiles to
+// the same keep-predicate on both the exact and the online path, so filtered
+// queries return consistent top-K sets regardless of execution method (both
+// paths rank exactly the round-trip-reachable nodes the filter admits).
+type Filter struct {
+	// Types, when non-empty, keeps only nodes whose type is listed (the
+	// paper's "find authors for this paper" target-type restriction).
+	Types []NodeType
+	// Exclude drops the listed nodes from the results.
+	Exclude []NodeID
+	// ExcludeQuery drops the query nodes themselves, the usual setting since
+	// the query trivially ranks first under any round-trip measure.
+	ExcludeQuery bool
+}
+
+// Request is a single ranking query against an Engine. Zero-valued fields fall
+// back to the engine's defaults.
+type Request struct {
+	// Query is the distribution over query nodes (SingleNode / MultiNode).
+	Query Query
+	// K is the number of results wanted. Required, must be positive.
+	K int
+	// Method selects the execution path; the zero value is Auto.
+	Method Method
+	// Filter optionally restricts the result set; nil keeps every node.
+	Filter *Filter
+	// Alpha overrides the engine's teleport probability; zero keeps the
+	// engine default.
+	Alpha float64
+	// Beta overrides the engine's specificity bias; nil keeps the engine
+	// default (a pointer because 0, pure importance, is a meaningful value).
+	Beta *float64
+	// Epsilon is the approximation slack of the online search; zero demands
+	// the exact top K. Ignored by the exact path.
+	Epsilon float64
+	// Tolerance overrides the convergence tolerance of the exact solvers;
+	// zero keeps the engine default. Ignored by the online path.
+	Tolerance float64
+}
+
+// Float64 returns a pointer to v, for the Request.Beta override.
+func Float64(v float64) *float64 { return &v }
+
+// Response is the outcome of one Engine.Rank call.
+type Response struct {
+	// Results lists the ranked nodes, best first. Scores are on the
+	// f^(1−β)·t^β scale on every execution path (the online search's
+	// squared-scale lower bounds are normalized), and zero-score nodes —
+	// nodes with no round trip through them — are never returned, so the
+	// result set does not change shape when Auto switches paths.
+	Results []Result
+	// Method is the execution method actually used (Auto resolved).
+	Method Method
+	// Converged reports whether the ε-relaxed top-K conditions were met;
+	// always true on the exact path.
+	Converged bool
+	// Rounds is the number of expansion rounds of the online search (zero on
+	// the exact path).
+	Rounds int
+	// FSeen, TSeen and RSeen are the final neighborhood sizes |Sf|, |St| and
+	// |Sf ∩ St| of the online search (zero on the exact path).
+	FSeen, TSeen, RSeen int
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// DefaultExactLimit is the graph size up to which Auto plans the exact path:
+// a full-vector solve over tens of thousands of nodes is cheaper than the
+// online search's bookkeeping, while beyond it 2SBound touches only the
+// query's neighborhood.
+const DefaultExactLimit = 50_000
+
+// Engine executes ranking requests over one graph view. It is safe for
+// concurrent use: all per-query state lives in the request execution.
+type Engine struct {
+	view       View
+	params     core.Params
+	exactLimit int
+}
+
+// NewEngine creates an Engine over the given graph view with the paper's
+// default parameters (α = 0.25, β = 0.5), modified by the options.
+func NewEngine(view View, opts ...Option) (*Engine, error) {
+	if view == nil || view.NumNodes() == 0 {
+		return nil, fmt.Errorf("roundtriprank: empty graph")
+	}
+	e := &Engine{view: view, params: core.DefaultParams(), exactLimit: DefaultExactLimit}
+	for _, opt := range opts {
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Alpha returns the engine's default teleport probability.
+func (e *Engine) Alpha() float64 { return e.params.Walk.Alpha }
+
+// Beta returns the engine's default specificity bias.
+func (e *Engine) Beta() float64 { return e.params.Beta }
+
+// View returns the graph view the engine queries.
+func (e *Engine) View() View { return e.view }
+
+// plan is a validated, default-resolved request ready to execute.
+type plan struct {
+	query   walk.Query // normalized
+	k       int
+	method  Method // resolved: Exact or an online method
+	params  core.Params
+	epsilon float64
+	keep    func(NodeID) bool
+}
+
+// plan validates the request and resolves defaults and the Auto method.
+func (e *Engine) plan(req Request) (*plan, error) {
+	if req.K <= 0 {
+		return nil, fmt.Errorf("roundtriprank: K must be positive, got %d", req.K)
+	}
+	nq, err := req.Query.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("roundtriprank: invalid query: %w", err)
+	}
+	n := e.view.NumNodes()
+	for _, v := range nq.Nodes {
+		if int(v) < 0 || int(v) >= n {
+			return nil, fmt.Errorf("roundtriprank: query node %d out of range [0,%d)", v, n)
+		}
+	}
+	p := e.params
+	if req.Alpha != 0 {
+		if req.Alpha <= 0 || req.Alpha >= 1 {
+			return nil, fmt.Errorf("roundtriprank: alpha must be in (0,1), got %g", req.Alpha)
+		}
+		p.Walk.Alpha = req.Alpha
+	}
+	if req.Beta != nil {
+		if *req.Beta < 0 || *req.Beta > 1 {
+			return nil, fmt.Errorf("roundtriprank: beta must be in [0,1], got %g", *req.Beta)
+		}
+		p.Beta = *req.Beta
+	}
+	if req.Epsilon < 0 {
+		return nil, fmt.Errorf("roundtriprank: epsilon must be non-negative, got %g", req.Epsilon)
+	}
+	if req.Tolerance < 0 {
+		return nil, fmt.Errorf("roundtriprank: tolerance must be non-negative, got %g", req.Tolerance)
+	}
+	if req.Tolerance > 0 {
+		p.Walk.Tol = req.Tolerance
+	}
+	keep, err := req.Filter.compile(e.view, nq)
+	if err != nil {
+		return nil, err
+	}
+	method := req.Method
+	if method.kind == methodAuto {
+		if _, local := e.view.(*Graph); local && n <= e.exactLimit {
+			method = Exact
+		} else {
+			method = TwoSBound
+		}
+	}
+	return &plan{query: nq, k: req.K, method: method, params: p, epsilon: req.Epsilon, keep: keep}, nil
+}
+
+// compile turns the declarative filter into a keep-predicate over node IDs.
+func (f *Filter) compile(view View, nq walk.Query) (func(NodeID) bool, error) {
+	if f == nil {
+		return nil, nil
+	}
+	var typed TypedView
+	if len(f.Types) > 0 {
+		var ok bool
+		typed, ok = view.(TypedView)
+		if !ok {
+			return nil, fmt.Errorf("roundtriprank: filtering by node type requires a typed graph view")
+		}
+	}
+	excluded := make(map[NodeID]bool, len(f.Exclude)+len(nq.Nodes))
+	for _, v := range f.Exclude {
+		excluded[v] = true
+	}
+	if f.ExcludeQuery {
+		for _, v := range nq.Nodes {
+			excluded[v] = true
+		}
+	}
+	types := append([]NodeType(nil), f.Types...)
+	return func(v NodeID) bool {
+		if excluded[v] {
+			return false
+		}
+		if typed == nil {
+			return true
+		}
+		t := typed.Type(v)
+		for _, want := range types {
+			if t == want {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+// Rank executes one request and returns the ranked results. Cancelling the
+// context aborts the computation within one solver iteration (exact path) or
+// one expansion round (online path) and returns ctx.Err().
+func (e *Engine) Rank(ctx context.Context, req Request) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p, err := e.plan(req)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var resp *Response
+	if p.method.IsExact() {
+		resp, err = e.rankExact(ctx, p)
+	} else {
+		resp, err = e.rankOnline(ctx, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp.Elapsed = time.Since(start)
+	return resp, nil
+}
+
+func (e *Engine) rankExact(ctx context.Context, p *plan) (*Response, error) {
+	s, err := core.Compute(ctx, e.view, p.query, p.params)
+	if err != nil {
+		return nil, err
+	}
+	top := trimZeroScores(core.TopN(s.R, p.k, p.keep))
+	return &Response{Results: toResults(top), Method: Exact, Converged: true}, nil
+}
+
+// trimZeroScores cuts the zero-score tail of a descending ranking: a zero
+// RoundTripRank+ score means no round trip passes through the node, and the
+// online path never surfaces such nodes, so dropping them keeps the exact and
+// online result sets consistent.
+func trimZeroScores(in []core.Ranked) []core.Ranked {
+	for i, r := range in {
+		if r.Score <= 0 {
+			return in[:i]
+		}
+	}
+	return in
+}
+
+func (e *Engine) rankOnline(ctx context.Context, p *plan) (*Response, error) {
+	res, err := topk.TopK(ctx, e.view, p.query, topk.Options{
+		K:       p.k,
+		Epsilon: p.epsilon,
+		Alpha:   p.params.Walk.Alpha,
+		Beta:    p.params.Beta,
+		Scheme:  p.method.scheme,
+		Keep:    p.keep,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The online search ranks by lower bounds on the squared-scale measure
+	// f^(2(1−β))·t^(2β); the square root maps them (order-preserving) onto the
+	// exact path's f^(1−β)·t^β scale so scores are comparable across methods.
+	// Zero-lower-bound candidates (possible on a non-converged best-effort
+	// result) are trimmed, matching the exact path's contract.
+	results := toResults(trimZeroScores(res.TopK))
+	for i := range results {
+		results[i].Score = math.Sqrt(results[i].Score)
+	}
+	return &Response{
+		Results:   results,
+		Method:    p.method,
+		Converged: res.Converged,
+		Rounds:    res.Rounds,
+		FSeen:     res.FSeen,
+		TSeen:     res.TSeen,
+		RSeen:     res.RSeen,
+	}, nil
+}
+
+// RankBatch executes a batch of requests, sharing work across the exact-path
+// requests: by the Linearity Theorem (Jeh & Widom), the F-Rank and T-Rank
+// vectors of any query distribution are the query-weighted mixtures of the
+// single-node vectors, so the batch solves each distinct (query node, α,
+// tolerance) pair once and combines per request. Online-path requests run
+// independently. The whole batch is validated before any work starts, and the
+// first execution error aborts it.
+//
+// On graphs without dangling nodes the mixture is identical to a direct
+// solve; with dangling nodes the F-Rank side can differ slightly because the
+// dangling-mass restart is query-dependent (each single-node solve restarts
+// its dangling mass at its own node rather than at the mixture).
+func (e *Engine) RankBatch(ctx context.Context, reqs []Request) ([]*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	plans := make([]*plan, len(reqs))
+	for i, req := range reqs {
+		p, err := e.plan(req)
+		if err != nil {
+			return nil, fmt.Errorf("roundtriprank: request %d: %w", i, err)
+		}
+		plans[i] = p
+	}
+
+	type vecKey struct {
+		node       NodeID
+		alpha, tol float64
+	}
+	type vecPair struct{ f, t []float64 }
+	cache := make(map[vecKey]vecPair)
+	n := e.view.NumNodes()
+
+	out := make([]*Response, len(reqs))
+	for i, p := range plans {
+		start := time.Now()
+		if !p.method.IsExact() {
+			resp, err := e.rankOnline(ctx, p)
+			if err != nil {
+				return nil, fmt.Errorf("roundtriprank: request %d: %w", i, err)
+			}
+			resp.Elapsed = time.Since(start)
+			out[i] = resp
+			continue
+		}
+		f := make([]float64, n)
+		t := make([]float64, n)
+		for j, node := range p.query.Nodes {
+			key := vecKey{node: node, alpha: p.params.Walk.Alpha, tol: p.params.Walk.Tol}
+			pair, ok := cache[key]
+			if !ok {
+				single := walk.SingleNode(node)
+				fv, err := walk.FRank(ctx, e.view, single, p.params.Walk)
+				if err != nil {
+					return nil, fmt.Errorf("roundtriprank: request %d: %w", i, err)
+				}
+				tv, err := walk.TRank(ctx, e.view, single, p.params.Walk)
+				if err != nil {
+					return nil, fmt.Errorf("roundtriprank: request %d: %w", i, err)
+				}
+				pair = vecPair{f: fv, t: tv}
+				cache[key] = pair
+			}
+			w := p.query.Weights[j]
+			for v := range f {
+				f[v] += w * pair.f[v]
+				t[v] += w * pair.t[v]
+			}
+		}
+		top := trimZeroScores(core.TopN(core.Combine(f, t, p.params.Beta), p.k, p.keep))
+		out[i] = &Response{
+			Results:   toResults(top),
+			Method:    Exact,
+			Converged: true,
+			Elapsed:   time.Since(start),
+		}
+	}
+	return out, nil
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,7 +47,7 @@ func main() {
 		columns := map[string][]string{}
 		order := []string{}
 		for _, m := range measures {
-			venues, err := eval.IllustrativeRanking(net.Graph, terms, m, datasets.TypeVenue, *topK, wp)
+			venues, err := eval.IllustrativeRanking(context.Background(), net.Graph, terms, m, datasets.TypeVenue, *topK, wp)
 			if err != nil {
 				log.Fatal(err)
 			}

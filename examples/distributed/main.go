@@ -7,14 +7,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
+	"roundtriprank"
 	"roundtriprank/internal/datasets"
 	"roundtriprank/internal/distributed"
-	"roundtriprank/internal/topk"
-	"roundtriprank/internal/walk"
 )
 
 func main() {
@@ -41,16 +41,26 @@ func main() {
 		fmt.Printf("  GP %d at %s\n", i, gp.Addr())
 	}
 
-	opt := topk.Options{K: 10, Epsilon: 0.01, Alpha: walk.DefaultAlpha, Beta: 0.5}
+	// The Engine runs unchanged over the AP view: Auto sees a remote (untyped)
+	// view and plans the online 2SBound search, which touches only the active
+	// set.
+	engine, err := roundtriprank.NewEngine(cluster.AP)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i := 0; i < *queries && i < len(net.Papers); i++ {
 		q := net.Papers[i*17%len(net.Papers)]
-		res, err := topk.TopK(cluster.AP, walk.SingleNode(q), opt)
+		resp, err := engine.Rank(context.Background(), roundtriprank.Request{
+			Query:   roundtriprank.SingleNode(q),
+			K:       10,
+			Epsilon: 0.01,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nQuery %s: top-%d assembled from %d GP round trips\n",
-			g.Label(q), len(res.TopK), cluster.AP.Requests())
-		for rank, r := range res.TopK[:min(3, len(res.TopK))] {
+		fmt.Printf("\nQuery %s: top-%d via %s assembled from %d GP round trips\n",
+			g.Label(q), len(resp.Results), resp.Method, cluster.AP.Requests())
+		for rank, r := range resp.Results[:min(3, len(resp.Results))] {
 			fmt.Printf("  %d. %s\n", rank+1, g.Label(r.Node))
 		}
 	}

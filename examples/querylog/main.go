@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,7 +47,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		results, err := eval.EvaluateTask(qlog.Graph, instances, measures, []int{5, 10}, wp, nil)
+		results, err := eval.EvaluateTask(context.Background(), qlog.Graph, instances, measures, []int{5, 10}, wp, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -63,7 +64,7 @@ func main() {
 		q := qlog.Phrases[0]
 		fmt.Printf("Example: phrases most similar to %q under RoundTripRank+ (beta=0.7)\n",
 			qlog.Graph.Label(q))
-		similar, err := eval.IllustrativeRanking(qlog.Graph, []graph.NodeID{q},
+		similar, err := eval.IllustrativeRanking(context.Background(), qlog.Graph, []graph.NodeID{q},
 			baselines.NewRoundTripRankPlus(0.7), datasets.TypePhrase, 5, wp)
 		if err != nil {
 			log.Fatal(err)

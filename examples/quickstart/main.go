@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,8 +51,19 @@ func main() {
 	b.MustAddUndirectedEdge(papers[4], v3, 1)
 	g := b.MustBuild()
 
+	// One Engine serves every query; the specificity bias is a per-request
+	// override, and the venue restriction is a declarative filter applied
+	// identically by the exact and online execution paths.
+	ctx := context.Background()
+	engine, err := roundtriprank.NewEngine(g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	query := roundtriprank.SingleNode(t1)
-	venueFilter := roundtriprank.TypeFilter(g, typeVenue, t1)
+	venueFilter := &roundtriprank.Filter{
+		Types:        []roundtriprank.NodeType{typeVenue},
+		ExcludeQuery: true,
+	}
 
 	for _, setting := range []struct {
 		name string
@@ -61,31 +73,34 @@ func main() {
 		{"Specificity only (T-Rank, beta=1)", 1},
 		{"RoundTripRank (balanced, beta=0.5)", 0.5},
 	} {
-		ranker, err := roundtriprank.NewRanker(g, roundtriprank.WithBeta(setting.beta))
-		if err != nil {
-			log.Fatal(err)
-		}
-		results, err := ranker.Rank(query, 3, venueFilter)
+		resp, err := engine.Rank(ctx, roundtriprank.Request{
+			Query:  query,
+			K:      3,
+			Method: roundtriprank.Exact,
+			Filter: venueFilter,
+			Beta:   roundtriprank.Float64(setting.beta),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%s\n", setting.name)
-		for i, r := range results {
+		for i, r := range resp.Results {
 			fmt.Printf("  %d. %-35s score=%.5f\n", i+1, g.Label(r.Node), r.Score)
 		}
 	}
 
 	// Online top-K with 2SBound touches only a small neighborhood.
-	ranker, err := roundtriprank.NewRanker(g)
+	resp, err := engine.Rank(ctx, roundtriprank.Request{
+		Query:   query,
+		K:       5,
+		Method:  roundtriprank.TwoSBound,
+		Epsilon: 0.001,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	top, err := ranker.TopK(query, 5, 0.001)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("Online top-5 (2SBound, eps=0.001):")
-	for i, r := range top {
+	fmt.Printf("Online top-5 (2SBound, eps=0.001, %d rounds):\n", resp.Rounds)
+	for i, r := range resp.Results {
 		fmt.Printf("  %d. %-35s lower bound=%.5f\n", i+1, g.Label(r.Node), r.Score)
 	}
 }

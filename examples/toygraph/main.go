@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ func main() {
 	toy := testgraphs.NewToy()
 	g := toy.Graph
 
-	probs, err := core.EnumerateRoundTrips(g, toy.T1, 2, 2)
+	probs, err := core.EnumerateRoundTrips(context.Background(), g, toy.T1, 2, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func main() {
 		fmt.Printf("  target %-3s  probability %.4f\n", entry.label, probs[entry.node])
 	}
 
-	scores, err := core.Compute(g, walk.SingleNode(toy.T1), core.DefaultParams())
+	scores, err := core.Compute(context.Background(), g, walk.SingleNode(toy.T1), core.DefaultParams())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module roundtriprank
+
+go 1.24

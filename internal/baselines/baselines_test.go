@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -44,7 +45,7 @@ func TestMeasureNames(t *testing.T) {
 
 func TestFTAndRoundTripMeasuresAgreeWithCore(t *testing.T) {
 	toy, ctx := newToyContext(1)
-	scores, err := core.Compute(toy.Graph, walk.SingleNode(toy.T1), core.DefaultParams())
+	scores, err := core.Compute(context.Background(), toy.Graph, walk.SingleNode(toy.T1), core.DefaultParams())
 	if err != nil {
 		t.Fatalf("core.Compute: %v", err)
 	}
@@ -130,7 +131,7 @@ func TestObjSqrtInv(t *testing.T) {
 		t.Fatalf("ObjSqrtInv: %v", err)
 	}
 	f, _ := ctx.F()
-	global, err := walk.GlobalPageRank(toy.Graph, 0.25, 0, 0)
+	global, err := walk.GlobalPageRank(context.Background(), toy.Graph, 0.25, 0, 0)
 	if err != nil {
 		t.Fatalf("GlobalPageRank: %v", err)
 	}

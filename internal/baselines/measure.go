@@ -13,6 +13,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -33,6 +34,9 @@ type Measure interface {
 // Context carries one query's evaluation state and memoizes quantities shared
 // by several measures.
 type Context struct {
+	// Ctx carries cancellation down into the iterative solvers; nil means
+	// context.Background().
+	Ctx context.Context
 	// View is the graph (possibly an edge-masked view for ground-truth
 	// removal).
 	View graph.View
@@ -61,7 +65,7 @@ func (c *Context) F() ([]float64, error) {
 	if c.f != nil {
 		return c.f, nil
 	}
-	f, err := walk.FRank(c.View, c.Query, c.Walk)
+	f, err := walk.FRank(c.Ctx, c.View, c.Query, c.Walk)
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +78,7 @@ func (c *Context) T() ([]float64, error) {
 	if c.t != nil {
 		return c.t, nil
 	}
-	t, err := walk.TRank(c.View, c.Query, c.Walk)
+	t, err := walk.TRank(c.Ctx, c.View, c.Query, c.Walk)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +92,7 @@ func (c *Context) globalPR(damping float64) ([]float64, error) {
 	if c.GlobalPR != nil {
 		return c.GlobalPR, nil
 	}
-	pr, err := walk.GlobalPageRank(c.View, damping, 0, 0)
+	pr, err := walk.GlobalPageRank(c.Ctx, c.View, damping, 0, 0)
 	if err != nil {
 		return nil, err
 	}

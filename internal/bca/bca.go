@@ -16,6 +16,7 @@
 package bca
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -194,10 +195,12 @@ func (s *State) ProcessBest(m int) int {
 	return done
 }
 
-// Run processes best-benefit nodes until the total residual drops below tol or
-// maxOps processing steps have been performed. It is the standalone
-// approximate-PPR mode of BCA, used by tests and by the Gupta baseline.
-func (s *State) Run(tol float64, maxOps int) {
+// Run processes best-benefit nodes until the total residual drops below tol,
+// maxOps processing steps have been performed, or the context is cancelled
+// (checked once per processing step). It is the standalone approximate-PPR
+// mode of BCA, used by tests and by the Gupta baseline.
+func (s *State) Run(ctx context.Context, tol float64, maxOps int) error {
+	ctx = walk.OrBackground(ctx)
 	if tol <= 0 {
 		tol = 1e-9
 	}
@@ -205,10 +208,14 @@ func (s *State) Run(tol float64, maxOps int) {
 		maxOps = math.MaxInt32
 	}
 	for s.TotalResidual() > tol && s.processed < maxOps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if s.ProcessBest(1) == 0 {
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // Estimates returns a dense copy of the current PPR estimates.

@@ -1,6 +1,7 @@
 package bca
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -90,7 +91,7 @@ func TestRunConvergesToExactPPR(t *testing.T) {
 	toy := testgraphs.NewToy()
 	alpha := 0.25
 	q := walk.SingleNode(toy.T1)
-	exact, err := walk.FRank(toy.Graph, q, walk.Params{Alpha: alpha, Tol: 1e-12, MaxIter: 1000})
+	exact, err := walk.FRank(context.Background(), toy.Graph, q, walk.Params{Alpha: alpha, Tol: 1e-12, MaxIter: 1000})
 	if err != nil {
 		t.Fatalf("FRank: %v", err)
 	}
@@ -98,7 +99,7 @@ func TestRunConvergesToExactPPR(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	s.Run(1e-10, 0)
+	s.Run(context.Background(), 1e-10, 0)
 	if s.TotalResidual() > 1e-10 {
 		t.Fatalf("Run did not reach tolerance: residual %g", s.TotalResidual())
 	}
@@ -117,7 +118,7 @@ func TestRhoIsAlwaysLowerBound(t *testing.T) {
 	toy := testgraphs.NewToy()
 	alpha := 0.25
 	q := walk.SingleNode(toy.T1)
-	exact, _ := walk.FRank(toy.Graph, q, walk.Params{Alpha: alpha, Tol: 1e-12, MaxIter: 1000})
+	exact, _ := walk.FRank(context.Background(), toy.Graph, q, walk.Params{Alpha: alpha, Tol: 1e-12, MaxIter: 1000})
 	s, err := New(toy.Graph, q, alpha)
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -146,7 +147,7 @@ func TestProcessBestStopsWhenExhausted(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	s.Run(1e-12, 100000)
+	s.Run(context.Background(), 1e-12, 100000)
 	if s.TotalResidual() > 1e-12 {
 		t.Fatalf("residual should drain, got %g", s.TotalResidual())
 	}
@@ -169,7 +170,7 @@ func TestProcessBestStopsWhenExhausted(t *testing.T) {
 	}
 	// And must agree with the iterative solver, which uses the same
 	// dangling-node convention.
-	exact, _ := walk.FRank(g, walk.SingleNode(0), walk.Params{Alpha: 0.5, Tol: 1e-13, MaxIter: 2000})
+	exact, _ := walk.FRank(context.Background(), g, walk.SingleNode(0), walk.Params{Alpha: 0.5, Tol: 1e-13, MaxIter: 2000})
 	for v := range est {
 		if math.Abs(est[v]-exact[v]) > 1e-8 {
 			t.Errorf("node %d: BCA %g vs iterative %g", v, est[v], exact[v])
@@ -187,8 +188,8 @@ func TestMultiNodeQuery(t *testing.T) {
 	if math.Abs(s.Residual(toy.T1)-0.5) > 1e-12 || math.Abs(s.Residual(toy.T2)-0.5) > 1e-12 {
 		t.Fatalf("initial residual should split evenly across query nodes")
 	}
-	s.Run(1e-10, 0)
-	exact, _ := walk.FRank(toy.Graph, q, walk.Params{Alpha: 0.25, Tol: 1e-12, MaxIter: 1000})
+	s.Run(context.Background(), 1e-10, 0)
+	exact, _ := walk.FRank(context.Background(), toy.Graph, q, walk.Params{Alpha: 0.25, Tol: 1e-12, MaxIter: 1000})
 	est := s.Estimates(toy.Graph.NumNodes())
 	for v := range est {
 		if math.Abs(est[v]-exact[v]) > 1e-8 {
@@ -236,7 +237,7 @@ func TestQuickBCAInvariants(t *testing.T) {
 		g := b.MustBuild()
 		alpha := 0.15 + 0.6*rng.Float64()
 		q := ids[rng.Intn(n)]
-		exact, err := walk.FRank(g, walk.SingleNode(q), walk.Params{Alpha: alpha, Tol: 1e-12, MaxIter: 1000})
+		exact, err := walk.FRank(context.Background(), g, walk.SingleNode(q), walk.Params{Alpha: alpha, Tol: 1e-12, MaxIter: 1000})
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package bounds
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -15,11 +16,11 @@ import (
 func exactFT(t *testing.T, view graph.View, q walk.Query, alpha float64) ([]float64, []float64) {
 	t.Helper()
 	p := walk.Params{Alpha: alpha, Tol: 1e-13, MaxIter: 2000}
-	f, err := walk.FRank(view, q, p)
+	f, err := walk.FRank(context.Background(), view, q, p)
 	if err != nil {
 		t.Fatalf("FRank: %v", err)
 	}
-	tr, err := walk.TRank(view, q, p)
+	tr, err := walk.TRank(context.Background(), view, q, p)
 	if err != nil {
 		t.Fatalf("TRank: %v", err)
 	}
@@ -287,11 +288,11 @@ func TestQuickBoundsSoundness(t *testing.T) {
 		alpha := 0.15 + 0.5*rng.Float64()
 		q := walk.SingleNode(ids[rng.Intn(n)])
 		p := walk.Params{Alpha: alpha, Tol: 1e-13, MaxIter: 2000}
-		exactF, err := walk.FRank(g, q, p)
+		exactF, err := walk.FRank(context.Background(), g, q, p)
 		if err != nil {
 			return false
 		}
-		exactT, err := walk.TRank(g, q, p)
+		exactT, err := walk.TRank(context.Background(), g, q, p)
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,47 @@
+// Package cliutil holds the small helpers shared by the rtrank and rtrankd
+// commands: loading a graph from a gob file or a generated synthetic dataset,
+// and resolving node-type names against a graph's type registry.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+
+	"roundtriprank/internal/datasets"
+	"roundtriprank/internal/graph"
+)
+
+// LoadGraph loads a gob-encoded graph from path, or generates the named
+// synthetic dataset ("bibnet" or "qlog") at the given scale when path is
+// empty.
+func LoadGraph(path, dataset string, scale float64) (*graph.Graph, error) {
+	switch {
+	case path != "":
+		return graph.ReadFile(path)
+	case dataset == "bibnet":
+		net, err := datasets.GenerateBibNet(datasets.ScaledBibNetConfig(scale))
+		if err != nil {
+			return nil, err
+		}
+		return net.Graph, nil
+	case dataset == "qlog":
+		qlog, err := datasets.GenerateQLog(datasets.ScaledQLogConfig(scale))
+		if err != nil {
+			return nil, err
+		}
+		return qlog.Graph, nil
+	default:
+		return nil, fmt.Errorf("provide either -graph or -dataset bibnet|qlog")
+	}
+}
+
+// TypeByName resolves a node-type name (case-insensitive) against the graph's
+// type registry; the numeric fallback names ("type-3") also resolve.
+func TypeByName(g *graph.Graph, name string) (graph.Type, error) {
+	for t := 0; t < 256; t++ {
+		if strings.EqualFold(g.TypeName(graph.Type(t)), name) {
+			return graph.Type(t), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown node type %q", name)
+}

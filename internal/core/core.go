@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -72,16 +73,17 @@ type Scores struct {
 }
 
 // Compute runs the exact (iterative) F-Rank and T-Rank solvers for the query
-// and combines them into RoundTripRank+ scores.
-func Compute(view graph.View, q walk.Query, p Params) (*Scores, error) {
+// and combines them into RoundTripRank+ scores. Cancelling the context aborts
+// the solvers within one power iteration and returns ctx.Err().
+func Compute(ctx context.Context, view graph.View, q walk.Query, p Params) (*Scores, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	f, err := walk.FRank(view, q, p.Walk)
+	f, err := walk.FRank(ctx, view, q, p.Walk)
 	if err != nil {
 		return nil, err
 	}
-	t, err := walk.TRank(view, q, p.Walk)
+	t, err := walk.TRank(ctx, view, q, p.Walk)
 	if err != nil {
 		return nil, err
 	}
@@ -90,8 +92,8 @@ func Compute(view graph.View, q walk.Query, p Params) (*Scores, error) {
 
 // RoundTripRank computes the balanced (β = 0.5) RoundTripRank scores for the
 // query: rank-equivalent to f·t by Proposition 2.
-func RoundTripRank(view graph.View, q walk.Query, wp walk.Params) ([]float64, error) {
-	s, err := Compute(view, q, Params{Walk: wp, Beta: BalancedBeta})
+func RoundTripRank(ctx context.Context, view graph.View, q walk.Query, wp walk.Params) ([]float64, error) {
+	s, err := Compute(ctx, view, q, Params{Walk: wp, Beta: BalancedBeta})
 	if err != nil {
 		return nil, err
 	}
@@ -100,8 +102,8 @@ func RoundTripRank(view graph.View, q walk.Query, wp walk.Params) ([]float64, er
 
 // RoundTripRankPlus computes RoundTripRank+ scores with the given specificity
 // bias β (Eq. 12).
-func RoundTripRankPlus(view graph.View, q walk.Query, wp walk.Params, beta float64) ([]float64, error) {
-	s, err := Compute(view, q, Params{Walk: wp, Beta: beta})
+func RoundTripRankPlus(ctx context.Context, view graph.View, q walk.Query, wp walk.Params, beta float64) ([]float64, error) {
+	s, err := Compute(ctx, view, q, Params{Walk: wp, Beta: beta})
 	if err != nil {
 		return nil, err
 	}
@@ -185,8 +187,10 @@ func TypeFilter(g *graph.Graph, t graph.Type, exclude ...graph.NodeID) func(grap
 // that a round trip of constant length L + Lp starting and ending at q has v
 // as its target (the numerator of Eq. 4). It materializes dense transition
 // matrix powers and is intended for small validation graphs only (Fig. 4 uses
-// L = Lp = 2 on the toy network of Fig. 2).
-func EnumerateRoundTrips(view graph.View, q graph.NodeID, L, Lp int) ([]float64, error) {
+// L = Lp = 2 on the toy network of Fig. 2). The context is checked between
+// matrix-power steps.
+func EnumerateRoundTrips(ctx context.Context, view graph.View, q graph.NodeID, L, Lp int) ([]float64, error) {
+	ctx = walk.OrBackground(ctx)
 	n := view.NumNodes()
 	if int(q) < 0 || int(q) >= n {
 		return nil, fmt.Errorf("core: query node %d out of range", q)
@@ -200,6 +204,9 @@ func EnumerateRoundTrips(view graph.View, q graph.NodeID, L, Lp int) ([]float64,
 	m := denseTransition(view)
 	fromQ := unitRow(n, int(q)) // distribution after k steps starting at q
 	for i := 0; i < L; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fromQ = mulRow(fromQ, m)
 	}
 	// For the return leg we need, for each v, the probability that Lp steps
@@ -207,6 +214,9 @@ func EnumerateRoundTrips(view graph.View, q graph.NodeID, L, Lp int) ([]float64,
 	toQ := unitRow(n, int(q))
 	mt := transpose(m)
 	for i := 0; i < Lp; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		toQ = mulRow(toQ, mt)
 	}
 	out := make([]float64, n)

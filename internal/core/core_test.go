@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -33,7 +34,7 @@ func TestFig4ToyRoundTripEnumeration(t *testing.T) {
 	// Expected unnormalized probabilities: v1 = 0.05, v2 = 0.1, v3 = 0.05,
 	// t1 itself = 0.25, all other nodes' venues zero as listed.
 	toy := testgraphs.NewToy()
-	probs, err := EnumerateRoundTrips(toy.Graph, toy.T1, 2, 2)
+	probs, err := EnumerateRoundTrips(context.Background(), toy.Graph, toy.T1, 2, 2)
 	if err != nil {
 		t.Fatalf("EnumerateRoundTrips: %v", err)
 	}
@@ -72,10 +73,10 @@ func TestFig4ToyRoundTripEnumeration(t *testing.T) {
 
 func TestEnumerateRoundTripsErrors(t *testing.T) {
 	toy := testgraphs.NewToy()
-	if _, err := EnumerateRoundTrips(toy.Graph, -1, 2, 2); err == nil {
+	if _, err := EnumerateRoundTrips(context.Background(), toy.Graph, -1, 2, 2); err == nil {
 		t.Errorf("negative query node should error")
 	}
-	if _, err := EnumerateRoundTrips(toy.Graph, toy.T1, -1, 2); err == nil {
+	if _, err := EnumerateRoundTrips(context.Background(), toy.Graph, toy.T1, -1, 2); err == nil {
 		t.Errorf("negative L should error")
 	}
 }
@@ -85,7 +86,7 @@ func TestComputeAndDegenerateCases(t *testing.T) {
 	q := walk.SingleNode(toy.T1)
 	wp := walk.Params{Alpha: 0.25, Tol: 1e-12, MaxIter: 500}
 
-	s, err := Compute(toy.Graph, q, Params{Walk: wp, Beta: 0.5})
+	s, err := Compute(context.Background(), toy.Graph, q, Params{Walk: wp, Beta: 0.5})
 	if err != nil {
 		t.Fatalf("Compute: %v", err)
 	}
@@ -97,13 +98,13 @@ func TestComputeAndDegenerateCases(t *testing.T) {
 	}
 
 	// β = 0 reduces to F-Rank, β = 1 to T-Rank (Sect. IV-B special cases).
-	r0, err := RoundTripRankPlus(toy.Graph, q, wp, 0)
+	r0, err := RoundTripRankPlus(context.Background(), toy.Graph, q, wp, 0)
 	if err != nil {
-		t.Fatalf("RoundTripRankPlus(0): %v", err)
+		t.Fatalf("RoundTripRankPlus(context.Background(), 0): %v", err)
 	}
-	r1, err := RoundTripRankPlus(toy.Graph, q, wp, 1)
+	r1, err := RoundTripRankPlus(context.Background(), toy.Graph, q, wp, 1)
 	if err != nil {
-		t.Fatalf("RoundTripRankPlus(1): %v", err)
+		t.Fatalf("RoundTripRankPlus(context.Background(), 1): %v", err)
 	}
 	for v := range r0 {
 		if math.Abs(r0[v]-s.F[v]) > 1e-12 {
@@ -115,7 +116,7 @@ func TestComputeAndDegenerateCases(t *testing.T) {
 	}
 	// β = 0.5 equals RoundTripRank (rank equivalent to f·t): compare via
 	// explicit formula sqrt(f·t).
-	rHalf, err := RoundTripRank(toy.Graph, q, wp)
+	rHalf, err := RoundTripRank(context.Background(), toy.Graph, q, wp)
 	if err != nil {
 		t.Fatalf("RoundTripRank: %v", err)
 	}
@@ -129,10 +130,10 @@ func TestComputeAndDegenerateCases(t *testing.T) {
 
 func TestComputeValidation(t *testing.T) {
 	toy := testgraphs.NewToy()
-	if _, err := Compute(toy.Graph, walk.SingleNode(toy.T1), Params{Walk: walk.DefaultParams(), Beta: 2}); err == nil {
+	if _, err := Compute(context.Background(), toy.Graph, walk.SingleNode(toy.T1), Params{Walk: walk.DefaultParams(), Beta: 2}); err == nil {
 		t.Errorf("invalid beta should error")
 	}
-	if _, err := Compute(toy.Graph, walk.Query{}, DefaultParams()); err == nil {
+	if _, err := Compute(context.Background(), toy.Graph, walk.Query{}, DefaultParams()); err == nil {
 		t.Errorf("empty query should error")
 	}
 }
@@ -284,7 +285,7 @@ func TestQuickEnumerationMatchesDecomposition(t *testing.T) {
 		q := ids[rng.Intn(n)]
 		L := int(lRaw % 4)
 		Lp := int(lpRaw % 4)
-		probs, err := EnumerateRoundTrips(g, q, L, Lp)
+		probs, err := EnumerateRoundTrips(context.Background(), g, q, L, Lp)
 		if err != nil {
 			return false
 		}

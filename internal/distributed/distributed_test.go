@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"testing"
 
 	"roundtriprank/internal/datasets"
@@ -102,11 +103,11 @@ func TestDistributedTopKMatchesSingleMachine(t *testing.T) {
 
 	opt := topk.Options{K: 5, Epsilon: 0.01, Alpha: walk.DefaultAlpha, Beta: 0.5}
 	for _, q := range []graph.NodeID{net.Papers[0], net.Papers[37]} {
-		local, err := topk.TopK(g, walk.SingleNode(q), opt)
+		local, err := topk.TopK(context.Background(), g, walk.SingleNode(q), opt)
 		if err != nil {
 			t.Fatalf("local TopK: %v", err)
 		}
-		remote, err := topk.TopK(cluster.AP, walk.SingleNode(q), opt)
+		remote, err := topk.TopK(context.Background(), cluster.AP, walk.SingleNode(q), opt)
 		if err != nil {
 			t.Fatalf("distributed TopK: %v", err)
 		}

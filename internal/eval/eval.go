@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -39,7 +40,7 @@ type MeasureResult struct {
 // EvaluateTask runs every measure on every instance and reports NDCG@K.
 // The global PageRank of the underlying graph may be passed to avoid
 // recomputing it for ObjSqrtInv; it may be nil.
-func EvaluateTask(g *graph.Graph, instances []tasks.Instance, measures []baselines.Measure,
+func EvaluateTask(ctx context.Context, g *graph.Graph, instances []tasks.Instance, measures []baselines.Measure,
 	ks []int, wp walk.Params, globalPR []float64) ([]MeasureResult, error) {
 	if len(instances) == 0 {
 		return nil, fmt.Errorf("eval: no instances")
@@ -76,7 +77,8 @@ func EvaluateTask(g *graph.Graph, instances []tasks.Instance, measures []baselin
 			defer wg.Done()
 			for jb := range jobs {
 				inst := instances[jb.idx]
-				ctx := &baselines.Context{
+				mctx := &baselines.Context{
+					Ctx:      ctx,
 					View:     inst.View,
 					Query:    inst.Query,
 					Walk:     wp,
@@ -85,7 +87,7 @@ func EvaluateTask(g *graph.Graph, instances []tasks.Instance, measures []baselin
 				}
 				keep := core.TypeFilter(g, inst.TargetType, inst.QueryNode)
 				for mi, m := range measures {
-					scores, err := m.Score(ctx)
+					scores, err := m.Score(mctx)
 					if err != nil {
 						errOnce.Do(func() { firstErr = fmt.Errorf("eval: %s: %w", m.Name(), err) })
 						continue
@@ -129,7 +131,7 @@ func SignificanceP(a, b MeasureResult, k int) (float64, error) {
 
 // SweepBeta evaluates RoundTripRank+ over a grid of specificity biases and
 // returns mean NDCG@k per β (Fig. 8).
-func SweepBeta(g *graph.Graph, instances []tasks.Instance, betas []float64, k int, wp walk.Params) (map[float64]float64, error) {
+func SweepBeta(ctx context.Context, g *graph.Graph, instances []tasks.Instance, betas []float64, k int, wp walk.Params) (map[float64]float64, error) {
 	if len(betas) == 0 {
 		betas = DefaultBetaGrid()
 	}
@@ -137,7 +139,7 @@ func SweepBeta(g *graph.Graph, instances []tasks.Instance, betas []float64, k in
 	for i, b := range betas {
 		measures[i] = baselines.NewRoundTripRankPlus(b)
 	}
-	res, err := EvaluateTask(g, instances, measures, []int{k}, wp, nil)
+	res, err := EvaluateTask(ctx, g, instances, measures, []int{k}, wp, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -150,8 +152,8 @@ func SweepBeta(g *graph.Graph, instances []tasks.Instance, betas []float64, k in
 
 // TuneBeta returns the β with the highest mean NDCG@k on the development
 // instances, emulating the paper's per-task tuning with development queries.
-func TuneBeta(g *graph.Graph, dev []tasks.Instance, betas []float64, k int, wp walk.Params) (float64, error) {
-	sweep, err := SweepBeta(g, dev, betas, k, wp)
+func TuneBeta(ctx context.Context, g *graph.Graph, dev []tasks.Instance, betas []float64, k int, wp walk.Params) (float64, error) {
+	sweep, err := SweepBeta(ctx, g, dev, betas, k, wp)
 	if err != nil {
 		return 0, err
 	}
@@ -203,7 +205,7 @@ type EfficiencyConfig struct {
 // EvaluateEfficiency measures the query time of the online top-K schemes at
 // each slack and the approximation quality of 2SBound against the exact
 // ranking (Fig. 11a and 11b).
-func EvaluateEfficiency(g *graph.Graph, cfg EfficiencyConfig) ([]EfficiencyResult, error) {
+func EvaluateEfficiency(ctx context.Context, g *graph.Graph, cfg EfficiencyConfig) ([]EfficiencyResult, error) {
 	if len(cfg.Queries) == 0 {
 		return nil, fmt.Errorf("eval: no queries")
 	}
@@ -226,7 +228,7 @@ func EvaluateEfficiency(g *graph.Graph, cfg EfficiencyConfig) ([]EfficiencyResul
 	naiveTimes := make([]float64, len(cfg.Queries))
 	for i, q := range cfg.Queries {
 		start := time.Now()
-		ranked, _, err := topk.Naive(g, walk.SingleNode(q), topk.Options{K: cfg.K, Alpha: cfg.Alpha, Beta: core.BalancedBeta})
+		ranked, _, err := topk.Naive(ctx, g, walk.SingleNode(q), topk.Options{K: cfg.K, Alpha: cfg.Alpha, Beta: core.BalancedBeta})
 		if err != nil {
 			return nil, err
 		}
@@ -257,7 +259,7 @@ func EvaluateEfficiency(g *graph.Graph, cfg EfficiencyConfig) ([]EfficiencyResul
 				tracking := graph.NewTrackingView(g)
 				opt := topk.Options{K: cfg.K, Epsilon: eps, Alpha: cfg.Alpha, Beta: core.BalancedBeta, Scheme: scheme}
 				start := time.Now()
-				res, err := topk.TopK(tracking, walk.SingleNode(q), opt)
+				res, err := topk.TopK(ctx, tracking, walk.SingleNode(q), opt)
 				if err != nil {
 					return nil, err
 				}
@@ -307,7 +309,7 @@ type SnapshotResult struct {
 // EvaluateScalability runs 2SBound on each snapshot with the given slack and
 // reports snapshot size, active-set size and query time (Fig. 12). Queries are
 // sampled per snapshot from the provided seed.
-func EvaluateScalability(snapshots []*graph.Subgraph, labels []string, queriesPerSnapshot int,
+func EvaluateScalability(ctx context.Context, snapshots []*graph.Subgraph, labels []string, queriesPerSnapshot int,
 	epsilon float64, k int, seed int64) ([]SnapshotResult, error) {
 	if len(snapshots) == 0 {
 		return nil, fmt.Errorf("eval: no snapshots")
@@ -329,7 +331,7 @@ func EvaluateScalability(snapshots []*graph.Subgraph, labels []string, queriesPe
 			tracking := graph.NewTrackingView(g)
 			opt := topk.Options{K: k, Epsilon: epsilon, Alpha: walk.DefaultAlpha, Beta: core.BalancedBeta}
 			start := time.Now()
-			if _, err := topk.TopK(tracking, walk.SingleNode(q), opt); err != nil {
+			if _, err := topk.TopK(ctx, tracking, walk.SingleNode(q), opt); err != nil {
 				return nil, err
 			}
 			times = append(times, float64(time.Since(start).Microseconds())/1000.0)
@@ -382,14 +384,14 @@ func ComputeGrowthRates(rows []SnapshotResult) (*GrowthRates, error) {
 // IllustrativeRanking returns the top-k labels of a given node type for a
 // multi-term topic query under a measure — the qualitative venue rankings of
 // Fig. 1, 6 and 7.
-func IllustrativeRanking(g *graph.Graph, queryNodes []graph.NodeID, m baselines.Measure,
+func IllustrativeRanking(ctx context.Context, g *graph.Graph, queryNodes []graph.NodeID, m baselines.Measure,
 	targetType graph.Type, k int, wp walk.Params) ([]string, error) {
 	if len(queryNodes) == 0 {
 		return nil, fmt.Errorf("eval: empty query")
 	}
-	ctx := &baselines.Context{View: g, Query: walk.MultiNode(queryNodes...), Walk: wp,
+	mctx := &baselines.Context{Ctx: ctx, View: g, Query: walk.MultiNode(queryNodes...), Walk: wp,
 		Rand: rand.New(rand.NewSource(1))}
-	scores, err := m.Score(ctx)
+	scores, err := m.Score(mctx)
 	if err != nil {
 		return nil, err
 	}

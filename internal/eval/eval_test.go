@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestEvaluateTaskVenue(t *testing.T) {
 		baselines.NewAdamicAdar(),
 	}
 	wp := walk.Params{Alpha: 0.25, Tol: 1e-8, MaxIter: 100}
-	results, err := EvaluateTask(net.Graph, instances, measures, []int{5, 10}, wp, nil)
+	results, err := EvaluateTask(context.Background(), net.Graph, instances, measures, []int{5, 10}, wp, nil)
 	if err != nil {
 		t.Fatalf("EvaluateTask: %v", err)
 	}
@@ -78,7 +79,7 @@ func TestEvaluateTaskVenue(t *testing.T) {
 
 func TestEvaluateTaskErrors(t *testing.T) {
 	net := tinyBibNet(t)
-	if _, err := EvaluateTask(net.Graph, nil, nil, nil, walk.DefaultParams(), nil); err == nil {
+	if _, err := EvaluateTask(context.Background(), net.Graph, nil, nil, nil, walk.DefaultParams(), nil); err == nil {
 		t.Errorf("empty instances should error")
 	}
 }
@@ -91,14 +92,14 @@ func TestSweepAndTuneBeta(t *testing.T) {
 	}
 	wp := walk.Params{Alpha: 0.25, Tol: 1e-8, MaxIter: 100}
 	betas := []float64{0, 0.5, 1}
-	sweep, err := SweepBeta(net.Graph, instances, betas, 5, wp)
+	sweep, err := SweepBeta(context.Background(), net.Graph, instances, betas, 5, wp)
 	if err != nil {
 		t.Fatalf("SweepBeta: %v", err)
 	}
 	if len(sweep) != len(betas) {
 		t.Fatalf("sweep size %d, want %d", len(sweep), len(betas))
 	}
-	best, err := TuneBeta(net.Graph, instances, betas, 5, wp)
+	best, err := TuneBeta(context.Background(), net.Graph, instances, betas, 5, wp)
 	if err != nil {
 		t.Fatalf("TuneBeta: %v", err)
 	}
@@ -118,7 +119,7 @@ func TestEvaluateEfficiencyAndScalability(t *testing.T) {
 	net := tinyBibNet(t)
 	g := net.Graph
 	queries := []graph.NodeID{net.Papers[0], net.Papers[5], net.Papers[10]}
-	rows, err := EvaluateEfficiency(g, EfficiencyConfig{
+	rows, err := EvaluateEfficiency(context.Background(), g, EfficiencyConfig{
 		K:            5,
 		Queries:      queries,
 		Epsilons:     []float64{0.01},
@@ -153,7 +154,7 @@ func TestEvaluateEfficiencyAndScalability(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Snapshots: %v", err)
 	}
-	srows, err := EvaluateScalability(snaps, []string{"s1", "s2", "s3"}, 3, 0.01, 5, 9)
+	srows, err := EvaluateScalability(context.Background(), snaps, []string{"s1", "s2", "s3"}, 3, 0.01, 5, 9)
 	if err != nil {
 		t.Fatalf("EvaluateScalability: %v", err)
 	}
@@ -179,10 +180,10 @@ func TestEvaluateEfficiencyAndScalability(t *testing.T) {
 	if _, err := ComputeGrowthRates(nil); err == nil {
 		t.Errorf("empty rows should error")
 	}
-	if _, err := EvaluateEfficiency(g, EfficiencyConfig{}); err == nil {
+	if _, err := EvaluateEfficiency(context.Background(), g, EfficiencyConfig{}); err == nil {
 		t.Errorf("no queries should error")
 	}
-	if _, err := EvaluateScalability(nil, nil, 1, 0.01, 5, 1); err == nil {
+	if _, err := EvaluateScalability(context.Background(), nil, nil, 1, 0.01, 5, 1); err == nil {
 		t.Errorf("no snapshots should error")
 	}
 }
@@ -194,11 +195,11 @@ func TestIllustrativeRanking(t *testing.T) {
 		t.Fatalf("no query terms")
 	}
 	wp := walk.Params{Alpha: 0.25, Tol: 1e-8, MaxIter: 100}
-	venuesF, err := IllustrativeRanking(net.Graph, terms, baselines.NewFRank(), datasets.TypeVenue, 5, wp)
+	venuesF, err := IllustrativeRanking(context.Background(), net.Graph, terms, baselines.NewFRank(), datasets.TypeVenue, 5, wp)
 	if err != nil {
 		t.Fatalf("IllustrativeRanking: %v", err)
 	}
-	venuesR, err := IllustrativeRanking(net.Graph, terms, baselines.NewRoundTripRank(), datasets.TypeVenue, 5, wp)
+	venuesR, err := IllustrativeRanking(context.Background(), net.Graph, terms, baselines.NewRoundTripRank(), datasets.TypeVenue, 5, wp)
 	if err != nil {
 		t.Fatalf("IllustrativeRanking: %v", err)
 	}
@@ -211,7 +212,7 @@ func TestIllustrativeRanking(t *testing.T) {
 	if !strings.Contains(out, "RoundTripRank") {
 		t.Errorf("illustrative rendering missing measure")
 	}
-	if _, err := IllustrativeRanking(net.Graph, nil, baselines.NewFRank(), datasets.TypeVenue, 5, wp); err == nil {
+	if _, err := IllustrativeRanking(context.Background(), net.Graph, nil, baselines.NewFRank(), datasets.TypeVenue, 5, wp); err == nil {
 		t.Errorf("empty query should error")
 	}
 }

@@ -6,6 +6,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -66,6 +67,12 @@ type Options struct {
 	Beta float64
 	// Scheme selects the bound machinery (default Scheme2SBound).
 	Scheme Scheme
+	// Keep, when non-nil, restricts the result set: only nodes for which it
+	// returns true are admitted as top-K candidates (use it to filter by node
+	// type and to exclude the query itself, the paper's Sect. VI-A protocol).
+	// Filtered-out nodes still participate in the expansions — they carry
+	// probability mass — but never appear in the ranking.
+	Keep func(graph.NodeID) bool
 	// FExpansion and TExpansion override the per-round expansion widths m for
 	// the two neighborhoods (defaults 100 and 5).
 	FExpansion int
@@ -139,8 +146,10 @@ type searcher struct {
 }
 
 // TopK runs the online top-K algorithm for the query and returns the
-// approximate top-K ranking by RoundTripRank+.
-func TopK(view graph.View, q walk.Query, opt Options) (*Result, error) {
+// approximate top-K ranking by RoundTripRank+. Cancelling the context aborts
+// the search within one expansion round and returns ctx.Err().
+func TopK(ctx context.Context, view graph.View, q walk.Query, opt Options) (*Result, error) {
+	ctx = walk.OrBackground(ctx)
 	opt, err := opt.normalized()
 	if err != nil {
 		return nil, err
@@ -187,12 +196,15 @@ func TopK(view graph.View, q walk.Query, opt Options) (*Result, error) {
 		expF: 2 * (1 - opt.Beta),
 		expT: 2 * opt.Beta,
 	}
-	return s.run()
+	return s.run(ctx)
 }
 
-func (s *searcher) run() (*Result, error) {
+func (s *searcher) run(ctx context.Context) (*Result, error) {
 	res := &Result{}
 	for round := 0; round < s.opt.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fProgress := s.fb.Expand()
 		tProgress := s.tb.Expand()
 		res.Rounds++
@@ -294,12 +306,15 @@ type member struct {
 	lower, upper float64
 }
 
-// candidate assembles the r-neighborhood S = Sf ∩ St sorted by lower bound and
-// reports whether it already holds at least K nodes.
+// candidate assembles the r-neighborhood S = Sf ∩ St (restricted to nodes the
+// Keep filter admits) sorted by lower bound and reports whether it already
+// holds at least K nodes. Nodes rejected by Keep never enter the candidate
+// ranking, but the unseen upper bound remains over all unseen nodes, which is
+// conservative: it can only delay termination, never admit a wrong result.
 func (s *searcher) candidate() ([]member, bool) {
 	var members []member
 	s.fb.EachSeen(func(v graph.NodeID, _, _ float64) {
-		if s.tb.Seen(v) {
+		if s.tb.Seen(v) && (s.opt.Keep == nil || s.opt.Keep(v)) {
 			members = append(members, member{node: v, lower: s.rLower(v), upper: s.rUpper(v)})
 		}
 	})
@@ -354,13 +369,14 @@ func (s *searcher) rankedFrom(members []member) []core.Ranked {
 
 // Naive computes the exact top-K ranking with the iterative solvers (Eq. 5 and
 // 8), the baseline labelled "Naive" in Fig. 11(a). It also returns the full
-// exact score vector so that callers can evaluate approximation quality.
-func Naive(view graph.View, q walk.Query, opt Options) ([]core.Ranked, []float64, error) {
+// exact score vector so that callers can evaluate approximation quality. The
+// Keep filter is honored exactly as in TopK.
+func Naive(ctx context.Context, view graph.View, q walk.Query, opt Options) ([]core.Ranked, []float64, error) {
 	opt, err := opt.normalized()
 	if err != nil {
 		return nil, nil, err
 	}
-	scores, err := core.Compute(view, q, core.Params{
+	scores, err := core.Compute(ctx, view, q, core.Params{
 		Walk: walk.Params{Alpha: opt.Alpha},
 		Beta: opt.Beta,
 	})
@@ -373,5 +389,5 @@ func Naive(view graph.View, q walk.Query, opt Options) ([]core.Ranked, []float64
 	for i := range rescaled {
 		rescaled[i] = math.Pow(scores.F[i], 2*(1-opt.Beta)) * math.Pow(scores.T[i], 2*opt.Beta)
 	}
-	return core.TopN(rescaled, opt.K, nil), rescaled, nil
+	return core.TopN(rescaled, opt.K, opt.Keep), rescaled, nil
 }

@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -22,14 +23,14 @@ func TestOptionsValidation(t *testing.T) {
 		{K: 3, Alpha: 0.25, Beta: 0.5, Scheme: Scheme(99)},
 	}
 	for i, o := range bad {
-		if _, err := TopK(toy.Graph, q, o); err == nil {
+		if _, err := TopK(context.Background(), toy.Graph, q, o); err == nil {
 			t.Errorf("case %d should error", i)
 		}
 	}
-	if _, _, err := Naive(toy.Graph, q, Options{K: 0}); err == nil {
+	if _, _, err := Naive(context.Background(), toy.Graph, q, Options{K: 0}); err == nil {
 		t.Errorf("Naive with K=0 should error")
 	}
-	if _, err := TopK(toy.Graph, walk.Query{}, DefaultOptions()); err == nil {
+	if _, err := TopK(context.Background(), toy.Graph, walk.Query{}, DefaultOptions()); err == nil {
 		t.Errorf("empty query should error")
 	}
 }
@@ -51,7 +52,7 @@ func TestSchemeString(t *testing.T) {
 
 func TestNaiveTopVenueOnToy(t *testing.T) {
 	toy := testgraphs.NewToy()
-	ranked, scores, err := Naive(toy.Graph, walk.SingleNode(toy.T1), Options{K: 3, Alpha: 0.25, Beta: 0.5})
+	ranked, scores, err := Naive(context.Background(), toy.Graph, walk.SingleNode(toy.T1), Options{K: 3, Alpha: 0.25, Beta: 0.5})
 	if err != nil {
 		t.Fatalf("Naive: %v", err)
 	}
@@ -72,14 +73,14 @@ func TestTopKMatchesNaiveOnToy(t *testing.T) {
 	q := walk.SingleNode(toy.T1)
 	for _, scheme := range []Scheme{Scheme2SBound, SchemeGS, SchemeGupta, SchemeSarkar} {
 		opt := Options{K: 5, Epsilon: 1e-6, Alpha: 0.25, Beta: 0.5, Scheme: scheme, FExpansion: 3, TExpansion: 2}
-		res, err := TopK(toy.Graph, q, opt)
+		res, err := TopK(context.Background(), toy.Graph, q, opt)
 		if err != nil {
 			t.Fatalf("%v: TopK: %v", scheme, err)
 		}
 		if !res.Converged {
 			t.Errorf("%v: should converge on the toy graph", scheme)
 		}
-		naive, _, err := Naive(toy.Graph, q, opt)
+		naive, _, err := Naive(context.Background(), toy.Graph, q, opt)
 		if err != nil {
 			t.Fatalf("Naive: %v", err)
 		}
@@ -105,11 +106,11 @@ func TestTopKBetaExtremes(t *testing.T) {
 	q := walk.SingleNode(toy.T1)
 	for _, beta := range []float64{0, 0.25, 0.5, 0.75, 1} {
 		opt := Options{K: 4, Epsilon: 1e-6, Alpha: 0.25, Beta: beta, FExpansion: 3, TExpansion: 2}
-		res, err := TopK(toy.Graph, q, opt)
+		res, err := TopK(context.Background(), toy.Graph, q, opt)
 		if err != nil {
 			t.Fatalf("beta=%g: %v", beta, err)
 		}
-		naive, _, err := Naive(toy.Graph, q, opt)
+		naive, _, err := Naive(context.Background(), toy.Graph, q, opt)
 		if err != nil {
 			t.Fatalf("beta=%g naive: %v", beta, err)
 		}
@@ -127,7 +128,7 @@ func TestTopKDisconnectedTarget(t *testing.T) {
 	// alone; the algorithm must terminate (exhaustion) and not spin.
 	g := testgraphs.Line(5)
 	opt := Options{K: 3, Epsilon: 0.001, Alpha: 0.25, Beta: 0.5, MaxRounds: 1000}
-	res, err := TopK(g, walk.SingleNode(0), opt)
+	res, err := TopK(context.Background(), g, walk.SingleNode(0), opt)
 	if err != nil {
 		t.Fatalf("TopK: %v", err)
 	}
@@ -142,7 +143,7 @@ func TestTopKDisconnectedTarget(t *testing.T) {
 func TestTopKMaxRoundsCap(t *testing.T) {
 	toy := testgraphs.NewToy()
 	opt := Options{K: 5, Epsilon: 0, Alpha: 0.25, Beta: 0.5, MaxRounds: 1, FExpansion: 1, TExpansion: 1}
-	res, err := TopK(toy.Graph, walk.SingleNode(toy.T1), opt)
+	res, err := TopK(context.Background(), toy.Graph, walk.SingleNode(toy.T1), opt)
 	if err != nil {
 		t.Fatalf("TopK: %v", err)
 	}
@@ -188,11 +189,11 @@ func TestEpsilonGuaranteeOnToy(t *testing.T) {
 	q := walk.SingleNode(toy.T1)
 	for _, eps := range []float64{0.001, 0.01, 0.05} {
 		opt := Options{K: 5, Epsilon: eps, Alpha: 0.25, Beta: 0.5, FExpansion: 2, TExpansion: 2}
-		res, err := TopK(toy.Graph, q, opt)
+		res, err := TopK(context.Background(), toy.Graph, q, opt)
 		if err != nil {
 			t.Fatalf("TopK: %v", err)
 		}
-		_, exact, err := Naive(toy.Graph, q, opt)
+		_, exact, err := Naive(context.Background(), toy.Graph, q, opt)
 		if err != nil {
 			t.Fatalf("Naive: %v", err)
 		}
@@ -239,11 +240,11 @@ func TestQuickTopKApproximationGuarantee(t *testing.T) {
 			FExpansion: 1 + rng.Intn(10),
 			TExpansion: 1 + rng.Intn(4),
 		}
-		res, err := TopK(g, q, opt)
+		res, err := TopK(context.Background(), g, q, opt)
 		if err != nil {
 			return false
 		}
-		_, exact, err := Naive(g, q, opt)
+		_, exact, err := Naive(context.Background(), g, q, opt)
 		if err != nil {
 			return false
 		}
@@ -278,11 +279,11 @@ func TestQuickTopKMatchesExactWithoutTies(t *testing.T) {
 		k := 3
 		eps := 1e-9
 		opt := Options{K: k, Epsilon: eps, Alpha: 0.25, Beta: 0.5, FExpansion: 5, TExpansion: 3}
-		res, err := TopK(g, q, opt)
+		res, err := TopK(context.Background(), g, q, opt)
 		if err != nil {
 			return false
 		}
-		naive, exact, err := Naive(g, q, opt)
+		naive, exact, err := Naive(context.Background(), g, q, opt)
 		if err != nil {
 			return false
 		}
@@ -306,5 +307,51 @@ func TestQuickTopKMatchesExactWithoutTies(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestKeepFilter verifies that the Keep option restricts the candidate set on
+// both the online and the naive path and that the two agree at epsilon = 0
+// (the paper's "find nodes of a target type" protocol).
+func TestKeepFilter(t *testing.T) {
+	toy := testgraphs.NewToy()
+	keepVenue := func(v graph.NodeID) bool { return toy.Graph.Type(v) == testgraphs.TypeVenue }
+	opt := Options{K: 3, Epsilon: 0, Alpha: 0.25, Beta: 0.5, Keep: keepVenue}
+
+	res, err := TopK(context.Background(), toy.Graph, walk.SingleNode(toy.T1), opt)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
+	naive, _, err := Naive(context.Background(), toy.Graph, walk.SingleNode(toy.T1), opt)
+	if err != nil {
+		t.Fatalf("Naive: %v", err)
+	}
+	if len(res.TopK) != 3 || len(naive) != 3 {
+		t.Fatalf("want 3 venues from both paths, got %d online, %d naive", len(res.TopK), len(naive))
+	}
+	for i := range naive {
+		if res.TopK[i].Node != naive[i].Node {
+			t.Errorf("rank %d: online %d != naive %d", i, res.TopK[i].Node, naive[i].Node)
+		}
+		if toy.Graph.Type(res.TopK[i].Node) != testgraphs.TypeVenue {
+			t.Errorf("rank %d: node %d is not a venue", i, res.TopK[i].Node)
+		}
+	}
+	if res.TopK[0].Node != toy.V2 {
+		t.Errorf("top venue should be v2, got %d", res.TopK[0].Node)
+	}
+}
+
+// TestTopKCancellation verifies that a cancelled context aborts the search
+// before any expansion round runs.
+func TestTopKCancellation(t *testing.T) {
+	toy := testgraphs.NewToy()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TopK(ctx, toy.Graph, walk.SingleNode(toy.T1), DefaultOptions()); err != context.Canceled {
+		t.Errorf("TopK with cancelled context: got %v, want context.Canceled", err)
+	}
+	if _, _, err := Naive(ctx, toy.Graph, walk.SingleNode(toy.T1), DefaultOptions()); err != context.Canceled {
+		t.Errorf("Naive with cancelled context: got %v, want context.Canceled", err)
 	}
 }

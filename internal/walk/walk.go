@@ -7,12 +7,24 @@
 package walk
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"roundtriprank/internal/graph"
 )
+
+// OrBackground returns ctx, or context.Background when ctx is nil. Every
+// solver entry point here and in the dependent packages (core, topk, bca)
+// normalizes its context with it once, so the iteration loops can call
+// ctx.Err() directly.
+func OrBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
 
 // DefaultAlpha is the teleport probability used throughout the paper's
 // experiments (Sect. VI-A1): walk lengths are Geometric(0.25).
@@ -135,7 +147,11 @@ func (q Query) restart(dst []float64) error {
 // Personalized PageRank with teleport probability Alpha (Proposition 1). The
 // returned slice sums to one. Mass at dangling nodes (zero out-degree) is
 // restarted at the query, the standard PPR correction.
-func FRank(view graph.View, q Query, p Params) ([]float64, error) {
+//
+// The context is checked once per power iteration: cancelling it makes FRank
+// return ctx.Err() within one sweep over the edges.
+func FRank(ctx context.Context, view graph.View, q Query, p Params) ([]float64, error) {
+	ctx = OrBackground(ctx)
 	p, err := p.normalized()
 	if err != nil {
 		return nil, err
@@ -150,6 +166,9 @@ func FRank(view graph.View, q Query, p Params) ([]float64, error) {
 	copy(cur, restart)
 
 	for iter := 0; iter < p.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for i := range next {
 			next[i] = p.Alpha * restart[i]
 		}
@@ -191,8 +210,10 @@ func FRank(view graph.View, q Query, p Params) ([]float64, error) {
 // geometric length starting from v ends at the query (Eq. 8). Unlike F-Rank,
 // t(q, ·) is not a distribution over v; each entry is a probability in [0, 1].
 // For a multi-node query, t(q, v) is the query-weighted mixture of the
-// single-node values, mirroring the linearity used for F-Rank.
-func TRank(view graph.View, q Query, p Params) ([]float64, error) {
+// single-node values, mirroring the linearity used for F-Rank. The context is
+// checked once per iteration, as in FRank.
+func TRank(ctx context.Context, view graph.View, q Query, p Params) ([]float64, error) {
+	ctx = OrBackground(ctx)
 	p, err := p.normalized()
 	if err != nil {
 		return nil, err
@@ -208,6 +229,9 @@ func TRank(view graph.View, q Query, p Params) ([]float64, error) {
 		cur[i] = p.Alpha * restart[i]
 	}
 	for iter := 0; iter < p.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for v := 0; v < n; v++ {
 			acc := p.Alpha * restart[v]
 			sum := view.OutWeightSum(graph.NodeID(v))
@@ -235,7 +259,8 @@ func TRank(view graph.View, q Query, p Params) ([]float64, error) {
 // teleports to a uniformly random node with probability d. It is used by the
 // ObjSqrtInv baseline (global ObjectRank) and as a popularity prior in the
 // dataset generators.
-func GlobalPageRank(view graph.View, d float64, tol float64, maxIter int) ([]float64, error) {
+func GlobalPageRank(ctx context.Context, view graph.View, d float64, tol float64, maxIter int) ([]float64, error) {
+	ctx = OrBackground(ctx)
 	if d <= 0 || d >= 1 {
 		return nil, fmt.Errorf("walk: damping must be in (0,1), got %g", d)
 	}
@@ -256,6 +281,9 @@ func GlobalPageRank(view graph.View, d float64, tol float64, maxIter int) ([]flo
 		cur[i] = uniform
 	}
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		dangling := 0.0
 		for i := range next {
 			next[i] = d * uniform

@@ -1,6 +1,7 @@
 package walk
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -71,7 +72,7 @@ func denseGeometricReach(m [][]float64, src int, alpha float64) []float64 {
 func TestFRankMatchesDenseEnumeration(t *testing.T) {
 	toy := testgraphs.NewToy()
 	p := Params{Alpha: 0.25, Tol: 1e-12, MaxIter: 500}
-	f, err := FRank(toy.Graph, SingleNode(toy.T1), p)
+	f, err := FRank(context.Background(), toy.Graph, SingleNode(toy.T1), p)
 	if err != nil {
 		t.Fatalf("FRank: %v", err)
 	}
@@ -90,7 +91,7 @@ func TestFRankMatchesDenseEnumeration(t *testing.T) {
 func TestTRankMatchesDenseEnumeration(t *testing.T) {
 	toy := testgraphs.NewToy()
 	p := Params{Alpha: 0.25, Tol: 1e-12, MaxIter: 500}
-	tr, err := TRank(toy.Graph, SingleNode(toy.T1), p)
+	tr, err := TRank(context.Background(), toy.Graph, SingleNode(toy.T1), p)
 	if err != nil {
 		t.Fatalf("TRank: %v", err)
 	}
@@ -107,7 +108,7 @@ func TestFRankCycleClosedForm(t *testing.T) {
 	n := 6
 	alpha := 0.3
 	g := testgraphs.Cycle(n)
-	f, err := FRank(g, SingleNode(0), Params{Alpha: alpha, Tol: 1e-13, MaxIter: 1000})
+	f, err := FRank(context.Background(), g, SingleNode(0), Params{Alpha: alpha, Tol: 1e-13, MaxIter: 1000})
 	if err != nil {
 		t.Fatalf("FRank: %v", err)
 	}
@@ -125,7 +126,7 @@ func TestTRankCycleClosedForm(t *testing.T) {
 	n := 5
 	alpha := 0.25
 	g := testgraphs.Cycle(n)
-	tr, err := TRank(g, SingleNode(0), Params{Alpha: alpha, Tol: 1e-13, MaxIter: 1000})
+	tr, err := TRank(context.Background(), g, SingleNode(0), Params{Alpha: alpha, Tol: 1e-13, MaxIter: 1000})
 	if err != nil {
 		t.Fatalf("TRank: %v", err)
 	}
@@ -147,11 +148,11 @@ func TestToyGraphImportanceSpecificityOrdering(t *testing.T) {
 	// to return to t1 from them).
 	toy := testgraphs.NewToy()
 	p := DefaultParams()
-	f, err := FRank(toy.Graph, SingleNode(toy.T1), p)
+	f, err := FRank(context.Background(), toy.Graph, SingleNode(toy.T1), p)
 	if err != nil {
 		t.Fatalf("FRank: %v", err)
 	}
-	tr, err := TRank(toy.Graph, SingleNode(toy.T1), p)
+	tr, err := TRank(context.Background(), toy.Graph, SingleNode(toy.T1), p)
 	if err != nil {
 		t.Fatalf("TRank: %v", err)
 	}
@@ -166,7 +167,7 @@ func TestToyGraphImportanceSpecificityOrdering(t *testing.T) {
 func TestFRankDanglingMassRestartsAtQuery(t *testing.T) {
 	// Line graph: node 3 is dangling; total mass must still sum to 1.
 	g := testgraphs.Line(4)
-	f, err := FRank(g, SingleNode(0), Params{Alpha: 0.2, Tol: 1e-12, MaxIter: 500})
+	f, err := FRank(context.Background(), g, SingleNode(0), Params{Alpha: 0.2, Tol: 1e-12, MaxIter: 500})
 	if err != nil {
 		t.Fatalf("FRank: %v", err)
 	}
@@ -185,7 +186,7 @@ func TestTRankOnLineDirectionality(t *testing.T) {
 	// query so t > 0 everywhere, but with query 0 only node 0 has t > 0.
 	g := testgraphs.Line(4)
 	p := DefaultParams()
-	tEnd, err := TRank(g, SingleNode(3), p)
+	tEnd, err := TRank(context.Background(), g, SingleNode(3), p)
 	if err != nil {
 		t.Fatalf("TRank: %v", err)
 	}
@@ -194,7 +195,7 @@ func TestTRankOnLineDirectionality(t *testing.T) {
 			t.Errorf("t(3,%d) should be positive, got %g", v, tEnd[v])
 		}
 	}
-	tStart, err := TRank(g, SingleNode(0), p)
+	tStart, err := TRank(context.Background(), g, SingleNode(0), p)
 	if err != nil {
 		t.Fatalf("TRank: %v", err)
 	}
@@ -212,24 +213,24 @@ func TestMultiNodeQueryLinearity(t *testing.T) {
 	toy := testgraphs.NewToy()
 	p := Params{Alpha: 0.25, Tol: 1e-12, MaxIter: 500}
 	q := MultiNode(toy.T1, toy.T2)
-	f, err := FRank(toy.Graph, q, p)
+	f, err := FRank(context.Background(), toy.Graph, q, p)
 	if err != nil {
 		t.Fatalf("FRank multi: %v", err)
 	}
-	f1, _ := FRank(toy.Graph, SingleNode(toy.T1), p)
-	f2, _ := FRank(toy.Graph, SingleNode(toy.T2), p)
+	f1, _ := FRank(context.Background(), toy.Graph, SingleNode(toy.T1), p)
+	f2, _ := FRank(context.Background(), toy.Graph, SingleNode(toy.T2), p)
 	for v := range f {
 		want := 0.5*f1[v] + 0.5*f2[v]
 		if math.Abs(f[v]-want) > 1e-8 {
 			t.Errorf("linearity violated at %d: %g vs %g", v, f[v], want)
 		}
 	}
-	tr, err := TRank(toy.Graph, q, p)
+	tr, err := TRank(context.Background(), toy.Graph, q, p)
 	if err != nil {
 		t.Fatalf("TRank multi: %v", err)
 	}
-	t1, _ := TRank(toy.Graph, SingleNode(toy.T1), p)
-	t2, _ := TRank(toy.Graph, SingleNode(toy.T2), p)
+	t1, _ := TRank(context.Background(), toy.Graph, SingleNode(toy.T1), p)
+	t2, _ := TRank(context.Background(), toy.Graph, SingleNode(toy.T2), p)
 	for v := range tr {
 		want := 0.5*t1[v] + 0.5*t2[v]
 		if math.Abs(tr[v]-want) > 1e-8 {
@@ -241,7 +242,7 @@ func TestMultiNodeQueryLinearity(t *testing.T) {
 func TestFRankMonteCarloAgreement(t *testing.T) {
 	toy := testgraphs.NewToy()
 	alpha := 0.25
-	f, err := FRank(toy.Graph, SingleNode(toy.T1), Params{Alpha: alpha})
+	f, err := FRank(context.Background(), toy.Graph, SingleNode(toy.T1), Params{Alpha: alpha})
 	if err != nil {
 		t.Fatalf("FRank: %v", err)
 	}
@@ -263,7 +264,7 @@ func TestFRankMonteCarloAgreement(t *testing.T) {
 
 func TestGlobalPageRank(t *testing.T) {
 	g := testgraphs.Cycle(8)
-	pr, err := GlobalPageRank(g, 0.15, 1e-12, 500)
+	pr, err := GlobalPageRank(context.Background(), g, 0.15, 1e-12, 500)
 	if err != nil {
 		t.Fatalf("GlobalPageRank: %v", err)
 	}
@@ -276,7 +277,7 @@ func TestGlobalPageRank(t *testing.T) {
 		}
 	}
 	star := testgraphs.Star(10)
-	prs, err := GlobalPageRank(star, 0.15, 1e-12, 500)
+	prs, err := GlobalPageRank(context.Background(), star, 0.15, 1e-12, 500)
 	if err != nil {
 		t.Fatalf("GlobalPageRank star: %v", err)
 	}
@@ -287,39 +288,39 @@ func TestGlobalPageRank(t *testing.T) {
 
 func TestGlobalPageRankErrors(t *testing.T) {
 	g := testgraphs.Cycle(3)
-	if _, err := GlobalPageRank(g, 0, 1e-9, 10); err == nil {
+	if _, err := GlobalPageRank(context.Background(), g, 0, 1e-9, 10); err == nil {
 		t.Errorf("damping 0 should error")
 	}
-	if _, err := GlobalPageRank(g, 1.2, 1e-9, 10); err == nil {
+	if _, err := GlobalPageRank(context.Background(), g, 1.2, 1e-9, 10); err == nil {
 		t.Errorf("damping > 1 should error")
 	}
 	empty := graph.NewBuilder().MustBuild()
-	if _, err := GlobalPageRank(empty, 0.15, 1e-9, 10); err == nil {
+	if _, err := GlobalPageRank(context.Background(), empty, 0.15, 1e-9, 10); err == nil {
 		t.Errorf("empty graph should error")
 	}
 }
 
 func TestParamsValidation(t *testing.T) {
 	g := testgraphs.Cycle(3)
-	if _, err := FRank(g, SingleNode(0), Params{Alpha: 0}); err == nil {
+	if _, err := FRank(context.Background(), g, SingleNode(0), Params{Alpha: 0}); err == nil {
 		t.Errorf("alpha 0 should error")
 	}
-	if _, err := TRank(g, SingleNode(0), Params{Alpha: 1}); err == nil {
+	if _, err := TRank(context.Background(), g, SingleNode(0), Params{Alpha: 1}); err == nil {
 		t.Errorf("alpha 1 should error")
 	}
-	if _, err := FRank(g, Query{}, DefaultParams()); err == nil {
+	if _, err := FRank(context.Background(), g, Query{}, DefaultParams()); err == nil {
 		t.Errorf("empty query should error")
 	}
-	if _, err := FRank(g, Query{Nodes: []graph.NodeID{0}, Weights: []float64{-1}}, DefaultParams()); err == nil {
+	if _, err := FRank(context.Background(), g, Query{Nodes: []graph.NodeID{0}, Weights: []float64{-1}}, DefaultParams()); err == nil {
 		t.Errorf("negative query weight should error")
 	}
-	if _, err := FRank(g, Query{Nodes: []graph.NodeID{0}, Weights: []float64{0}}, DefaultParams()); err == nil {
+	if _, err := FRank(context.Background(), g, Query{Nodes: []graph.NodeID{0}, Weights: []float64{0}}, DefaultParams()); err == nil {
 		t.Errorf("zero-total query should error")
 	}
-	if _, err := FRank(g, SingleNode(99), DefaultParams()); err == nil {
+	if _, err := FRank(context.Background(), g, SingleNode(99), DefaultParams()); err == nil {
 		t.Errorf("out-of-range query node should error")
 	}
-	if _, err := TRank(g, SingleNode(99), DefaultParams()); err == nil {
+	if _, err := TRank(context.Background(), g, SingleNode(99), DefaultParams()); err == nil {
 		t.Errorf("out-of-range query node should error for TRank")
 	}
 }
@@ -404,11 +405,11 @@ func TestQuickRankInvariants(t *testing.T) {
 		g := b.MustBuild()
 		q := ids[rng.Intn(n)]
 		p := Params{Alpha: 0.1 + 0.8*rng.Float64(), Tol: 1e-10, MaxIter: 300}
-		fr, err := FRank(g, SingleNode(q), p)
+		fr, err := FRank(context.Background(), g, SingleNode(q), p)
 		if err != nil {
 			return false
 		}
-		tr, err := TRank(g, SingleNode(q), p)
+		tr, err := TRank(context.Background(), g, SingleNode(q), p)
 		if err != nil {
 			return false
 		}

@@ -11,7 +11,9 @@
 // [0, 1] that trades the two senses off: β = 0 is pure importance, β = 1 pure
 // specificity, β = 0.5 the balanced RoundTripRank.
 //
-// Basic usage:
+// The entry point is the Engine, which executes Requests — each carrying the
+// query distribution, K, per-query α/β/ε overrides, a declarative Filter and
+// an execution Method — and returns Responses:
 //
 //	b := roundtriprank.NewGraphBuilder()
 //	alice := b.AddNode(1, "author:alice")
@@ -19,20 +21,28 @@
 //	b.MustAddUndirectedEdge(alice, paper, 1)
 //	g := b.MustBuild()
 //
-//	ranker, _ := roundtriprank.NewRanker(g)
-//	results, _ := ranker.Rank(roundtriprank.SingleNode(paper), 10)
+//	engine, _ := roundtriprank.NewEngine(g)
+//	resp, _ := engine.Rank(ctx, roundtriprank.Request{
+//		Query:  roundtriprank.SingleNode(paper),
+//		K:      10,
+//		Filter: &roundtriprank.Filter{Types: []roundtriprank.NodeType{1}, ExcludeQuery: true},
+//	})
 //
-// For online queries on large graphs use Ranker.TopK, which runs the 2SBound
-// branch-and-bound algorithm and returns an ε-approximate top-K without
-// touching most of the graph.
+// The default Method, Auto, plans exact full-vector solves on small in-memory
+// graphs and the online 2SBound branch-and-bound search on large (or remote,
+// AP/GP-distributed) ones; Exact, TwoSBound and BoundScheme select a path
+// explicitly. Engine.RankBatch amortizes a batch of queries by sharing
+// single-node score vectors through the Linearity Theorem, and every
+// computation honors context cancellation. The Ranker type is the deprecated
+// pre-Engine API, kept as a thin shim.
 package roundtriprank
 
 import (
+	"context"
 	"fmt"
 
 	"roundtriprank/internal/core"
 	"roundtriprank/internal/graph"
-	"roundtriprank/internal/topk"
 	"roundtriprank/internal/walk"
 )
 
@@ -73,29 +83,31 @@ type Result struct {
 	Score float64
 }
 
-// Option configures a Ranker.
-type Option func(*Ranker) error
+// Option configures the default parameters of an Engine (and of the
+// deprecated Ranker, which wraps one). Per-query overrides on the Request take
+// precedence over these defaults.
+type Option func(*Engine) error
 
-// WithAlpha sets the teleport probability α of the underlying geometric random
-// walks (default 0.25, the paper's setting).
+// WithAlpha sets the default teleport probability α of the underlying
+// geometric random walks (default 0.25, the paper's setting).
 func WithAlpha(alpha float64) Option {
-	return func(r *Ranker) error {
+	return func(e *Engine) error {
 		if alpha <= 0 || alpha >= 1 {
 			return fmt.Errorf("roundtriprank: alpha must be in (0,1), got %g", alpha)
 		}
-		r.params.Walk.Alpha = alpha
+		e.params.Walk.Alpha = alpha
 		return nil
 	}
 }
 
-// WithBeta sets the specificity bias β of RoundTripRank+ (default 0.5, the
-// balanced RoundTripRank).
+// WithBeta sets the default specificity bias β of RoundTripRank+ (default
+// 0.5, the balanced RoundTripRank).
 func WithBeta(beta float64) Option {
-	return func(r *Ranker) error {
+	return func(e *Engine) error {
 		if beta < 0 || beta > 1 {
 			return fmt.Errorf("roundtriprank: beta must be in [0,1], got %g", beta)
 		}
-		r.params.Beta = beta
+		e.params.Beta = beta
 		return nil
 	}
 }
@@ -105,53 +117,68 @@ func WithBeta(beta float64) Option {
 // surfers shortcut the return leg, specificity-only surfers shortcut the
 // outbound leg.
 func WithSurferComposition(balanced, importanceOnly, specificityOnly int) Option {
-	return func(r *Ranker) error {
+	return func(e *Engine) error {
 		beta, err := core.SpecificityBiasFromSurfers(balanced, importanceOnly, specificityOnly)
 		if err != nil {
 			return err
 		}
-		r.params.Beta = beta
+		e.params.Beta = beta
 		return nil
 	}
 }
 
-// WithTolerance sets the convergence tolerance of the exact iterative solvers.
+// WithTolerance sets the default convergence tolerance of the exact iterative
+// solvers.
 func WithTolerance(tol float64) Option {
-	return func(r *Ranker) error {
+	return func(e *Engine) error {
 		if tol <= 0 {
 			return fmt.Errorf("roundtriprank: tolerance must be positive")
 		}
-		r.params.Walk.Tol = tol
+		e.params.Walk.Tol = tol
+		return nil
+	}
+}
+
+// WithExactLimit sets the graph size up to which the Auto method plans the
+// exact path (default DefaultExactLimit). Zero forces Auto to always choose
+// the online search.
+func WithExactLimit(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("roundtriprank: exact limit must be non-negative, got %d", n)
+		}
+		e.exactLimit = n
 		return nil
 	}
 }
 
 // Ranker computes RoundTripRank(+) scores and rankings over one graph view.
+//
+// Deprecated: Ranker is the pre-Engine API. It freezes parameters at
+// construction, has no context support and splits inconsistent entry points
+// (Rank takes a filter but no ε, TopK takes ε but no filter). Use Engine with
+// a Request instead; Ranker remains as a thin shim over it.
 type Ranker struct {
-	view   View
-	params core.Params
+	engine *Engine
 }
 
 // NewRanker creates a Ranker over the given graph view with the paper's
 // default parameters (α = 0.25, β = 0.5), modified by the options.
+//
+// Deprecated: use NewEngine.
 func NewRanker(view View, opts ...Option) (*Ranker, error) {
-	if view == nil || view.NumNodes() == 0 {
-		return nil, fmt.Errorf("roundtriprank: empty graph")
+	e, err := NewEngine(view, opts...)
+	if err != nil {
+		return nil, err
 	}
-	r := &Ranker{view: view, params: core.DefaultParams()}
-	for _, opt := range opts {
-		if err := opt(r); err != nil {
-			return nil, err
-		}
-	}
-	return r, nil
+	return &Ranker{engine: e}, nil
 }
 
 // Beta returns the ranker's specificity bias.
-func (r *Ranker) Beta() float64 { return r.params.Beta }
+func (r *Ranker) Beta() float64 { return r.engine.Beta() }
 
 // Alpha returns the ranker's teleport probability.
-func (r *Ranker) Alpha() float64 { return r.params.Walk.Alpha }
+func (r *Ranker) Alpha() float64 { return r.engine.Alpha() }
 
 // Scores computes the full score vectors for a query: F-Rank (importance),
 // T-Rank (specificity) and the combined RoundTripRank+.
@@ -163,7 +190,7 @@ type Scores struct {
 
 // Scores computes exact scores for every node using the iterative solvers.
 func (r *Ranker) Scores(q Query) (*Scores, error) {
-	s, err := core.Compute(r.view, q, r.params)
+	s, err := core.Compute(context.Background(), r.engine.view, q, r.engine.params)
 	if err != nil {
 		return nil, err
 	}
@@ -173,40 +200,53 @@ func (r *Ranker) Scores(q Query) (*Scores, error) {
 // Rank returns the top n nodes by exact RoundTripRank+ score. A nil filter
 // keeps every node; otherwise only nodes for which filter returns true are
 // ranked (use this to restrict to a target type and exclude the query).
+//
+// Unlike the pre-Engine implementation, zero-score nodes are no longer
+// returned (the Engine's result contract), so fewer than n results may come
+// back on sparsely connected graphs.
+//
+// Deprecated: use Engine.Rank with Method Exact and a declarative Filter.
 func (r *Ranker) Rank(q Query, n int, filter ...func(NodeID) bool) ([]Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("roundtriprank: n must be positive")
 	}
-	s, err := core.Compute(r.view, q, r.params)
+	p, err := r.engine.plan(Request{Query: q, K: n, Method: Exact})
 	if err != nil {
 		return nil, err
 	}
-	var keep func(NodeID) bool
 	if len(filter) > 0 {
-		keep = filter[0]
+		p.keep = filter[0]
 	}
-	top := core.TopN(s.R, n, keep)
-	return toResults(top), nil
+	resp, err := r.engine.rankExact(context.Background(), p)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
 // TopK runs the online 2SBound algorithm and returns an ε-approximate top-K
 // ranking without computing scores for the whole graph. epsilon = 0 demands
 // the exact top K; the paper's efficiency study uses ε between 0.01 and 0.03.
+//
+// Unlike the pre-Engine implementation, scores are normalized onto the exact
+// path's f^(1−β)·t^β scale (the square root of the raw squared-scale lower
+// bounds); the ranking order is unchanged.
+//
+// Deprecated: use Engine.Rank with Method TwoSBound.
 func (r *Ranker) TopK(q Query, k int, epsilon float64) ([]Result, error) {
-	res, err := topk.TopK(r.view, q, topk.Options{
-		K:       k,
-		Epsilon: epsilon,
-		Alpha:   r.params.Walk.Alpha,
-		Beta:    r.params.Beta,
+	resp, err := r.engine.Rank(context.Background(), Request{
+		Query: q, K: k, Epsilon: epsilon, Method: TwoSBound,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return toResults(res.TopK), nil
+	return resp.Results, nil
 }
 
-// TypeFilter builds a filter usable with Rank that keeps only nodes of the
-// given type and drops the listed nodes (typically the query itself).
+// TypeFilter builds a filter usable with Ranker.Rank that keeps only nodes of
+// the given type and drops the listed nodes (typically the query itself).
+//
+// Deprecated: use the declarative Filter on a Request.
 func TypeFilter(g *Graph, t NodeType, exclude ...NodeID) func(NodeID) bool {
 	return core.TypeFilter(g, t, exclude...)
 }
