@@ -414,6 +414,72 @@ func BenchmarkExactRoundTripRank(b *testing.B) {
 	}
 }
 
+// BenchmarkWalkKernels measures each iterative solver on the benchmark BibNet
+// in both execution modes: CSR is the parallel flat-array kernel path, and
+// Generic forces the interface-iteration fallback by hiding the CSR behind an
+// opaque wrapper — which is exactly the pre-CSR implementation, so the
+// CSR/Generic ratio is the kernel speedup. cmd/benchrunner -fig kernels runs
+// the same comparison and records it in BENCH_PR2.json.
+func BenchmarkWalkKernels(b *testing.B) {
+	net, _ := benchData(b)
+	q := walk.SingleNode(net.Papers[0])
+	views := []struct {
+		name string
+		view graph.View
+	}{
+		{"CSR", net.Graph},
+		{"Generic", struct{ graph.View }{net.Graph}},
+	}
+	for _, v := range views {
+		b.Run("FRank/"+v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := walk.FRank(context.Background(), v.view, q, benchWalk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("TRank/"+v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := walk.TRank(context.Background(), v.view, q, benchWalk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("GlobalPageRank/"+v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := walk.GlobalPageRank(context.Background(), v.view, 0.15, benchWalk.Tol, benchWalk.MaxIter); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRankBatch measures the engine's concurrent batch path with the
+// vector cache: the same 8 query nodes ranked twice, so the second batch is
+// answered entirely from cached single-node vectors.
+func BenchmarkRankBatch(b *testing.B) {
+	net, _ := benchData(b)
+	engine, err := NewEngine(net.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reqs []Request
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, Request{
+			Query:  SingleNode(net.Papers[(i*7919)%len(net.Papers)]),
+			K:      10,
+			Method: Exact,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.RankBatch(context.Background(), reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkOnline2SBound measures one online top-10 query with the default
 // slack, the unit of work behind Fig. 11-13.
 func BenchmarkOnline2SBound(b *testing.B) {

@@ -2,9 +2,13 @@ package roundtriprank
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"roundtriprank/internal/core"
@@ -173,12 +177,18 @@ type Response struct {
 // query's neighborhood.
 const DefaultExactLimit = 50_000
 
+// DefaultVectorCacheSize is the default capacity (in single-node vector
+// pairs) of the engine's score-vector cache used by RankBatch.
+const DefaultVectorCacheSize = 64
+
 // Engine executes ranking requests over one graph view. It is safe for
-// concurrent use: all per-query state lives in the request execution.
+// concurrent use: per-query state lives in the request execution, and the
+// shared vector cache synchronizes internally.
 type Engine struct {
 	view       View
 	params     core.Params
 	exactLimit int
+	cache      *vecCache // nil when the cache is disabled
 }
 
 // NewEngine creates an Engine over the given graph view with the paper's
@@ -187,13 +197,28 @@ func NewEngine(view View, opts ...Option) (*Engine, error) {
 	if view == nil || view.NumNodes() == 0 {
 		return nil, fmt.Errorf("roundtriprank: empty graph")
 	}
-	e := &Engine{view: view, params: core.DefaultParams(), exactLimit: DefaultExactLimit}
+	e := &Engine{
+		view:       view,
+		params:     core.DefaultParams(),
+		exactLimit: DefaultExactLimit,
+		cache:      newVecCache(DefaultVectorCacheSize),
+	}
 	for _, opt := range opts {
 		if err := opt(e); err != nil {
 			return nil, err
 		}
 	}
 	return e, nil
+}
+
+// CacheStats reports the cumulative hit and miss counts of the engine's
+// single-node vector cache and its current number of entries. All zeros when
+// the cache is disabled.
+func (e *Engine) CacheStats() (hits, misses uint64, size int) {
+	if e.cache == nil {
+		return 0, 0, 0
+	}
+	return e.cache.stats()
 }
 
 // Alpha returns the engine's default teleport probability.
@@ -386,13 +411,18 @@ func (e *Engine) rankOnline(ctx context.Context, p *plan) (*Response, error) {
 	}, nil
 }
 
-// RankBatch executes a batch of requests, sharing work across the exact-path
-// requests: by the Linearity Theorem (Jeh & Widom), the F-Rank and T-Rank
-// vectors of any query distribution are the query-weighted mixtures of the
-// single-node vectors, so the batch solves each distinct (query node, α,
-// tolerance) pair once and combines per request. Online-path requests run
-// independently. The whole batch is validated before any work starts, and the
-// first execution error aborts it.
+// RankBatch executes a batch of requests concurrently, sharing work across
+// the exact-path requests: by the Linearity Theorem (Jeh & Widom), the F-Rank
+// and T-Rank vectors of any query distribution are the query-weighted
+// mixtures of the single-node vectors, so the batch solves each distinct
+// (query node, α, tolerance) pair once — through the engine's LRU vector
+// cache, which also persists across batches — and combines per request.
+// Online-path requests run independently on the same bounded worker set,
+// sized by GOMAXPROCS.
+//
+// The whole batch is validated before any work starts. The first execution
+// error cancels the remaining requests and aborts the batch; cancelling ctx
+// does the same and returns ctx.Err().
 //
 // On graphs without dangling nodes the mixture is identical to a direct
 // solve; with dangling nodes the F-Rank side can differ slightly because the
@@ -411,57 +441,129 @@ func (e *Engine) RankBatch(ctx context.Context, reqs []Request) ([]*Response, er
 		plans[i] = p
 	}
 
-	type vecKey struct {
-		node       NodeID
-		alpha, tol float64
-	}
-	type vecPair struct{ f, t []float64 }
-	cache := make(map[vecKey]vecPair)
-	n := e.view.NumNodes()
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
+	// With the engine cache disabled, a batch-local cache still guarantees
+	// each distinct (node, α, tol) pair is solved once within this batch.
+	cache := e.cache
+	if cache == nil {
+		nodes := 0
+		for _, p := range plans {
+			nodes += len(p.query.Nodes)
+		}
+		cache = newVecCache(nodes + 1)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(plans) {
+		workers = len(plans)
+	}
 	out := make([]*Response, len(reqs))
-	for i, p := range plans {
-		start := time.Now()
-		if !p.method.IsExact() {
-			resp, err := e.rankOnline(ctx, p)
-			if err != nil {
-				return nil, fmt.Errorf("roundtriprank: request %d: %w", i, err)
+	errs := make([]error, len(reqs))
+	var (
+		wg      sync.WaitGroup
+		nextIdx atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(nextIdx.Add(1)) - 1
+				if i >= len(plans) || bctx.Err() != nil {
+					return
+				}
+				resp, err := e.execPlan(bctx, plans[i], cache)
+				if err != nil {
+					errs[i] = err
+					cancel() // first failure aborts the rest of the batch
+					return
+				}
+				out[i] = resp
 			}
-			resp.Elapsed = time.Since(start)
-			out[i] = resp
+		}()
+	}
+	wg.Wait()
+
+	// Report the lowest-indexed root-cause error; requests that died of the
+	// batch-wide cancellation are only blamed when nothing else failed.
+	var firstErr error
+	firstIdx := -1
+	for i, err := range errs {
+		if err == nil {
 			continue
 		}
-		f := make([]float64, n)
-		t := make([]float64, n)
-		for j, node := range p.query.Nodes {
-			key := vecKey{node: node, alpha: p.params.Walk.Alpha, tol: p.params.Walk.Tol}
-			pair, ok := cache[key]
-			if !ok {
-				single := walk.SingleNode(node)
-				fv, err := walk.FRank(ctx, e.view, single, p.params.Walk)
-				if err != nil {
-					return nil, fmt.Errorf("roundtriprank: request %d: %w", i, err)
-				}
-				tv, err := walk.TRank(ctx, e.view, single, p.params.Walk)
-				if err != nil {
-					return nil, fmt.Errorf("roundtriprank: request %d: %w", i, err)
-				}
-				pair = vecPair{f: fv, t: tv}
-				cache[key] = pair
-			}
-			w := p.query.Weights[j]
-			for v := range f {
-				f[v] += w * pair.f[v]
-				t[v] += w * pair.t[v]
-			}
-		}
-		top := trimZeroScores(core.TopN(core.Combine(f, t, p.params.Beta), p.k, p.keep))
-		out[i] = &Response{
-			Results:   toResults(top),
-			Method:    Exact,
-			Converged: true,
-			Elapsed:   time.Since(start),
+		if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			firstErr, firstIdx = err, i
 		}
 	}
+	if firstErr != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("roundtriprank: request %d: %w", firstIdx, firstErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// execPlan runs one validated plan: online plans directly, exact plans as a
+// cached-vector mixture.
+func (e *Engine) execPlan(ctx context.Context, p *plan, cache *vecCache) (*Response, error) {
+	start := time.Now()
+	var (
+		resp *Response
+		err  error
+	)
+	if p.method.IsExact() {
+		resp, err = e.rankExactShared(ctx, p, cache)
+	} else {
+		resp, err = e.rankOnline(ctx, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp.Elapsed = time.Since(start)
+	return resp, nil
+}
+
+// rankExactShared answers an exact-path plan from single-node vectors,
+// fetching each through the given cache.
+func (e *Engine) rankExactShared(ctx context.Context, p *plan, cache *vecCache) (*Response, error) {
+	n := e.view.NumNodes()
+	f := make([]float64, n)
+	t := make([]float64, n)
+	for j, node := range p.query.Nodes {
+		fv, tv, err := e.singleNodeVectors(ctx, node, p.params.Walk, cache)
+		if err != nil {
+			return nil, err
+		}
+		w := p.query.Weights[j]
+		for v := range f {
+			f[v] += w * fv[v]
+			t[v] += w * tv[v]
+		}
+	}
+	top := trimZeroScores(core.TopN(core.Combine(f, t, p.params.Beta), p.k, p.keep))
+	return &Response{Results: toResults(top), Method: Exact, Converged: true}, nil
+}
+
+// singleNodeVectors returns the exact F-Rank and T-Rank vectors of one query
+// node through the given cache. Callers must not modify the returned slices.
+func (e *Engine) singleNodeVectors(ctx context.Context, node NodeID, wp walk.Params, cache *vecCache) ([]float64, []float64, error) {
+	return cache.get(ctx, vecKey{node: node, alpha: wp.Alpha, tol: wp.Tol}, func() ([]float64, []float64, error) {
+		single := walk.SingleNode(node)
+		fv, err := walk.FRank(ctx, e.view, single, wp)
+		if err != nil {
+			return nil, nil, err
+		}
+		tv, err := walk.TRank(ctx, e.view, single, wp)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fv, tv, nil
+	})
 }

@@ -31,6 +31,12 @@ type State struct {
 	alpha   float64
 	restart map[graph.NodeID]float64 // normalized query distribution
 
+	// out is the view's forward CSR when it can expose one (hasCSR); the hot
+	// Process loop then streams the flat row instead of calling through the
+	// View interface per edge.
+	out    graph.CSR
+	hasCSR bool
+
 	rho map[graph.NodeID]float64
 	mu  map[graph.NodeID]float64
 
@@ -58,6 +64,10 @@ func New(view graph.View, q walk.Query, alpha float64) (*State, error) {
 		rho:     make(map[graph.NodeID]float64),
 		mu:      make(map[graph.NodeID]float64),
 		benefit: heapx.NewMax[graph.NodeID](64),
+	}
+	if cv, ok := view.(graph.CSRView); ok {
+		s.out = cv.OutCSR()
+		s.hasCSR = true
 	}
 	for i, v := range nq.Nodes {
 		if int(v) < 0 || int(v) >= view.NumNodes() {
@@ -123,13 +133,20 @@ func (s *State) EachResidual(fn func(v graph.NodeID, mu float64)) {
 	}
 }
 
+func (s *State) outDegree(v graph.NodeID) int {
+	if s.hasCSR {
+		return s.out.Degree(v)
+	}
+	return s.view.OutDegree(v)
+}
+
 func (s *State) addResidual(v graph.NodeID, amount float64) {
 	if amount <= 0 {
 		return
 	}
 	s.mu[v] += amount
 	s.totalResidual += amount
-	deg := s.view.OutDegree(v)
+	deg := s.outDegree(v)
 	if deg < 1 {
 		deg = 1
 	}
@@ -151,10 +168,22 @@ func (s *State) Process(v graph.NodeID) {
 	s.processed++
 	s.rho[v] += s.alpha * residual
 	spread := (1 - s.alpha) * residual
-	outSum := s.view.OutWeightSum(v)
+	var outSum float64
+	if s.hasCSR {
+		outSum = s.out.Sum[v]
+	} else {
+		outSum = s.view.OutWeightSum(v)
+	}
 	if outSum <= 0 {
 		for qv, w := range s.restart {
 			s.addResidual(qv, spread*w)
+		}
+		return
+	}
+	if s.hasCSR {
+		cols, wts := s.out.Row(v)
+		for i, to := range cols {
+			s.addResidual(to, spread*wts[i]/outSum)
 		}
 		return
 	}
@@ -175,7 +204,7 @@ func (s *State) ProcessBest(m int) int {
 		if !ok {
 			return done
 		}
-		deg := s.view.OutDegree(v)
+		deg := s.outDegree(v)
 		if deg < 1 {
 			deg = 1
 		}

@@ -73,19 +73,29 @@ type Scores struct {
 }
 
 // Compute runs the exact (iterative) F-Rank and T-Rank solvers for the query
-// and combines them into RoundTripRank+ scores. Cancelling the context aborts
-// the solvers within one power iteration and returns ctx.Err().
+// and combines them into RoundTripRank+ scores. The two solvers are
+// independent and run concurrently. Cancelling the context aborts them within
+// one power iteration and returns ctx.Err().
 func Compute(ctx context.Context, view graph.View, q walk.Query, p Params) (*Scores, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	f, err := walk.FRank(ctx, view, q, p.Walk)
-	if err != nil {
-		return nil, err
+	var (
+		t    []float64
+		terr error
+		done = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		t, terr = walk.TRank(ctx, view, q, p.Walk)
+	}()
+	f, ferr := walk.FRank(ctx, view, q, p.Walk)
+	<-done
+	if ferr != nil {
+		return nil, ferr
 	}
-	t, err := walk.TRank(ctx, view, q, p.Walk)
-	if err != nil {
-		return nil, err
+	if terr != nil {
+		return nil, terr
 	}
 	return &Scores{F: f, T: t, R: Combine(f, t, p.Beta), Beta: p.Beta}, nil
 }

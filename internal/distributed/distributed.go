@@ -41,46 +41,81 @@ type Response struct {
 }
 
 // Stripe holds the subset of a graph assigned to one GP: every node v with
-// v mod numStripes == index, along with its full adjacency.
+// v mod numStripes == index, along with its full adjacency. The adjacency is
+// stored as two compact CSR structures over the stripe's local node index
+// (node v maps to local row v/Count, since v = Index + row*Count), so a
+// stripe is two offset arrays plus flat column/weight slices — the same
+// layout the in-memory graph uses, with no per-node map or allocation.
 type Stripe struct {
 	Index    int
 	Count    int
 	NumNodes int
-	adj      map[graph.NodeID]NodeAdjacency
+	rows     int
+	out      graph.CSR
+	in       graph.CSR
 }
 
 // BuildStripe extracts stripe `index` of `count` from g by round-robin node
-// assignment (Sect. V-B2).
+// assignment (Sect. V-B2), slicing the owned rows out of g's CSR arrays.
 func BuildStripe(g *graph.Graph, index, count int) (*Stripe, error) {
 	if count <= 0 || index < 0 || index >= count {
 		return nil, fmt.Errorf("distributed: invalid stripe %d of %d", index, count)
 	}
-	s := &Stripe{Index: index, Count: count, NumNodes: g.NumNodes(), adj: make(map[graph.NodeID]NodeAdjacency)}
-	for v := 0; v < g.NumNodes(); v++ {
-		if v%count != index {
-			continue
-		}
-		node := graph.NodeID(v)
-		outTo, outW := g.OutNeighbors(node)
-		inFrom, inW := g.InNeighbors(node)
-		s.adj[node] = NodeAdjacency{
-			Node:   node,
-			OutTo:  append([]graph.NodeID(nil), outTo...),
-			OutW:   append([]float64(nil), outW...),
-			InFrom: append([]graph.NodeID(nil), inFrom...),
-			InW:    append([]float64(nil), inW...),
-		}
+	n := g.NumNodes()
+	rows := 0
+	if n > index {
+		rows = (n - index + count - 1) / count
 	}
+	s := &Stripe{Index: index, Count: count, NumNodes: n, rows: rows}
+	s.out = sliceRows(g.OutCSR(), index, count, rows)
+	s.in = sliceRows(g.InCSR(), index, count, rows)
 	return s, nil
 }
 
+// sliceRows copies every count-th row of src starting at first into a compact
+// CSR over the local row index.
+func sliceRows(src graph.CSR, first, count, rows int) graph.CSR {
+	dst := graph.CSR{RowPtr: make([]int64, rows+1)}
+	if rows > 0 {
+		dst.Sum = make([]float64, rows)
+	}
+	var total int64
+	for r := 0; r < rows; r++ {
+		v := graph.NodeID(first + r*count)
+		total += int64(src.Degree(v))
+	}
+	dst.Col = make([]graph.NodeID, 0, total)
+	dst.Weight = make([]float64, 0, total)
+	for r := 0; r < rows; r++ {
+		v := graph.NodeID(first + r*count)
+		cols, wts := src.Row(v)
+		dst.Col = append(dst.Col, cols...)
+		dst.Weight = append(dst.Weight, wts...)
+		dst.Sum[r] = src.Sum[v]
+		dst.RowPtr[r+1] = int64(len(dst.Col))
+	}
+	return dst
+}
+
+// adjacency returns the stored adjacency of node v as slices referencing the
+// stripe's CSR arrays, or false when v is not assigned to this stripe.
+func (s *Stripe) adjacency(v graph.NodeID) (NodeAdjacency, bool) {
+	if v < 0 || int(v) >= s.NumNodes || int(v)%s.Count != s.Index {
+		return NodeAdjacency{}, false
+	}
+	r := graph.NodeID(int(v) / s.Count)
+	outTo, outW := s.out.Row(r)
+	inFrom, inW := s.in.Row(r)
+	return NodeAdjacency{Node: v, OutTo: outTo, OutW: outW, InFrom: inFrom, InW: inW}, true
+}
+
+// OwnedNodes returns the number of nodes assigned to this stripe.
+func (s *Stripe) OwnedNodes() int { return s.rows }
+
 // SizeBytes estimates the stripe's in-memory footprint.
 func (s *Stripe) SizeBytes() int64 {
-	var edges int64
-	for _, a := range s.adj {
-		edges += int64(len(a.OutTo) + len(a.InFrom))
-	}
-	return int64(len(s.adj))*48 + edges*12
+	edges := int64(len(s.out.Col) + len(s.in.Col))
+	return int64(s.rows)*48 + edges*12
 }
 
 // GP is a graph processor serving one stripe over TCP.
@@ -151,7 +186,7 @@ func (g *GP) serveConn(conn net.Conn) {
 		}
 		resp := Response{}
 		for _, v := range req.Nodes {
-			adj, ok := g.stripe.adj[v]
+			adj, ok := g.stripe.adjacency(v)
 			if !ok {
 				resp.Err = fmt.Sprintf("node %d not in stripe %d", v, g.stripe.Index)
 				break

@@ -20,7 +20,7 @@ func TestBuildStripeCoversGraph(t *testing.T) {
 		if err != nil {
 			t.Fatalf("BuildStripe: %v", err)
 		}
-		total += len(s.adj)
+		total += s.OwnedNodes()
 		if s.SizeBytes() <= 0 {
 			t.Errorf("stripe size should be positive")
 		}

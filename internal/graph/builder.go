@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -63,8 +64,10 @@ func (b *Builder) NodeByLabel(label string) NodeID {
 // the border-node bound of Eq. 22) assume a random surfer cannot stay in
 // place, which holds for the paper's bibliographic and query-log graphs.
 func (b *Builder) AddEdge(from, to NodeID, w float64) error {
-	if w <= 0 {
-		return fmt.Errorf("graph: edge weight must be positive, got %g", w)
+	// The comparison is written so NaN fails it too; infinities would pass
+	// through every solver as NaN products, so they are rejected as well.
+	if !(w > 0) || math.IsInf(w, 1) {
+		return fmt.Errorf("graph: edge weight must be positive and finite, got %g", w)
 	}
 	if from == to {
 		return fmt.Errorf("graph: self-loop on node %d is not supported", from)
@@ -142,18 +145,22 @@ func (b *Builder) Build() (*Graph, error) {
 	m := len(merged)
 
 	g := &Graph{
-		numNodes:  n,
-		numEdges:  m,
-		types:     append([]Type(nil), b.types...),
-		labels:    append([]string(nil), b.labels...),
-		outOff:    make([]int64, n+1),
-		outTo:     make([]NodeID, m),
-		outW:      make([]float64, m),
-		outSum:    make([]float64, n),
-		inOff:     make([]int64, n+1),
-		inFrom:    make([]NodeID, m),
-		inW:       make([]float64, m),
-		inSum:     make([]float64, n),
+		numNodes: n,
+		numEdges: m,
+		types:    append([]Type(nil), b.types...),
+		labels:   append([]string(nil), b.labels...),
+		out: CSR{
+			RowPtr: make([]int64, n+1),
+			Col:    make([]NodeID, m),
+			Weight: make([]float64, m),
+			Sum:    make([]float64, n),
+		},
+		in: CSR{
+			RowPtr: make([]int64, n+1),
+			Col:    make([]NodeID, m),
+			Weight: make([]float64, m),
+			Sum:    make([]float64, n),
+		},
 		typeNames: make(map[Type]string, len(b.typeNames)),
 		byLabel:   make(map[string]NodeID, len(b.byLabel)),
 	}
@@ -166,35 +173,35 @@ func (b *Builder) Build() (*Graph, error) {
 
 	// Out CSR (merged is already sorted by from).
 	for _, e := range merged {
-		g.outOff[e.from+1]++
+		g.out.RowPtr[e.from+1]++
 	}
 	for v := 0; v < n; v++ {
-		g.outOff[v+1] += g.outOff[v]
+		g.out.RowPtr[v+1] += g.out.RowPtr[v]
 	}
 	cursor := make([]int64, n)
-	copy(cursor, g.outOff[:n])
+	copy(cursor, g.out.RowPtr[:n])
 	for _, e := range merged {
 		i := cursor[e.from]
-		g.outTo[i] = e.to
-		g.outW[i] = e.w
+		g.out.Col[i] = e.to
+		g.out.Weight[i] = e.w
 		cursor[e.from]++
-		g.outSum[e.from] += e.w
+		g.out.Sum[e.from] += e.w
 	}
 
-	// In CSR.
+	// Transposed (in) CSR.
 	for _, e := range merged {
-		g.inOff[e.to+1]++
+		g.in.RowPtr[e.to+1]++
 	}
 	for v := 0; v < n; v++ {
-		g.inOff[v+1] += g.inOff[v]
+		g.in.RowPtr[v+1] += g.in.RowPtr[v]
 	}
-	copy(cursor, g.inOff[:n])
+	copy(cursor, g.in.RowPtr[:n])
 	for _, e := range merged {
 		i := cursor[e.to]
-		g.inFrom[i] = e.from
-		g.inW[i] = e.w
+		g.in.Col[i] = e.from
+		g.in.Weight[i] = e.w
 		cursor[e.to]++
-		g.inSum[e.to] += e.w
+		g.in.Sum[e.to] += e.w
 	}
 
 	return g, nil

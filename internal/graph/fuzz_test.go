@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedGraphs builds a few valid encoded graphs for the seed corpus so the
+// fuzzer starts from well-formed gob streams and mutates from there.
+func fuzzSeedGraphs(f *testing.F) {
+	f.Helper()
+	builders := []func() *Graph{
+		func() *Graph {
+			b := NewBuilder()
+			b.RegisterType(1, "paper")
+			p := b.AddNode(1, "p1")
+			q := b.AddNode(1, "p2")
+			b.MustAddUndirectedEdge(p, q, 2.5)
+			return b.MustBuild()
+		},
+		func() *Graph {
+			b := NewBuilder()
+			var prev NodeID
+			for i := 0; i < 6; i++ {
+				cur := b.AddNode(Untyped, "n"+string(rune('a'+i)))
+				if i > 0 {
+					b.MustAddEdge(prev, cur, float64(i))
+				}
+				prev = cur
+			}
+			return b.MustBuild()
+		},
+		func() *Graph {
+			b := NewBuilder()
+			b.AddNode(Untyped, "isolated")
+			return b.MustBuild()
+		},
+	}
+	for _, build := range builders {
+		var buf bytes.Buffer
+		if err := Encode(&buf, build()); err != nil {
+			f.Fatalf("Encode seed: %v", err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+}
+
+// FuzzDecode feeds arbitrary bytes to the graph decoder: it must never panic,
+// and any graph it accepts must satisfy the CSR invariants and survive an
+// encode/decode round trip.
+func FuzzDecode(f *testing.F) {
+	fuzzSeedGraphs(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input: gob length prefixes make the cost unbounded")
+		}
+		g, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoded graph violates CSR invariants: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, g); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		g2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				g.NumNodes(), g.NumEdges(), g2.NumNodes(), g2.NumEdges())
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if g2.Label(NodeID(v)) != g.Label(NodeID(v)) || g2.Type(NodeID(v)) != g.Type(NodeID(v)) {
+				t.Fatalf("round trip changed node %d metadata", v)
+			}
+		}
+	})
+}

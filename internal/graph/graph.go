@@ -53,6 +53,43 @@ type View interface {
 	EachIn(v NodeID, fn func(from NodeID, w float64) bool)
 }
 
+// CSR is one adjacency direction in compressed-sparse-row form: the neighbors
+// of row v are Col[RowPtr[v]:RowPtr[v+1]] with matching Weight entries, and
+// Sum[v] caches the total edge weight of the row. The slices alias the owning
+// view's storage and must be treated as read-only.
+type CSR struct {
+	RowPtr []int64
+	Col    []NodeID
+	Weight []float64
+	Sum    []float64
+}
+
+// Row returns the neighbor and weight slices of row v, backed by the CSR
+// arrays.
+func (c CSR) Row(v NodeID) ([]NodeID, []float64) {
+	lo, hi := c.RowPtr[v], c.RowPtr[v+1]
+	return c.Col[lo:hi], c.Weight[lo:hi]
+}
+
+// Degree returns the number of entries in row v.
+func (c CSR) Degree(v NodeID) int {
+	return int(c.RowPtr[v+1] - c.RowPtr[v])
+}
+
+// CSRView is implemented by views that expose their adjacency as flat CSR
+// arrays. The parallel walk kernels type-assert for it and fall back to the
+// generic View iteration when a view (masked, tracking, remote) cannot provide
+// it. Implementations must return immutable arrays: the kernels read them
+// concurrently from multiple goroutines.
+type CSRView interface {
+	View
+	// OutCSR returns the forward adjacency: row v lists the edges v->to.
+	OutCSR() CSR
+	// InCSR returns the transposed adjacency used by reverse walks: row v
+	// lists the edges from->v.
+	InCSR() CSR
+}
+
 // Graph is an immutable CSR graph. Construct with a Builder.
 type Graph struct {
 	numNodes int
@@ -61,21 +98,21 @@ type Graph struct {
 	types  []Type
 	labels []string
 
-	// CSR out-adjacency.
-	outOff []int64
-	outTo  []NodeID
-	outW   []float64
-	outSum []float64
-
-	// CSR in-adjacency.
-	inOff  []int64
-	inFrom []NodeID
-	inW    []float64
-	inSum  []float64
+	// Forward adjacency and its transposed copy, so forward walks (F-Rank),
+	// backward walks (T-Rank) and border-node expansions all stream flat
+	// arrays.
+	out CSR
+	in  CSR
 
 	typeNames map[Type]string
 	byLabel   map[string]NodeID
 }
+
+// OutCSR implements CSRView.
+func (g *Graph) OutCSR() CSR { return g.out }
+
+// InCSR implements CSRView.
+func (g *Graph) InCSR() CSR { return g.in }
 
 // NumNodes returns the number of nodes in the graph.
 func (g *Graph) NumNodes() int { return g.numNodes }
@@ -129,14 +166,10 @@ func (g *Graph) CountOfType(t Type) int {
 }
 
 // OutDegree returns the number of outgoing edges of v.
-func (g *Graph) OutDegree(v NodeID) int {
-	return int(g.outOff[v+1] - g.outOff[v])
-}
+func (g *Graph) OutDegree(v NodeID) int { return g.out.Degree(v) }
 
 // InDegree returns the number of incoming edges of v.
-func (g *Graph) InDegree(v NodeID) int {
-	return int(g.inOff[v+1] - g.inOff[v])
-}
+func (g *Graph) InDegree(v NodeID) int { return g.in.Degree(v) }
 
 // Degree returns the total (in + out) degree of v.
 func (g *Graph) Degree(v NodeID) int {
@@ -144,16 +177,16 @@ func (g *Graph) Degree(v NodeID) int {
 }
 
 // OutWeightSum returns the total outgoing edge weight of v.
-func (g *Graph) OutWeightSum(v NodeID) float64 { return g.outSum[v] }
+func (g *Graph) OutWeightSum(v NodeID) float64 { return g.out.Sum[v] }
 
 // InWeightSum returns the total incoming edge weight of v.
-func (g *Graph) InWeightSum(v NodeID) float64 { return g.inSum[v] }
+func (g *Graph) InWeightSum(v NodeID) float64 { return g.in.Sum[v] }
 
 // EachOut iterates v's outgoing edges.
 func (g *Graph) EachOut(v NodeID, fn func(to NodeID, w float64) bool) {
-	lo, hi := g.outOff[v], g.outOff[v+1]
+	lo, hi := g.out.RowPtr[v], g.out.RowPtr[v+1]
 	for i := lo; i < hi; i++ {
-		if !fn(g.outTo[i], g.outW[i]) {
+		if !fn(g.out.Col[i], g.out.Weight[i]) {
 			return
 		}
 	}
@@ -161,9 +194,9 @@ func (g *Graph) EachOut(v NodeID, fn func(to NodeID, w float64) bool) {
 
 // EachIn iterates v's incoming edges.
 func (g *Graph) EachIn(v NodeID, fn func(from NodeID, w float64) bool) {
-	lo, hi := g.inOff[v], g.inOff[v+1]
+	lo, hi := g.in.RowPtr[v], g.in.RowPtr[v+1]
 	for i := lo; i < hi; i++ {
-		if !fn(g.inFrom[i], g.inW[i]) {
+		if !fn(g.in.Col[i], g.in.Weight[i]) {
 			return
 		}
 	}
@@ -172,15 +205,13 @@ func (g *Graph) EachIn(v NodeID, fn func(from NodeID, w float64) bool) {
 // OutNeighbors returns the out-neighbor IDs and weights of v as slices backed
 // by the graph's internal arrays; callers must not modify them.
 func (g *Graph) OutNeighbors(v NodeID) ([]NodeID, []float64) {
-	lo, hi := g.outOff[v], g.outOff[v+1]
-	return g.outTo[lo:hi], g.outW[lo:hi]
+	return g.out.Row(v)
 }
 
 // InNeighbors returns the in-neighbor IDs and weights of v as slices backed by
 // the graph's internal arrays; callers must not modify them.
 func (g *Graph) InNeighbors(v NodeID) ([]NodeID, []float64) {
-	lo, hi := g.inOff[v], g.inOff[v+1]
-	return g.inFrom[lo:hi], g.inW[lo:hi]
+	return g.in.Row(v)
 }
 
 // EdgeWeight returns the weight of the directed edge from->to and whether it
@@ -231,17 +262,17 @@ func (g *Graph) SizeBytes() int64 {
 
 // Validate checks internal CSR invariants. It is primarily used in tests.
 func (g *Graph) Validate() error {
-	if len(g.outOff) != g.numNodes+1 || len(g.inOff) != g.numNodes+1 {
+	if len(g.out.RowPtr) != g.numNodes+1 || len(g.in.RowPtr) != g.numNodes+1 {
 		return fmt.Errorf("graph: offset arrays have wrong length")
 	}
-	if g.outOff[g.numNodes] != int64(len(g.outTo)) {
+	if g.out.RowPtr[g.numNodes] != int64(len(g.out.Col)) {
 		return fmt.Errorf("graph: out offsets do not cover edge array")
 	}
-	if g.inOff[g.numNodes] != int64(len(g.inFrom)) {
+	if g.in.RowPtr[g.numNodes] != int64(len(g.in.Col)) {
 		return fmt.Errorf("graph: in offsets do not cover edge array")
 	}
-	if len(g.outTo) != len(g.inFrom) {
-		return fmt.Errorf("graph: out edge count %d != in edge count %d", len(g.outTo), len(g.inFrom))
+	if len(g.out.Col) != len(g.in.Col) {
+		return fmt.Errorf("graph: out edge count %d != in edge count %d", len(g.out.Col), len(g.in.Col))
 	}
 	for v := 0; v < g.numNodes; v++ {
 		sum := 0.0
@@ -260,16 +291,16 @@ func (g *Graph) Validate() error {
 		if math.IsNaN(sum) {
 			return fmt.Errorf("graph: node %d has an invalid outgoing edge", v)
 		}
-		if math.Abs(sum-g.outSum[v]) > 1e-9*(1+sum) {
-			return fmt.Errorf("graph: node %d out weight sum mismatch: %g vs %g", v, sum, g.outSum[v])
+		if math.Abs(sum-g.out.Sum[v]) > 1e-9*(1+sum) {
+			return fmt.Errorf("graph: node %d out weight sum mismatch: %g vs %g", v, sum, g.out.Sum[v])
 		}
 		sum = 0.0
 		g.EachIn(NodeID(v), func(from NodeID, w float64) bool {
 			sum += w
 			return true
 		})
-		if math.Abs(sum-g.inSum[v]) > 1e-9*(1+sum) {
-			return fmt.Errorf("graph: node %d in weight sum mismatch: %g vs %g", v, sum, g.inSum[v])
+		if math.Abs(sum-g.in.Sum[v]) > 1e-9*(1+sum) {
+			return fmt.Errorf("graph: node %d in weight sum mismatch: %g vs %g", v, sum, g.in.Sum[v])
 		}
 	}
 	return nil

@@ -28,9 +28,9 @@ func Encode(w io.Writer, g *Graph) error {
 		NumEdges:  g.numEdges,
 		Types:     g.types,
 		Labels:    g.labels,
-		OutOff:    g.outOff,
-		OutTo:     g.outTo,
-		OutW:      g.outW,
+		OutOff:    g.out.RowPtr,
+		OutTo:     g.out.Col,
+		OutW:      g.out.Weight,
 		TypeNames: g.typeNames,
 	}
 	return gob.NewEncoder(w).Encode(&wg)
@@ -42,8 +42,14 @@ func Decode(r io.Reader) (*Graph, error) {
 	if err := gob.NewDecoder(r).Decode(&wg); err != nil {
 		return nil, fmt.Errorf("graph: decode: %w", err)
 	}
-	if len(wg.OutOff) != wg.NumNodes+1 {
+	if wg.NumNodes < 0 || len(wg.OutOff) != wg.NumNodes+1 {
 		return nil, fmt.Errorf("graph: decode: corrupt offsets")
+	}
+	if len(wg.Types) != wg.NumNodes || len(wg.Labels) != wg.NumNodes {
+		return nil, fmt.Errorf("graph: decode: node metadata length mismatch")
+	}
+	if len(wg.OutTo) != len(wg.OutW) {
+		return nil, fmt.Errorf("graph: decode: edge array length mismatch")
 	}
 	b := NewBuilder()
 	for t, name := range wg.TypeNames {
@@ -52,8 +58,14 @@ func Decode(r io.Reader) (*Graph, error) {
 	for i := 0; i < wg.NumNodes; i++ {
 		b.AddNode(wg.Types[i], wg.Labels[i])
 	}
+	if b.NumNodes() != wg.NumNodes {
+		return nil, fmt.Errorf("graph: decode: duplicate node labels")
+	}
 	for v := 0; v < wg.NumNodes; v++ {
 		lo, hi := wg.OutOff[v], wg.OutOff[v+1]
+		if lo < 0 || hi < lo || hi > int64(len(wg.OutTo)) {
+			return nil, fmt.Errorf("graph: decode: offset of node %d out of range", v)
+		}
 		for i := lo; i < hi; i++ {
 			if err := b.AddEdge(NodeID(v), wg.OutTo[i], wg.OutW[i]); err != nil {
 				return nil, fmt.Errorf("graph: decode: %w", err)

@@ -40,6 +40,13 @@ type Params struct {
 	Tol float64
 	// MaxIter caps the number of iterations. Zero means DefaultMaxIter.
 	MaxIter int
+	// Workers overrides the parallelism of the CSR kernels: zero or negative
+	// uses the shared GOMAXPROCS-sized pool, one forces a serial solve on
+	// the calling goroutine, higher counts run on a transient pool of that
+	// size. Kernel results are identical for every worker count (each output
+	// row is reduced sequentially by one worker), so this is a scheduling
+	// knob, not a numerical one.
+	Workers int
 }
 
 // Default tolerances for the iterative solvers.
@@ -148,8 +155,10 @@ func (q Query) restart(dst []float64) error {
 // returned slice sums to one. Mass at dangling nodes (zero out-degree) is
 // restarted at the query, the standard PPR correction.
 //
-// The context is checked once per power iteration: cancelling it makes FRank
-// return ctx.Err() within one sweep over the edges.
+// On a graph.CSRView the solve runs as a parallel pull-style matvec over the
+// transposed adjacency (see kernels.go); other views use the generic
+// push-style sweep below. The context is checked once per power iteration:
+// cancelling it makes FRank return ctx.Err() within one sweep over the edges.
 func FRank(ctx context.Context, view graph.View, q Query, p Params) ([]float64, error) {
 	ctx = OrBackground(ctx)
 	p, err := p.normalized()
@@ -160,6 +169,11 @@ func FRank(ctx context.Context, view graph.View, q Query, p Params) ([]float64, 
 	restart := make([]float64, n)
 	if err := q.restart(restart); err != nil {
 		return nil, err
+	}
+	if cv, ok := view.(graph.CSRView); ok {
+		pool, release := p.pool()
+		defer release()
+		return fRankCSR(ctx, cv, restart, p, pool)
 	}
 	cur := make([]float64, n)
 	next := make([]float64, n)
@@ -210,8 +224,11 @@ func FRank(ctx context.Context, view graph.View, q Query, p Params) ([]float64, 
 // geometric length starting from v ends at the query (Eq. 8). Unlike F-Rank,
 // t(q, ·) is not a distribution over v; each entry is a probability in [0, 1].
 // For a multi-node query, t(q, v) is the query-weighted mixture of the
-// single-node values, mirroring the linearity used for F-Rank. The context is
-// checked once per iteration, as in FRank.
+// single-node values, mirroring the linearity used for F-Rank.
+//
+// On a graph.CSRView the solve runs as a parallel row-partitioned matvec over
+// the forward adjacency. The context is checked once per iteration, as in
+// FRank.
 func TRank(ctx context.Context, view graph.View, q Query, p Params) ([]float64, error) {
 	ctx = OrBackground(ctx)
 	p, err := p.normalized()
@@ -222,6 +239,11 @@ func TRank(ctx context.Context, view graph.View, q Query, p Params) ([]float64, 
 	restart := make([]float64, n)
 	if err := q.restart(restart); err != nil {
 		return nil, err
+	}
+	if cv, ok := view.(graph.CSRView); ok {
+		pool, release := p.pool()
+		defer release()
+		return tRankCSR(ctx, cv, restart, p, pool)
 	}
 	cur := make([]float64, n)
 	next := make([]float64, n)
@@ -273,6 +295,10 @@ func GlobalPageRank(ctx context.Context, view graph.View, d float64, tol float64
 	n := view.NumNodes()
 	if n == 0 {
 		return nil, fmt.Errorf("walk: empty graph")
+	}
+	if cv, ok := view.(graph.CSRView); ok {
+		pool := DefaultPool()
+		return pageRankCSR(ctx, cv, d, tol, maxIter, pool)
 	}
 	uniform := 1.0 / float64(n)
 	cur := make([]float64, n)

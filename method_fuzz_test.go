@@ -1,0 +1,44 @@
+package roundtriprank
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMethod checks that method parsing never panics, accepts names
+// case-insensitively, and round-trips through Method.String for every name it
+// accepts.
+func FuzzParseMethod(f *testing.F) {
+	for _, seed := range []string{
+		"", "auto", "exact", "2sbound", "2SBound", "gs", "g+s", "G+S",
+		"gupta", "sarkar", "AUTO", "Exact", "bogus", "2sbound ", "g +s",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		m, err := ParseMethod(name)
+		if err != nil {
+			// Rejected names must be rejected consistently regardless of case.
+			if _, err2 := ParseMethod(strings.ToLower(name)); err2 == nil {
+				t.Fatalf("ParseMethod(%q) failed but lowercase succeeded", name)
+			}
+			return
+		}
+		printed := m.String()
+		rt, err := ParseMethod(printed)
+		if err != nil {
+			t.Fatalf("ParseMethod(%q) = %v, but its String %q does not parse: %v", name, m, printed, err)
+		}
+		if rt != m {
+			t.Fatalf("round trip changed method: %q -> %v -> %q -> %v", name, m, printed, rt)
+		}
+		// Unicode case mapping is not always an involution (Kelvin sign, final
+		// sigma, ...), so only assert case-insensitivity when uppercasing
+		// preserves the lowercase form.
+		if upper := strings.ToUpper(name); strings.ToLower(upper) == strings.ToLower(name) {
+			if got, err := ParseMethod(upper); err != nil || got != m {
+				t.Fatalf("ParseMethod is not case-insensitive for %q", name)
+			}
+		}
+	})
+}

@@ -152,6 +152,25 @@ func WithExactLimit(n int) Option {
 	}
 }
 
+// WithVectorCache sets the capacity, in single-node vector pairs, of the
+// engine's LRU score-vector cache (default DefaultVectorCacheSize). RankBatch
+// answers repeated exact-path query nodes from it across batches; each entry
+// holds two float64 vectors of NumNodes length, so the worst-case footprint
+// is entries × 16 × NumNodes bytes. Zero disables caching.
+func WithVectorCache(entries int) Option {
+	return func(e *Engine) error {
+		if entries < 0 {
+			return fmt.Errorf("roundtriprank: vector cache size must be non-negative, got %d", entries)
+		}
+		if entries == 0 {
+			e.cache = nil
+			return nil
+		}
+		e.cache = newVecCache(entries)
+		return nil
+	}
+}
+
 // Ranker computes RoundTripRank(+) scores and rankings over one graph view.
 //
 // Deprecated: Ranker is the pre-Engine API. It freezes parameters at

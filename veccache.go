@@ -1,0 +1,114 @@
+package roundtriprank
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// vecKey identifies one cached pair of single-node score vectors. Alpha and
+// tolerance are part of the key because per-request overrides change the
+// vectors; beta is not, because it only affects the combination step.
+type vecKey struct {
+	node       NodeID
+	alpha, tol float64
+}
+
+// vecEntry is one cache slot. It is published in the map before the vectors
+// are computed so that concurrent requests for the same key wait on ready
+// instead of duplicating the solve.
+type vecEntry struct {
+	key   vecKey
+	ready chan struct{} // closed when f, t, err are final
+	done  bool          // set under vecCache.mu just before ready closes
+	f, t  []float64
+	err   error
+}
+
+// vecCache is a small LRU over single-node F-Rank/T-Rank vector pairs with
+// in-flight deduplication. By the Linearity Theorem these vectors are exact
+// building blocks for any query distribution, which is what makes them safe
+// to share across requests and batches.
+type vecCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[vecKey]*list.Element // value: *vecEntry
+	lru     *list.List               // front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+func newVecCache(capacity int) *vecCache {
+	return &vecCache{
+		cap:     capacity,
+		entries: make(map[vecKey]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// get returns the vector pair for key, computing it with compute on a miss.
+// Concurrent gets of the same key block until the first computation finishes
+// (or their own context is cancelled). A failed computation is evicted
+// immediately, so one request's cancellation does not poison the key: waiters
+// observe the error and retry the computation themselves.
+func (c *vecCache) get(ctx context.Context, key vecKey, compute func() ([]float64, []float64, error)) ([]float64, []float64, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			e := el.Value.(*vecEntry)
+			c.lru.MoveToFront(el)
+			c.hits++
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+			if e.err != nil {
+				continue // owner failed and removed the entry; try to own it
+			}
+			return e.f, e.t, nil
+		}
+		e := &vecEntry{key: key, ready: make(chan struct{})}
+		el := c.lru.PushFront(e)
+		c.entries[key] = el
+		c.misses++
+		c.mu.Unlock()
+
+		e.f, e.t, e.err = compute()
+
+		c.mu.Lock()
+		e.done = true
+		if e.err != nil {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+		} else {
+			c.evictLocked()
+		}
+		c.mu.Unlock()
+		close(e.ready)
+		return e.f, e.t, e.err
+	}
+}
+
+// evictLocked drops least-recently-used completed entries until the cache is
+// within capacity. In-flight entries are skipped: evicting them would detach
+// waiters from the computation they are blocked on.
+func (c *vecCache) evictLocked() {
+	for el := c.lru.Back(); el != nil && c.lru.Len() > c.cap; {
+		prev := el.Prev()
+		e := el.Value.(*vecEntry)
+		if e.done {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+		}
+		el = prev
+	}
+}
+
+// stats returns cumulative hit/miss counters and the current entry count.
+func (c *vecCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.lru.Len()
+}
