@@ -1,78 +1,118 @@
-// Command gpserver runs a Graph Processor (Sect. V-B2): it loads a graph,
-// extracts one round-robin stripe of its nodes and edges, and serves adjacency
-// requests over TCP for an Active Processor to assemble active sets from.
+// Command gpserver runs one stripe worker of a distributed RoundTripRank
+// deployment. It serves the coordinator/worker wire protocol over HTTP (see
+// docs/API.md): stateless per-iteration multiply RPCs plus topology metadata,
+// which an Engine configured with WithWorkers fans exact solves out to.
 //
-// Example (3-GP deployment of a synthetic BibNet):
+// The worker gets its stripe in one of three ways:
+//
+//   - extracted from a graph it loads itself (-graph or -dataset with
+//     -stripe/-of),
+//   - loaded from a stripe file in the binary codec format (-stripe-file),
+//   - received over the network: started with no stripe flags, it waits for
+//     a coordinator (or operator) to POST one to /v1/stripe — see
+//     roundtriprank.DeployStripes.
+//
+// Example (3-worker deployment of a synthetic BibNet, each worker extracting
+// its own stripe):
 //
 //	gpserver -dataset bibnet -scale 1.0 -stripe 0 -of 3 -listen :7001 &
 //	gpserver -dataset bibnet -scale 1.0 -stripe 1 -of 3 -listen :7002 &
 //	gpserver -dataset bibnet -scale 1.0 -stripe 2 -of 3 -listen :7003 &
+//
+// Requests are served with read/write timeouts, and SIGINT/SIGTERM trigger a
+// graceful drain before exit. The -legacy-gob flag additionally serves the
+// AP/GP adjacency protocol over TCP for the online-search path.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"os"
+	"net"
+	"time"
+
 	"os/signal"
 	"syscall"
 
-	"roundtriprank/internal/datasets"
+	"roundtriprank/internal/cliutil"
 	"roundtriprank/internal/distributed"
 	"roundtriprank/internal/graph"
 )
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "path to a gob-encoded graph (exclusive with -dataset)")
-		dataset   = flag.String("dataset", "", "synthetic dataset to generate: bibnet or qlog")
-		scale     = flag.Float64("scale", 1.0, "scale factor for synthetic datasets")
-		stripe    = flag.Int("stripe", 0, "stripe index served by this GP")
-		of        = flag.Int("of", 1, "total number of GPs in the deployment")
-		listen    = flag.String("listen", "127.0.0.1:7001", "listen address")
+		graphPath  = flag.String("graph", "", "path to a gob-encoded graph to extract the stripe from (exclusive with -dataset and -stripe-file)")
+		dataset    = flag.String("dataset", "", "synthetic dataset to generate and stripe: bibnet or qlog")
+		scale      = flag.Float64("scale", 1.0, "scale factor for synthetic datasets")
+		stripeFile = flag.String("stripe-file", "", "path to a binary stripe file (graph.EncodeStripe format)")
+		stripe     = flag.Int("stripe", 0, "stripe index served by this worker (with -graph/-dataset)")
+		of         = flag.Int("of", 1, "total number of workers in the deployment (with -graph/-dataset)")
+		listen     = flag.String("listen", "127.0.0.1:7001", "HTTP listen address")
+		legacyGob  = flag.String("legacy-gob", "", "optional TCP listen address for the legacy AP/GP gob adjacency protocol")
+		writeTmo   = flag.Duration("write-timeout", 5*time.Minute, "HTTP response write timeout (must cover the slowest multiply)")
+		readTmo    = flag.Duration("read-timeout", time.Minute, "HTTP request read timeout (must cover a stripe upload)")
 	)
 	flag.Parse()
 
-	var g *graph.Graph
-	var err error
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	s, err := loadStripe(*graphPath, *dataset, *scale, *stripeFile, *stripe, *of)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worker := distributed.NewWorker(s)
+	if s != nil {
+		log.Printf("worker serving stripe %d/%d (%d of %d nodes, %.1f MB)",
+			s.Index, s.Count, s.OwnedNodes(), s.NumNodes, float64(s.SizeBytes())/(1<<20))
+	} else {
+		log.Printf("worker starting empty; POST a stripe to /v1/stripe to begin serving")
+	}
+
+	if *legacyGob != "" {
+		if s == nil {
+			log.Fatal("-legacy-gob needs a stripe at startup (the gob protocol has no install endpoint)")
+		}
+		gp, err := distributed.ServeGP(*legacyGob, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer gp.Close()
+		log.Printf("legacy AP/GP adjacency protocol on %s", gp.Addr())
+	}
+
+	cfg := cliutil.HTTPServerConfig{ReadTimeout: *readTmo, WriteTimeout: *writeTmo}
+	err = cliutil.ListenAndServe(ctx, *listen, worker.Handler(), cfg, func(a net.Addr) {
+		log.Printf("worker wire protocol on %s", a)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down")
+}
+
+// loadStripe resolves the stripe-source flags; it returns nil when the worker
+// should start empty and wait to receive a stripe.
+func loadStripe(graphPath, dataset string, scale float64, stripeFile string, stripe, of int) (*distributed.Stripe, error) {
+	fromGraph := graphPath != "" || dataset != ""
+	if fromGraph && stripeFile != "" {
+		return nil, fmt.Errorf("use either -stripe-file or -graph/-dataset, not both")
+	}
 	switch {
-	case *graphPath != "":
-		g, err = graph.ReadFile(*graphPath)
-	case *dataset == "bibnet":
-		var net *datasets.BibNet
-		net, err = datasets.GenerateBibNet(datasets.ScaledBibNetConfig(*scale))
-		if err == nil {
-			g = net.Graph
+	case stripeFile != "":
+		d, err := graph.ReadStripeFile(stripeFile)
+		if err != nil {
+			return nil, err
 		}
-	case *dataset == "qlog":
-		var qlog *datasets.QLog
-		qlog, err = datasets.GenerateQLog(datasets.ScaledQLogConfig(*scale))
-		if err == nil {
-			g = qlog.Graph
+		return distributed.StripeFromData(d)
+	case fromGraph:
+		g, err := cliutil.LoadGraph(graphPath, dataset, scale)
+		if err != nil {
+			return nil, err
 		}
+		return distributed.BuildStripe(g, stripe, of)
 	default:
-		err = fmt.Errorf("provide either -graph or -dataset bibnet|qlog")
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	s, err := distributed.BuildStripe(g, *stripe, *of)
-	if err != nil {
-		log.Fatal(err)
-	}
-	gp, err := distributed.ServeGP(*listen, s)
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("graph processor serving stripe %d/%d (%.1f MB) on %s — %d nodes total",
-		*stripe, *of, float64(s.SizeBytes())/(1<<20), gp.Addr(), g.NumNodes())
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	log.Printf("shutting down")
-	if err := gp.Close(); err != nil {
-		log.Printf("close: %v", err)
+		return nil, nil
 	}
 }

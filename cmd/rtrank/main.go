@@ -10,8 +10,9 @@
 //	rtrank -dataset qlog -query "phrase:cheap flight ticket" -type url -beta 0.3
 //
 // The -method flag selects the execution path: auto (the default planner),
-// exact, 2sbound, or one of the baseline bound schemes gs, gupta, sarkar.
-// Interrupting the process (Ctrl-C) cancels the in-flight query.
+// exact, distributed (fan the exact solve out to the gpserver workers listed
+// in -workers), 2sbound, or one of the baseline bound schemes gs, gupta,
+// sarkar. Interrupting the process (Ctrl-C) cancels the in-flight query.
 package main
 
 import (
@@ -38,9 +39,10 @@ func main() {
 		k          = flag.Int("k", 10, "number of results")
 		alpha      = flag.Float64("alpha", 0.25, "teleport probability")
 		beta       = flag.Float64("beta", 0.5, "specificity bias (0 = importance only, 1 = specificity only)")
-		methodName = flag.String("method", "auto", "execution method: auto, exact, 2sbound, gs, gupta, sarkar")
+		methodName = flag.String("method", "auto", "execution method: auto, exact, distributed, 2sbound, gs, gupta, sarkar")
 		epsilon    = flag.Float64("epsilon", 0.01, "approximation slack for the online methods")
 		keepQuery  = flag.Bool("keep-query", false, "keep the query nodes themselves in the results")
+		workers    = flag.String("workers", "", "comma-separated gpserver base URLs serving this graph's stripes (for -method distributed)")
 	)
 	flag.Parse()
 
@@ -79,7 +81,17 @@ func main() {
 		filter.Types = []roundtriprank.NodeType{t}
 	}
 
-	engine, err := roundtriprank.NewEngine(g)
+	var opts []roundtriprank.Option
+	if *workers != "" {
+		var transports []roundtriprank.Transport
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				transports = append(transports, roundtriprank.DialWorker(u))
+			}
+		}
+		opts = append(opts, roundtriprank.WithWorkers(transports...))
+	}
+	engine, err := roundtriprank.NewEngine(g, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

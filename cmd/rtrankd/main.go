@@ -12,9 +12,15 @@
 //	    "k": 5, "type": "venue", "method": "auto"
 //	}'
 //
+// With -workers, rtrankd also acts as the coordinator front end of a
+// gpserver cluster: the listed workers must serve the stripes of the same
+// graph, and requests may then select "method": "distributed" to fan the
+// exact solve out across them (see docs/API.md).
+//
 // Every request runs under the HTTP request context, so a disconnecting
 // client cancels its in-flight computation; per-request alpha/beta/epsilon
-// override the engine defaults. The server shuts down gracefully on SIGINT.
+// override the engine defaults. The server enforces read/write timeouts and
+// shuts down gracefully on SIGINT/SIGTERM, draining in-flight queries.
 package main
 
 import (
@@ -24,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"os/signal"
@@ -41,7 +49,8 @@ type rankRequest struct {
 	Query []string               `json:"query,omitempty"`
 	Nodes []roundtriprank.NodeID `json:"nodes,omitempty"`
 	K     int                    `json:"k"`
-	// Method is auto (default), exact, 2sbound, gs, gupta or sarkar.
+	// Method is auto (default), exact, distributed (requires -workers),
+	// 2sbound, gs, gupta or sarkar.
 	Method string `json:"method,omitempty"`
 	// Type restricts results to the named node type (as registered on the
 	// graph, e.g. "venue"); empty keeps all types.
@@ -72,8 +81,9 @@ type rankResponse struct {
 const maxRequestBytes = 1 << 20
 
 type server struct {
-	g      *roundtriprank.Graph
-	engine *roundtriprank.Engine
+	g       *roundtriprank.Graph
+	engine  *roundtriprank.Engine
+	workers int
 }
 
 func main() {
@@ -82,6 +92,8 @@ func main() {
 		dataset   = flag.String("dataset", "", "synthetic dataset to generate: bibnet or qlog")
 		scale     = flag.Float64("scale", 0.3, "scale factor for synthetic datasets")
 		listen    = flag.String("listen", "127.0.0.1:8080", "listen address")
+		workers   = flag.String("workers", "", "comma-separated gpserver base URLs serving this graph's stripes; enables \"method\": \"distributed\"")
+		writeTmo  = flag.Duration("write-timeout", 5*time.Minute, "HTTP response write timeout (must cover the slowest query)")
 	)
 	flag.Parse()
 
@@ -92,41 +104,47 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine, err := roundtriprank.NewEngine(g)
+	var opts []roundtriprank.Option
+	var transports []roundtriprank.Transport
+	if *workers != "" {
+		for _, u := range strings.Split(*workers, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			transports = append(transports, roundtriprank.DialWorker(u))
+		}
+		opts = append(opts, roundtriprank.WithWorkers(transports...))
+	}
+	engine, err := roundtriprank.NewEngine(g, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{g: g, engine: engine}
+	s := &server{g: g, engine: engine, workers: len(transports)}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/rank", s.handleRank)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	srv := &http.Server{Addr: *listen, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 
-	drained := make(chan struct{})
-	go func() {
-		defer close(drained)
-		<-ctx.Done()
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(shutCtx)
-	}()
-
-	log.Printf("rtrankd serving %d nodes, %d edges on %s", g.NumNodes(), g.NumEdges(), *listen)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	cfg := cliutil.HTTPServerConfig{WriteTimeout: *writeTmo}
+	err = cliutil.ListenAndServe(ctx, *listen, mux, cfg, func(a net.Addr) {
+		log.Printf("rtrankd serving %d nodes, %d edges on %s (%d stripe workers)",
+			g.NumNodes(), g.NumEdges(), a, len(transports))
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
-	// ListenAndServe returns as soon as Shutdown starts; wait for the drain
-	// of in-flight requests to finish before exiting.
-	<-drained
 	log.Printf("shut down")
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rpcs, retries := s.engine.ClusterStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"nodes":  s.g.NumNodes(),
-		"edges":  s.g.NumEdges(),
+		"status":  "ok",
+		"nodes":   s.g.NumNodes(),
+		"edges":   s.g.NumEdges(),
+		"workers": s.workers,
+		"cluster": map[string]any{"rpcs": rpcs, "retries": retries},
 	})
 }
 
@@ -149,6 +167,13 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if r.Context().Err() != nil {
 			// Client went away; nothing useful to write.
+			return
+		}
+		// Cluster trouble is a backend condition, not a caller mistake:
+		// answer 502 so clients and load balancers treat it as retryable.
+		var ce *roundtriprank.ClusterError
+		if errors.As(err, &ce) {
+			httpError(w, http.StatusBadGateway, "%v", err)
 			return
 		}
 		httpError(w, http.StatusBadRequest, "%v", err)

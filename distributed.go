@@ -1,0 +1,110 @@
+package roundtriprank
+
+import (
+	"context"
+	"fmt"
+
+	"roundtriprank/internal/distributed"
+)
+
+// This file is the public surface of the coordinator/worker subsystem: an
+// Engine configured with WithWorkers can execute the Distributed method,
+// fanning each exact power iteration out to stripe workers (cmd/gpserver
+// processes, or in-process loopback workers) and merging the partial vectors
+// into the same top-K path as the Exact method. See ARCHITECTURE.md for the
+// topology and docs/API.md for the wire protocol.
+
+// Transport is one coordinator-side connection to a stripe worker. Obtain one
+// with DialWorker (HTTP) or LoopbackWorkers (in-process).
+type Transport = distributed.Transport
+
+// ClusterError wraps a failure of the distributed worker cluster — a failed
+// connect, a worker outage that outlived the retry budget, or a stripe
+// mismatch. It distinguishes backend trouble from request-validation errors,
+// so servers can answer 5xx instead of 4xx; unwrap with errors.As.
+type ClusterError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *ClusterError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying cluster failure.
+func (e *ClusterError) Unwrap() error { return e.Err }
+
+// DialWorker returns a Transport speaking the gpserver HTTP wire protocol to
+// the worker at baseURL (e.g. "http://10.0.0.7:7001"). Dialing is lazy: the
+// connection is first used when the engine plans a Distributed query.
+func DialWorker(baseURL string) Transport {
+	return distributed.NewHTTPTransport(baseURL, nil)
+}
+
+// LoopbackWorkers stripes g across n in-process workers and returns their
+// transports, in stripe order. It is the single-process deployment of the
+// Distributed method: identical code paths to an HTTP cluster, no network.
+func LoopbackWorkers(g *Graph, n int) ([]Transport, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("roundtriprank: need at least one worker, got %d", n)
+	}
+	ts := make([]Transport, n)
+	for i := 0; i < n; i++ {
+		s, err := distributed.BuildStripe(g, i, n)
+		if err != nil {
+			return nil, err
+		}
+		ts[i] = distributed.NewLoopback(distributed.NewWorker(s))
+	}
+	return ts, nil
+}
+
+// DeployStripes builds the n-way striping of g and ships stripe i to
+// workers[i], for workers that support installation (HTTP workers do:
+// gpserver accepts stripes over POST /v1/stripe). Use it to bring up a
+// cluster of empty gpserver processes without giving each one a copy of the
+// graph.
+func DeployStripes(ctx context.Context, g *Graph, workers []Transport) error {
+	if len(workers) == 0 {
+		return fmt.Errorf("roundtriprank: no workers to deploy to")
+	}
+	for i, w := range workers {
+		sender, ok := w.(distributed.StripeSender)
+		if !ok {
+			return fmt.Errorf("roundtriprank: worker %d cannot receive stripes", i)
+		}
+		s, err := distributed.BuildStripe(g, i, len(workers))
+		if err != nil {
+			return err
+		}
+		if err := sender.SendStripe(ctx, s); err != nil {
+			return fmt.Errorf("roundtriprank: deploy stripe %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WithWorkers configures the engine's stripe worker cluster, enabling the
+// Distributed method: workers[i] must serve stripe i of len(workers) of the
+// engine's graph. The coordinator connects and validates the topology on the
+// first distributed query. The engine does not take ownership of the
+// transports; close them when done.
+func WithWorkers(workers ...Transport) Option {
+	return func(e *Engine) error {
+		if len(workers) == 0 {
+			return fmt.Errorf("roundtriprank: WithWorkers needs at least one transport")
+		}
+		e.workers = append([]Transport(nil), workers...)
+		return nil
+	}
+}
+
+// ClusterStats reports the cumulative worker RPC count and how many of those
+// were retries after transient failures. All zeros before the first
+// distributed query (the coordinator connects lazily) or when no workers are
+// configured.
+func (e *Engine) ClusterStats() (rpcs, retries int64) {
+	c := e.coord.Load()
+	if c == nil {
+		return 0, 0
+	}
+	return c.Stats()
+}

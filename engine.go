@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"roundtriprank/internal/core"
+	"roundtriprank/internal/distributed"
+	"roundtriprank/internal/graph"
 	"roundtriprank/internal/topk"
 	"roundtriprank/internal/walk"
 )
@@ -38,6 +40,7 @@ const (
 	methodAuto methodKind = iota
 	methodExact
 	methodOnline
+	methodDistributed
 )
 
 // Method selects how a Request is executed. The zero value is Auto.
@@ -55,6 +58,12 @@ var (
 	Exact = Method{kind: methodExact}
 	// TwoSBound runs the online branch-and-bound top-K search (Algorithm 1).
 	TwoSBound = Method{kind: methodOnline, scheme: Scheme2SBound}
+	// Distributed runs the exact solvers across the engine's worker cluster
+	// (configured with WithWorkers): the coordinator fans each power
+	// iteration out to the stripe workers and merges the partial vectors into
+	// the same top-K path the local exact solver uses. Scores are
+	// bit-identical to Exact.
+	Distributed = Method{kind: methodDistributed}
 )
 
 // BoundScheme returns an online method using the given bound scheme, for
@@ -68,6 +77,8 @@ func (m Method) String() string {
 		return "auto"
 	case methodExact:
 		return "exact"
+	case methodDistributed:
+		return "distributed"
 	default:
 		return m.scheme.String()
 	}
@@ -77,14 +88,16 @@ func (m Method) String() string {
 func (m Method) IsExact() bool { return m.kind == methodExact }
 
 // ParseMethod parses a method name (case-insensitive) as printed by
-// Method.String: "auto" (or empty), "exact", "2sbound", or a baseline bound
-// scheme — "gs"/"g+s", "gupta", "sarkar".
+// Method.String: "auto" (or empty), "exact", "distributed", "2sbound", or a
+// baseline bound scheme — "gs"/"g+s", "gupta", "sarkar".
 func ParseMethod(name string) (Method, error) {
 	switch strings.ToLower(name) {
 	case "", "auto":
 		return Auto, nil
 	case "exact":
 		return Exact, nil
+	case "distributed":
+		return Distributed, nil
 	case "2sbound":
 		return TwoSBound, nil
 	case "gs", "g+s":
@@ -189,6 +202,15 @@ type Engine struct {
 	params     core.Params
 	exactLimit int
 	cache      *vecCache // nil when the cache is disabled
+
+	// workers are the stripe transports of the Distributed method; the
+	// coordinator over them is built lazily on the first distributed query so
+	// engine construction never blocks on the network. coordMu serializes the
+	// connection attempt only; readers (queries, ClusterStats) go through the
+	// atomic pointer so they never wait behind a slow connect.
+	workers []distributed.Transport
+	coordMu sync.Mutex
+	coord   atomic.Pointer[distributed.Coordinator]
 }
 
 // NewEngine creates an Engine over the given graph view with the paper's
@@ -282,6 +304,9 @@ func (e *Engine) plan(req Request) (*plan, error) {
 		return nil, err
 	}
 	method := req.Method
+	if method.kind == methodDistributed && len(e.workers) == 0 {
+		return nil, fmt.Errorf("roundtriprank: the Distributed method needs workers (configure with WithWorkers)")
+	}
 	if method.kind == methodAuto {
 		if _, local := e.view.(*Graph); local && n <= e.exactLimit {
 			method = Exact
@@ -345,9 +370,12 @@ func (e *Engine) Rank(ctx context.Context, req Request) (*Response, error) {
 	}
 	start := time.Now()
 	var resp *Response
-	if p.method.IsExact() {
+	switch p.method.kind {
+	case methodExact:
 		resp, err = e.rankExact(ctx, p)
-	} else {
+	case methodDistributed:
+		resp, err = e.rankDistributed(ctx, p)
+	default:
 		resp, err = e.rankOnline(ctx, p)
 	}
 	if err != nil {
@@ -377,6 +405,90 @@ func trimZeroScores(in []core.Ranked) []core.Ranked {
 		}
 	}
 	return in
+}
+
+// coordinator returns the engine's worker coordinator, connecting and
+// validating the cluster topology on first use. A failed connection attempt
+// is not cached, so a query issued after the workers come up succeeds.
+func (e *Engine) coordinator(ctx context.Context) (*distributed.Coordinator, error) {
+	if c := e.coord.Load(); c != nil {
+		return c, nil
+	}
+	e.coordMu.Lock()
+	defer e.coordMu.Unlock()
+	if c := e.coord.Load(); c != nil {
+		return c, nil
+	}
+	c, err := distributed.NewCoordinator(ctx, e.workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.NumNodes() != e.view.NumNodes() {
+		return nil, fmt.Errorf("roundtriprank: workers serve a %d-node graph, the engine view has %d nodes",
+			c.NumNodes(), e.view.NumNodes())
+	}
+	// When the engine's own view exposes CSR arrays, require the workers to
+	// have been striped from the very same graph: equal node counts with
+	// different adjacency would return plausible-looking but wrong rankings.
+	if cv, ok := e.view.(graph.CSRView); ok {
+		if local := graph.GraphFingerprint(cv); local != c.GraphFingerprint() {
+			return nil, fmt.Errorf("roundtriprank: workers were striped from a different graph (fingerprint %08x, engine view has %08x)",
+				c.GraphFingerprint(), local)
+		}
+	}
+	e.coord.Store(c)
+	return c, nil
+}
+
+// rankDistributed executes the exact solve across the worker cluster. The
+// coordinator's F-Rank/T-Rank iterations are bit-identical to the local
+// kernels, and the results merge into the same combine/top-K path as the
+// exact method, so a distributed response equals an Exact one node for node
+// and score for score. Cluster failures (connect, worker RPCs) are wrapped
+// in ClusterError so servers can report them as backend trouble rather than
+// caller mistakes.
+func (e *Engine) rankDistributed(ctx context.Context, p *plan) (*Response, error) {
+	c, err := e.coordinator(ctx)
+	if err != nil {
+		return nil, &ClusterError{Err: err}
+	}
+	// The two solves run concurrently; the first failure cancels the sibling
+	// so a dead worker surfaces immediately instead of after the healthy
+	// solve finishes its remaining iterations.
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		t    []float64
+		terr error
+		done = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		t, terr = c.TRank(dctx, p.query, p.params.Walk)
+		if terr != nil {
+			cancel()
+		}
+	}()
+	f, ferr := c.FRank(dctx, p.query, p.params.Walk)
+	if ferr != nil {
+		cancel()
+	}
+	<-done
+	// Prefer the root cause over the sibling's cancellation casualty, and
+	// the caller's own cancellation over both.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, solveErr := range []error{ferr, terr} {
+		if solveErr != nil && !errors.Is(solveErr, context.Canceled) {
+			return nil, &ClusterError{Err: solveErr}
+		}
+	}
+	if ferr != nil || terr != nil {
+		return nil, &ClusterError{Err: errors.Join(ferr, terr)}
+	}
+	top := trimZeroScores(core.TopN(core.Combine(f, t, p.params.Beta), p.k, p.keep))
+	return &Response{Results: toResults(top), Method: Distributed, Converged: true}, nil
 }
 
 func (e *Engine) rankOnline(ctx context.Context, p *plan) (*Response, error) {
@@ -518,9 +630,12 @@ func (e *Engine) execPlan(ctx context.Context, p *plan, cache *vecCache) (*Respo
 		resp *Response
 		err  error
 	)
-	if p.method.IsExact() {
+	switch p.method.kind {
+	case methodExact:
 		resp, err = e.rankExactShared(ctx, p, cache)
-	} else {
+	case methodDistributed:
+		resp, err = e.rankDistributed(ctx, p)
+	default:
 		resp, err = e.rankOnline(ctx, p)
 	}
 	if err != nil {

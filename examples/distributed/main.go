@@ -1,9 +1,15 @@
-// Command distributed demonstrates the AP/GP architecture of Sect. V-B: it
-// stripes a synthetic bibliographic network across several in-process graph
-// processors reachable over loopback TCP, runs online 2SBound top-K queries
-// through the active processor, and reports how small the assembled active set
-// is compared to the full graph — the observation that makes the distributed
-// deployment practical.
+// Command distributed demonstrates both multi-process execution paths over a
+// striped graph.
+//
+// First the coordinator/worker path: the graph is striped across several
+// gpserver-protocol workers served over loopback HTTP, and the Engine's
+// Distributed method fans exact power iterations out to them, returning
+// bit-identical results to the local exact solver.
+//
+// Then the AP/GP path of Sect. V-B: the same stripes answer adjacency
+// requests over TCP while the active processor runs the online 2SBound
+// search, assembling only the query's active set — the observation that makes
+// the distributed deployment practical.
 package main
 
 import (
@@ -11,46 +17,91 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 
 	"roundtriprank"
+	"roundtriprank/internal/cliutil"
 	"roundtriprank/internal/datasets"
 	"roundtriprank/internal/distributed"
 )
 
 func main() {
-	gps := flag.Int("gps", 3, "number of graph processors to stripe the graph across")
+	gps := flag.Int("gps", 3, "number of workers to stripe the graph across")
 	scale := flag.Float64("scale", 0.2, "dataset scale relative to the default BibNet configuration")
 	queries := flag.Int("queries", 5, "number of top-K queries to run")
 	flag.Parse()
 
-	net, err := datasets.GenerateBibNet(datasets.ScaledBibNetConfig(*scale))
+	net_, err := datasets.GenerateBibNet(datasets.ScaledBibNetConfig(*scale))
 	if err != nil {
 		log.Fatal(err)
 	}
-	g := net.Graph
+	g := net_.Graph
 	fmt.Printf("Graph: %d nodes, %d edges (%.1f MB)\n", g.NumNodes(), g.NumEdges(),
 		float64(g.SizeBytes())/(1<<20))
 
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// --- Part 1: exact solves through the coordinator/worker subsystem. ---
+	// Each worker serves one stripe over the real HTTP wire protocol, exactly
+	// as a cmd/gpserver process would.
+	transports, stop := startHTTPWorkers(ctx, g, *gps)
+	defer stop()
+	engine, err := roundtriprank.NewEngine(g, roundtriprank.WithWorkers(transports...))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nStarted %d HTTP stripe workers; comparing Distributed against Exact:\n", *gps)
+	for i := 0; i < *queries && i < len(net_.Papers); i++ {
+		q := net_.Papers[i*17%len(net_.Papers)]
+		req := roundtriprank.Request{Query: roundtriprank.SingleNode(q), K: 5}
+		req.Method = roundtriprank.Distributed
+		dist, err := engine.Rank(ctx, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Method = roundtriprank.Exact
+		exact, err := engine.Rank(ctx, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		match := "IDENTICAL"
+		if len(dist.Results) != len(exact.Results) {
+			match = "DIVERGED"
+		} else {
+			for j := range exact.Results {
+				if dist.Results[j] != exact.Results[j] {
+					match = "DIVERGED"
+					break
+				}
+			}
+		}
+		fmt.Printf("  %-28s top-%d %s (distributed %v, exact %v)\n",
+			g.Label(q)+":", len(dist.Results), match, dist.Elapsed.Round(1000), exact.Elapsed.Round(1000))
+		if i == 0 {
+			for rank, r := range dist.Results[:min(3, len(dist.Results))] {
+				fmt.Printf("      %d. %s\n", rank+1, g.Label(r.Node))
+			}
+		}
+	}
+	rpcs, retries := engine.ClusterStats()
+	fmt.Printf("  Cluster: %d worker RPCs, %d retries\n", rpcs, retries)
+
+	// --- Part 2: the online 2SBound search over the AP/GP active set. ---
 	cluster, err := distributed.StartCluster(g, *gps)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.Close()
-	fmt.Printf("Started %d graph processors:\n", len(cluster.GPs))
-	for i, gp := range cluster.GPs {
-		fmt.Printf("  GP %d at %s\n", i, gp.Addr())
-	}
-
-	// The Engine runs unchanged over the AP view: Auto sees a remote (untyped)
-	// view and plans the online 2SBound search, which touches only the active
-	// set.
-	engine, err := roundtriprank.NewEngine(cluster.AP)
+	apEngine, err := roundtriprank.NewEngine(cluster.AP)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := 0; i < *queries && i < len(net.Papers); i++ {
-		q := net.Papers[i*17%len(net.Papers)]
-		resp, err := engine.Rank(context.Background(), roundtriprank.Request{
+	fmt.Printf("\nStarted %d TCP graph processors for the online path:\n", len(cluster.GPs))
+	for i := 0; i < *queries && i < len(net_.Papers); i++ {
+		q := net_.Papers[i*17%len(net_.Papers)]
+		resp, err := apEngine.Rank(ctx, roundtriprank.Request{
 			Query:   roundtriprank.SingleNode(q),
 			K:       10,
 			Epsilon: 0.01,
@@ -58,15 +109,40 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nQuery %s: top-%d via %s assembled from %d GP round trips\n",
-			g.Label(q), len(resp.Results), resp.Method, cluster.AP.Requests())
-		for rank, r := range resp.Results[:min(3, len(resp.Results))] {
-			fmt.Printf("  %d. %s\n", rank+1, g.Label(r.Node))
-		}
+		fmt.Printf("  %-28s top-%d via %s from %d GP round trips\n",
+			g.Label(q)+":", len(resp.Results), resp.Method, cluster.AP.Requests())
 	}
 	fmt.Printf("\nActive set after %d queries: %d nodes (%.1f KB) — %.2f%% of the graph\n",
 		*queries, cluster.AP.ActiveNodes(), float64(cluster.AP.ActiveSetBytes())/1024,
 		100*float64(cluster.AP.ActiveNodes())/float64(g.NumNodes()))
+}
+
+// startHTTPWorkers stripes g across n workers, each serving the gpserver
+// wire protocol on an ephemeral loopback port, and dials a transport to each.
+func startHTTPWorkers(ctx context.Context, g *roundtriprank.Graph, n int) ([]roundtriprank.Transport, func()) {
+	transports := make([]roundtriprank.Transport, n)
+	for i := 0; i < n; i++ {
+		stripe, err := distributed.BuildStripe(g, i, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler := distributed.NewWorker(stripe).Handler()
+		go func() {
+			if err := cliutil.Serve(ctx, ln, handler, cliutil.HTTPServerConfig{}); err != nil && err != http.ErrServerClosed {
+				log.Printf("worker: %v", err)
+			}
+		}()
+		transports[i] = roundtriprank.DialWorker("http://" + ln.Addr().String())
+	}
+	return transports, func() {
+		for _, t := range transports {
+			t.Close()
+		}
+	}
 }
 
 func min(a, b int) int {

@@ -1,6 +1,8 @@
-// Package cliutil holds the small helpers shared by the rtrank and rtrankd
-// commands: loading a graph from a gob file or a generated synthetic dataset,
-// and resolving node-type names against a graph's type registry.
+// Package cliutil holds the small helpers shared by the commands under cmd/:
+// loading a graph from a gob file or a generated synthetic dataset, resolving
+// node-type names against a graph's type registry, and running an HTTP server
+// with uniform timeouts and graceful shutdown (rtrankd and gpserver both
+// serve through ListenAndServe).
 package cliutil
 
 import (

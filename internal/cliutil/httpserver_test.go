@@ -1,0 +1,151 @@
+package cliutil
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeGracefulShutdown starts a server, holds one slow request in
+// flight, cancels the server context, and checks that the slow request still
+// completes (the drain) before Serve returns.
+func TestServeGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		fmt.Fprint(w, "done")
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var (
+		wg       sync.WaitGroup
+		serveErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serveErr = Serve(ctx, ln, mux, HTTPServerConfig{ShutdownGrace: 5 * time.Second})
+	}()
+
+	var (
+		body    []byte
+		reqErr  error
+		reqDone = make(chan struct{})
+	)
+	go func() {
+		defer close(reqDone)
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			reqErr = err
+			return
+		}
+		defer resp.Body.Close()
+		body, reqErr = io.ReadAll(resp.Body)
+	}()
+
+	<-started
+	cancel() // begin graceful shutdown with the request still in flight
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	<-reqDone
+	wg.Wait()
+	if reqErr != nil {
+		t.Fatalf("in-flight request failed during graceful shutdown: %v", reqErr)
+	}
+	if string(body) != "done" {
+		t.Fatalf("in-flight request body = %q, want %q", body, "done")
+	}
+	if serveErr != nil {
+		t.Fatalf("Serve returned %v after a clean drain", serveErr)
+	}
+
+	// The listener must be closed: new connections are refused.
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Fatalf("listener still accepting after shutdown")
+	}
+}
+
+// TestServeForcefulShutdown checks that a request outliving the grace period
+// has its context cancelled instead of holding the server up forever.
+func TestServeForcefulShutdown(t *testing.T) {
+	started := make(chan struct{})
+	ctxErr := make(chan error, 1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hang", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-r.Context().Done()
+		ctxErr <- r.Context().Err()
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(ctx, ln, mux, HTTPServerConfig{ShutdownGrace: 50 * time.Millisecond})
+	}()
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/hang")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	cancel()
+
+	select {
+	case err := <-ctxErr:
+		if err == nil {
+			t.Fatalf("request context not cancelled")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("request context never cancelled after the grace period")
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("Serve should report the forced shutdown")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Serve did not return after the grace period")
+	}
+}
+
+func TestListenAndServeReportsAddr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- ListenAndServe(ctx, "127.0.0.1:0", http.NewServeMux(), HTTPServerConfig{ShutdownGrace: time.Second},
+			func(a net.Addr) { got <- a })
+	}()
+	select {
+	case a := <-got:
+		if a.String() == "" {
+			t.Fatalf("empty bound address")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("onListen never called")
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("clean shutdown returned %v", err)
+	}
+}

@@ -1,0 +1,397 @@
+package distributed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roundtriprank/internal/walk"
+)
+
+// Coordinator drives the distributed exact solve: it owns one Transport per
+// stripe, fans the per-iteration gather out to every worker in parallel,
+// retries transient worker failures (multiply calls are idempotent), and
+// merges the returned partial vectors back into the global iteration state.
+//
+// The arithmetic mirrors the in-process CSR kernels operation for operation —
+// the same per-row reduction order, the same serial dangling-mass collection
+// — so FRank and TRank return bit-identical vectors to walk.FRank/walk.TRank
+// on the unstriped graph, for any number of workers. That is what lets the
+// Engine route a query through the cluster and still satisfy the exact
+// top-K contract.
+type Coordinator struct {
+	ts     []Transport
+	n      int       // nodes in the full graph
+	graph  uint32    // graph fingerprint every worker must agree on
+	rows   []int     // owned rows per stripe
+	outSum []float64 // global out-weight sums, assembled from the stripes
+	opts   CoordinatorOptions
+
+	rpcs    atomic.Int64
+	retries atomic.Int64
+}
+
+// CoordinatorOptions tune fan-out behavior; the zero value gives defaults.
+type CoordinatorOptions struct {
+	// Retries is how many times a failed transient call is retried on the
+	// same worker before the query fails (default 2).
+	Retries int
+	// RetryBackoff is the base delay before a retry; attempt k waits
+	// k*RetryBackoff (default 50ms).
+	RetryBackoff time.Duration
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// NewCoordinator connects to the given workers — transports[i] must serve
+// stripe i of len(transports) — validates the topology they advertise, and
+// assembles the global out-weight vector. It does not take ownership of the
+// transports until it succeeds; on success Close releases them.
+func NewCoordinator(ctx context.Context, transports []Transport, opts *CoordinatorOptions) (*Coordinator, error) {
+	if len(transports) == 0 {
+		return nil, fmt.Errorf("distributed: coordinator needs at least one worker")
+	}
+	c := &Coordinator{ts: transports, rows: make([]int, len(transports))}
+	if opts != nil {
+		c.opts = *opts
+	}
+	c.opts = c.opts.withDefaults()
+
+	infos := make([]WorkerInfo, len(transports))
+	err := c.fanOut(ctx, func(ctx context.Context, i int) error {
+		info, err := call(c, ctx, i, func(ctx context.Context) (WorkerInfo, error) {
+			return c.ts[i].Info(ctx)
+		})
+		infos[i] = info
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	count := len(transports)
+	for i, info := range infos {
+		if info.Protocol != ProtocolVersion {
+			return nil, fmt.Errorf("distributed: worker %d speaks protocol %d, coordinator speaks %d", i, info.Protocol, ProtocolVersion)
+		}
+		if info.Index != i || info.Count != count {
+			return nil, fmt.Errorf("distributed: worker %d serves stripe %d of %d, want %d of %d",
+				i, info.Index, info.Count, i, count)
+		}
+		if i == 0 {
+			c.n = info.NumNodes
+			c.graph = info.Graph
+		} else {
+			if info.NumNodes != c.n {
+				return nil, fmt.Errorf("distributed: worker %d serves a %d-node graph, worker 0 a %d-node one", i, info.NumNodes, c.n)
+			}
+			if info.Graph != c.graph {
+				return nil, fmt.Errorf("distributed: worker %d was striped from a different graph (fingerprint %08x, worker 0 has %08x)",
+					i, info.Graph, c.graph)
+			}
+		}
+		// Never trust the advertised row count: the merge loops index global
+		// vectors with i + r*count, so an oversized value would panic.
+		wantRows := 0
+		if c.n > i {
+			wantRows = (c.n - i + count - 1) / count
+		}
+		if info.Rows != wantRows {
+			return nil, fmt.Errorf("distributed: worker %d advertises %d rows, stripe %d of %d over %d nodes owns %d",
+				i, info.Rows, i, count, c.n, wantRows)
+		}
+		c.rows[i] = info.Rows
+	}
+	if c.n <= 0 {
+		return nil, fmt.Errorf("distributed: workers serve an empty graph")
+	}
+
+	c.outSum = make([]float64, c.n)
+	sums := make([][]float64, len(transports))
+	err = c.fanOut(ctx, func(ctx context.Context, i int) error {
+		s, err := call(c, ctx, i, func(ctx context.Context) ([]float64, error) {
+			return c.ts[i].OutSums(ctx)
+		})
+		if err != nil {
+			return err
+		}
+		if len(s) != c.rows[i] {
+			return fmt.Errorf("distributed: worker %d returned %d out-sums for %d rows", i, len(s), c.rows[i])
+		}
+		sums[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range sums {
+		for r, v := range s {
+			c.outSum[i+r*count] = v
+		}
+	}
+	return c, nil
+}
+
+// NumNodes returns the node count of the striped graph.
+func (c *Coordinator) NumNodes() int { return c.n }
+
+// GraphFingerprint returns the fingerprint of the graph the cluster serves
+// (graph.GraphFingerprint), agreed on by every worker at connect time.
+func (c *Coordinator) GraphFingerprint() uint32 { return c.graph }
+
+// Workers returns the number of workers in the cluster.
+func (c *Coordinator) Workers() int { return len(c.ts) }
+
+// Stats reports the cumulative worker RPC count and how many of those were
+// retries after a transient failure.
+func (c *Coordinator) Stats() (rpcs, retries int64) {
+	return c.rpcs.Load(), c.retries.Load()
+}
+
+// Close closes every worker transport.
+func (c *Coordinator) Close() error {
+	var firstErr error
+	for _, t := range c.ts {
+		if err := t.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// call runs one idempotent worker RPC with the coordinator's retry policy:
+// transient failures are retried with linear backoff, everything else (and
+// context cancellation) fails immediately.
+func call[T any](c *Coordinator, ctx context.Context, i int, f func(ctx context.Context) (T, error)) (T, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			select {
+			case <-ctx.Done():
+				var zero T
+				return zero, ctx.Err()
+			case <-time.After(time.Duration(attempt) * c.opts.RetryBackoff):
+			}
+		}
+		c.rpcs.Add(1)
+		out, err := f(ctx)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if !IsTransient(err) || ctx.Err() != nil {
+			break
+		}
+	}
+	var zero T
+	return zero, fmt.Errorf("distributed: worker %d: %w", i, lastErr)
+}
+
+// fanOut runs fn(i) for every worker concurrently; the first failure cancels
+// the rest. The reported error is the root cause: a sibling call that died
+// of the fan-out's own cancellation is only blamed when nothing else failed.
+func (c *Coordinator) fanOut(ctx context.Context, fn func(ctx context.Context, i int) error) error {
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(c.ts))
+	var wg sync.WaitGroup
+	for i := range c.ts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fn(fctx, i); err != nil {
+				errs[i] = err
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return firstErr
+}
+
+// multiply fans one gather out to every worker and merges the partial
+// vectors into next by the round-robin assignment. partials is reused across
+// iterations to avoid re-allocating.
+func (c *Coordinator) multiply(ctx context.Context, dir Direction, x []float64, partials [][]float64) error {
+	err := c.fanOut(ctx, func(ctx context.Context, i int) error {
+		out, err := call(c, ctx, i, func(ctx context.Context) ([]float64, error) {
+			return c.ts[i].Multiply(ctx, dir, c.graph, x)
+		})
+		if err != nil {
+			return err
+		}
+		if len(out) != c.rows[i] {
+			return fmt.Errorf("distributed: worker %d returned %d entries for %d rows", i, len(out), c.rows[i])
+		}
+		partials[i] = out
+		return nil
+	})
+	return err
+}
+
+// restartVector scatters the normalized query onto a dense vector.
+func (c *Coordinator) restartVector(q walk.Query) ([]float64, error) {
+	nq, err := q.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	restart := make([]float64, c.n)
+	for i, v := range nq.Nodes {
+		if int(v) < 0 || int(v) >= c.n {
+			return nil, fmt.Errorf("distributed: query node %d out of range [0,%d)", v, c.n)
+		}
+		restart[v] += nq.Weights[i]
+	}
+	return restart, nil
+}
+
+// FRank computes the exact F-Rank vector of the query across the cluster: the
+// distributed form of walk.FRank's pull-style power iteration, bit-identical
+// to the in-process solve. Each iteration performs the transition scaling and
+// dangling-mass collection locally (they need only the global out-sums) and
+// fans the expensive gather out to the workers.
+func (c *Coordinator) FRank(ctx context.Context, q walk.Query, p walk.Params) ([]float64, error) {
+	ctx = walk.OrBackground(ctx)
+	p, err := p.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	restart, err := c.restartVector(q)
+	if err != nil {
+		return nil, err
+	}
+	n := c.n
+	count := len(c.ts)
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	scaled := make([]float64, n)
+	partials := make([][]float64, count)
+	copy(cur, restart)
+	oneMinus := 1 - p.Alpha
+
+	for iter := 0; iter < p.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Scale by inverse out-weight and collect dangling mass, serially, in
+		// the same order as the local kernel.
+		dangling := 0.0
+		for u := 0; u < n; u++ {
+			if c.outSum[u] > 0 {
+				scaled[u] = cur[u] / c.outSum[u]
+			} else {
+				scaled[u] = 0
+				dangling += cur[u]
+			}
+		}
+		dadd := oneMinus * dangling
+		if err := c.multiply(ctx, DirIn, scaled, partials); err != nil {
+			return nil, err
+		}
+		for i, part := range partials {
+			for r, sum := range part {
+				v := i + r*count
+				rv := restart[v]
+				nv := p.Alpha*rv + oneMinus*sum
+				if dadd > 0 && rv > 0 {
+					nv += dadd * rv
+				}
+				next[v] = nv
+			}
+		}
+		diff := l1Diff(cur, next)
+		cur, next = next, cur
+		if diff < p.Tol {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// TRank computes the exact T-Rank vector of the query across the cluster: the
+// distributed form of walk.TRank, bit-identical to the in-process solve. The
+// workers reduce each owned node's forward row against the current vector;
+// the coordinator applies the restart and the per-row 1/outSum normalization.
+func (c *Coordinator) TRank(ctx context.Context, q walk.Query, p walk.Params) ([]float64, error) {
+	ctx = walk.OrBackground(ctx)
+	p, err := p.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	restart, err := c.restartVector(q)
+	if err != nil {
+		return nil, err
+	}
+	n := c.n
+	count := len(c.ts)
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	partials := make([][]float64, count)
+	for i := range cur {
+		cur[i] = p.Alpha * restart[i]
+	}
+	oneMinus := 1 - p.Alpha
+
+	for iter := 0; iter < p.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := c.multiply(ctx, DirOut, cur, partials); err != nil {
+			return nil, err
+		}
+		for i, part := range partials {
+			for r, s := range part {
+				v := i + r*count
+				acc := p.Alpha * restart[v]
+				if sum := c.outSum[v]; sum > 0 {
+					acc += oneMinus * s / sum
+				}
+				next[v] = acc
+			}
+		}
+		diff := l1Diff(cur, next)
+		cur, next = next, cur
+		if diff < p.Tol {
+			break
+		}
+	}
+	return cur, nil
+}
+
+func l1Diff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}

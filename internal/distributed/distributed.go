@@ -1,18 +1,27 @@
-// Package distributed implements the AP/GP architecture of Sect. V-B: the
-// graph is striped round-robin across Graph Processors (GPs), each holding a
-// stripe in memory and answering adjacency requests over TCP, while the Active
-// Processor (AP) runs 2SBound and incrementally assembles only the active set
-// — the nodes and edges the query actually touches — in its local memory.
+// Package distributed implements serving a round-robin-striped graph from
+// multiple processes. It has two cooperating topologies.
 //
-// The AP exposes the assembled active set as a graph.View, so the exact same
-// 2SBound implementation runs unchanged on a single machine or on a cluster;
-// only the source of adjacency data differs. There is no precomputation beyond
-// segmenting the graph.
+// The coordinator/worker subsystem executes exact solves across the cluster:
+// each Worker holds one Stripe (compact CSR slices of the owned rows,
+// loadable from the binary codec in internal/graph) and serves stateless
+// per-iteration gather RPCs; the Coordinator fans each power iteration out
+// over a Transport per worker — in-process Loopback or HTTPTransport (the
+// cmd/gpserver wire protocol) — retries transient failures, and merges the
+// partial vectors. The arithmetic mirrors the in-process CSR kernels exactly,
+// so distributed F-Rank/T-Rank vectors are bit-identical to local ones.
+//
+// The AP/GP pair reproduces the paper's architecture of Sect. V-B for the
+// online search: Graph Processors answer adjacency requests for their stripe
+// over TCP while the Active Processor runs 2SBound and assembles only the
+// active set — the nodes and edges the query actually touches — in local
+// memory, exposed as a graph.View so the same 2SBound implementation runs
+// unchanged on one machine or a cluster.
 package distributed
 
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -50,6 +59,7 @@ type Stripe struct {
 	Index    int
 	Count    int
 	NumNodes int
+	graphSum uint32 // fingerprint of the source graph (graph.GraphFingerprint)
 	rows     int
 	out      graph.CSR
 	in       graph.CSR
@@ -58,43 +68,52 @@ type Stripe struct {
 // BuildStripe extracts stripe `index` of `count` from g by round-robin node
 // assignment (Sect. V-B2), slicing the owned rows out of g's CSR arrays.
 func BuildStripe(g *graph.Graph, index, count int) (*Stripe, error) {
-	if count <= 0 || index < 0 || index >= count {
-		return nil, fmt.Errorf("distributed: invalid stripe %d of %d", index, count)
+	d, err := graph.BuildStripeData(g, index, count)
+	if err != nil {
+		return nil, fmt.Errorf("distributed: %w", err)
 	}
-	n := g.NumNodes()
-	rows := 0
-	if n > index {
-		rows = (n - index + count - 1) / count
-	}
-	s := &Stripe{Index: index, Count: count, NumNodes: n, rows: rows}
-	s.out = sliceRows(g.OutCSR(), index, count, rows)
-	s.in = sliceRows(g.InCSR(), index, count, rows)
-	return s, nil
+	return StripeFromData(d)
 }
 
-// sliceRows copies every count-th row of src starting at first into a compact
-// CSR over the local row index.
-func sliceRows(src graph.CSR, first, count, rows int) graph.CSR {
-	dst := graph.CSR{RowPtr: make([]int64, rows+1)}
-	if rows > 0 {
-		dst.Sum = make([]float64, rows)
+// StripeFromData wraps a validated codec payload as a servable Stripe.
+func StripeFromData(d *graph.StripeData) (*Stripe, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("distributed: %w", err)
 	}
-	var total int64
-	for r := 0; r < rows; r++ {
-		v := graph.NodeID(first + r*count)
-		total += int64(src.Degree(v))
+	return &Stripe{
+		Index:    d.Index,
+		Count:    d.Count,
+		NumNodes: d.NumNodes,
+		graphSum: d.Graph,
+		rows:     d.Rows(),
+		out:      d.Out,
+		in:       d.In,
+	}, nil
+}
+
+// GraphFingerprint returns the fingerprint of the graph this stripe was cut
+// from (graph.GraphFingerprint of the full graph, not of the slice).
+func (s *Stripe) GraphFingerprint() uint32 { return s.graphSum }
+
+// Data returns the stripe's codec payload. The CSR slices are shared with the
+// stripe, not copied; treat them as read-only.
+func (s *Stripe) Data() *graph.StripeData {
+	return &graph.StripeData{Index: s.Index, Count: s.Count, NumNodes: s.NumNodes, Graph: s.graphSum, Out: s.out, In: s.in}
+}
+
+// Encode writes the stripe in the binary stripe format of
+// graph.EncodeStripe, suitable for persisting to disk or shipping to a
+// worker's stripe-install endpoint.
+func (s *Stripe) Encode(w io.Writer) error { return graph.EncodeStripe(w, s.Data()) }
+
+// DecodeStripe reads a stripe previously written with Stripe.Encode (or
+// graph.EncodeStripe), verifying checksums and CSR invariants.
+func DecodeStripe(r io.Reader) (*Stripe, error) {
+	d, err := graph.DecodeStripe(r)
+	if err != nil {
+		return nil, err
 	}
-	dst.Col = make([]graph.NodeID, 0, total)
-	dst.Weight = make([]float64, 0, total)
-	for r := 0; r < rows; r++ {
-		v := graph.NodeID(first + r*count)
-		cols, wts := src.Row(v)
-		dst.Col = append(dst.Col, cols...)
-		dst.Weight = append(dst.Weight, wts...)
-		dst.Sum[r] = src.Sum[v]
-		dst.RowPtr[r+1] = int64(len(dst.Col))
-	}
-	return dst
+	return StripeFromData(d)
 }
 
 // adjacency returns the stored adjacency of node v as slices referencing the
@@ -111,6 +130,52 @@ func (s *Stripe) adjacency(v graph.NodeID) (NodeAdjacency, bool) {
 
 // OwnedNodes returns the number of nodes assigned to this stripe.
 func (s *Stripe) OwnedNodes() int { return s.rows }
+
+// GlobalNode returns the global node ID of local row r (the inverse of the
+// round-robin assignment: row r owns node Index + r*Count).
+func (s *Stripe) GlobalNode(r int) graph.NodeID { return graph.NodeID(s.Index + r*s.Count) }
+
+// OutSums returns the total outgoing edge weight of every owned node, indexed
+// by local row. The coordinator assembles these into the global out-weight
+// vector it needs for transition scaling and dangling-mass collection. The
+// returned slice aliases the stripe; treat it as read-only.
+func (s *Stripe) OutSums() []float64 { return s.out.Sum }
+
+// MultiplyIn computes one owned slice of the pull-style gather that drives
+// F-Rank: dst[r] = Σ_{u→v} w(u,v)·x[u] for each owned node v, reading v's
+// transposed adjacency row. x must have NumNodes entries and dst OwnedNodes
+// entries. Each output row is reduced sequentially in CSR order — the same
+// order as the in-process kernels — so a distributed solve is bit-identical
+// to a local one.
+func (s *Stripe) MultiplyIn(x, dst []float64) error {
+	return s.multiply(s.in, x, dst)
+}
+
+// MultiplyOut computes one owned slice of the forward gather that drives
+// T-Rank: dst[r] = Σ_{v→to} w(v,to)·x[to] for each owned node v, reading v's
+// forward adjacency row. The result is the raw row reduction; the coordinator
+// applies the per-row 1/outSum normalization.
+func (s *Stripe) MultiplyOut(x, dst []float64) error {
+	return s.multiply(s.out, x, dst)
+}
+
+func (s *Stripe) multiply(c graph.CSR, x, dst []float64) error {
+	if len(x) != s.NumNodes {
+		return fmt.Errorf("distributed: multiply input has %d entries, stripe graph has %d nodes", len(x), s.NumNodes)
+	}
+	if len(dst) != s.rows {
+		return fmt.Errorf("distributed: multiply output has %d entries, stripe owns %d rows", len(dst), s.rows)
+	}
+	for r := 0; r < s.rows; r++ {
+		sum := 0.0
+		lo, hi := c.RowPtr[r], c.RowPtr[r+1]
+		for i := lo; i < hi; i++ {
+			sum += c.Weight[i] * x[c.Col[i]]
+		}
+		dst[r] = sum
+	}
+	return nil
+}
 
 // SizeBytes estimates the stripe's in-memory footprint.
 func (s *Stripe) SizeBytes() int64 {

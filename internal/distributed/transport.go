@@ -1,0 +1,202 @@
+package distributed
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Direction selects which adjacency a worker multiplies over.
+type Direction uint8
+
+const (
+	// DirIn gathers over the transposed adjacency (the F-Rank pull step).
+	DirIn Direction = iota + 1
+	// DirOut gathers over the forward adjacency (the T-Rank step).
+	DirOut
+)
+
+// String names the direction as used in the wire protocol's dir parameter.
+func (d Direction) String() string {
+	switch d {
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	default:
+		return fmt.Sprintf("direction-%d", uint8(d))
+	}
+}
+
+// ParseDirection parses the wire form of a Direction ("in" or "out").
+func ParseDirection(s string) (Direction, error) {
+	switch s {
+	case "in":
+		return DirIn, nil
+	case "out":
+		return DirOut, nil
+	default:
+		return 0, fmt.Errorf("distributed: unknown direction %q", s)
+	}
+}
+
+// ProtocolVersion is the version of the coordinator/worker wire protocol; a
+// worker advertises it in WorkerInfo and the coordinator refuses mismatches.
+const ProtocolVersion = 1
+
+// WorkerInfo describes the stripe a worker serves. It is the JSON body of the
+// worker's /v1/info endpoint.
+type WorkerInfo struct {
+	// Protocol is the wire protocol version the worker speaks.
+	Protocol int `json:"protocol"`
+	// Index and Count identify the served stripe within the partition.
+	Index int `json:"stripe"`
+	Count int `json:"of"`
+	// Graph is the fingerprint of the graph the stripe was cut from; the
+	// coordinator refuses to assemble workers reporting different values.
+	Graph uint32 `json:"graph"`
+	// NumNodes is the node count of the full striped graph.
+	NumNodes int `json:"nodes"`
+	// Rows is the number of nodes the stripe owns.
+	Rows int `json:"rows"`
+	// OutEdges and InEdges are the stored edge counts, for capacity reporting.
+	OutEdges int `json:"out_edges"`
+	InEdges  int `json:"in_edges"`
+}
+
+// Transport is one coordinator-side connection to a worker serving a stripe.
+// Multiply is a pure function of its inputs (the worker keeps no per-query
+// state), so every call is idempotent and safe to retry; the coordinator
+// relies on this when it retries transient failures mid-query.
+//
+// Two implementations exist: Loopback (in-process, for tests and single-host
+// deployments) and HTTPTransport (the gpserver wire protocol).
+type Transport interface {
+	// Info returns the stripe topology the worker serves.
+	Info(ctx context.Context) (WorkerInfo, error)
+	// OutSums returns the out-weight sums of the worker's owned rows.
+	OutSums(ctx context.Context) ([]float64, error)
+	// Multiply streams the full iteration vector x to the worker and returns
+	// the gathered partial vector over the worker's owned rows. graphSum is
+	// the fingerprint the coordinator validated at connect time; the worker
+	// refuses the call if its stripe has since been replaced with one cut
+	// from a different graph, so a mid-lifetime redeploy fails loudly
+	// instead of silently mixing graphs.
+	Multiply(ctx context.Context, dir Direction, graphSum uint32, x []float64) ([]float64, error)
+	// Close releases the connection; the Transport is unusable afterwards.
+	Close() error
+}
+
+// StripeSender is implemented by transports that can install a stripe on
+// their worker (the gpserver "receive a stripe" deployment mode).
+type StripeSender interface {
+	// SendStripe ships the stripe to the worker, replacing whatever it served.
+	SendStripe(ctx context.Context, s *Stripe) error
+}
+
+// TransientError marks a worker failure as retryable: the coordinator retries
+// the idempotent call on the same worker instead of failing the query.
+// Network-level failures and HTTP 5xx responses are transient; protocol
+// violations and HTTP 4xx responses are not.
+type TransientError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *TransientError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying failure.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// Vector wire format: a raw array of little-endian IEEE-754 float64 values,
+// with the element count implied by the byte length. It is the body of the
+// /v1/multiply request and response and of the /v1/outsums response.
+
+// AppendVector appends the wire encoding of x to buf and returns the result.
+func AppendVector(buf []byte, x []float64) []byte {
+	for _, v := range x {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// ReadVector reads exactly n float64 values from r into dst (allocating when
+// dst is too small) and errors on truncation.
+func ReadVector(r io.Reader, n int, dst []float64) ([]float64, error) {
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	buf := make([]byte, 1<<16)
+	for off := 0; off < n; {
+		chunk := n - off
+		if chunk > len(buf)/8 {
+			chunk = len(buf) / 8
+		}
+		b := buf[:chunk*8]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("distributed: vector truncated at %d of %d entries: %w", off, n, err)
+		}
+		for i := 0; i < chunk; i++ {
+			dst[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+		off += chunk
+	}
+	return dst, nil
+}
+
+// Loopback is an in-process Transport wrapping a Worker directly: no
+// serialization, no network. It keeps tests and single-process deployments
+// fast and deterministic while exercising the same coordinator code paths as
+// the HTTP transport.
+type Loopback struct {
+	w *Worker
+}
+
+// NewLoopback returns a Transport that calls w in-process.
+func NewLoopback(w *Worker) *Loopback { return &Loopback{w: w} }
+
+// Info implements Transport.
+func (l *Loopback) Info(ctx context.Context) (WorkerInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return WorkerInfo{}, err
+	}
+	return l.w.Info()
+}
+
+// OutSums implements Transport.
+func (l *Loopback) OutSums(ctx context.Context) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.w.OutSums()
+}
+
+// Multiply implements Transport.
+func (l *Loopback) Multiply(ctx context.Context, dir Direction, graphSum uint32, x []float64) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.w.Multiply(dir, graphSum, x)
+}
+
+// SendStripe implements StripeSender.
+func (l *Loopback) SendStripe(ctx context.Context, s *Stripe) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l.w.SetStripe(s)
+	return nil
+}
+
+// Close implements Transport; loopback transports hold no resources.
+func (l *Loopback) Close() error { return nil }

@@ -1,0 +1,235 @@
+package distributed
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Worker serves one stripe's share of the distributed iteration: the
+// stateless multiply RPCs the coordinator fans out once per power iteration,
+// plus the topology metadata it needs to assemble global vectors. A Worker
+// may start empty and receive its stripe later (SetStripe, or the handler's
+// stripe-install endpoint); it is safe for concurrent use.
+type Worker struct {
+	mu     sync.RWMutex
+	stripe *Stripe
+}
+
+// NewWorker returns a worker serving s; s may be nil for a worker that waits
+// to receive its stripe.
+func NewWorker(s *Stripe) *Worker { return &Worker{stripe: s} }
+
+// SetStripe installs (or replaces) the served stripe.
+func (w *Worker) SetStripe(s *Stripe) {
+	w.mu.Lock()
+	w.stripe = s
+	w.mu.Unlock()
+}
+
+// Stripe returns the currently served stripe, or nil.
+func (w *Worker) Stripe() *Stripe {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.stripe
+}
+
+// errNoStripe is returned by RPCs on a worker that has not received a stripe.
+var errNoStripe = errors.New("distributed: worker has no stripe installed")
+
+// ErrStripeReplaced reports that a worker's stripe no longer matches the
+// graph fingerprint the caller pinned at connect time — typically because a
+// different graph's stripe was installed after the coordinator connected.
+var ErrStripeReplaced = errors.New("distributed: worker stripe does not match the pinned graph fingerprint")
+
+// Info implements the worker side of Transport.Info.
+func (w *Worker) Info() (WorkerInfo, error) {
+	s := w.Stripe()
+	if s == nil {
+		return WorkerInfo{}, errNoStripe
+	}
+	return WorkerInfo{
+		Protocol: ProtocolVersion,
+		Index:    s.Index,
+		Count:    s.Count,
+		Graph:    s.graphSum,
+		NumNodes: s.NumNodes,
+		Rows:     s.OwnedNodes(),
+		OutEdges: len(s.out.Col),
+		InEdges:  len(s.in.Col),
+	}, nil
+}
+
+// OutSums implements the worker side of Transport.OutSums. The result is a
+// copy; callers may keep it.
+func (w *Worker) OutSums() ([]float64, error) {
+	s := w.Stripe()
+	if s == nil {
+		return nil, errNoStripe
+	}
+	return append([]float64(nil), s.OutSums()...), nil
+}
+
+// Multiply implements the worker side of Transport.Multiply, gathering over
+// one consistent stripe snapshot. graphSum must match the snapshot's graph
+// fingerprint: it pins the graph the caller validated at connect time, so a
+// stripe replaced mid-lifetime with one from a different graph fails the
+// call instead of producing silently mixed results.
+func (w *Worker) Multiply(dir Direction, graphSum uint32, x []float64) ([]float64, error) {
+	s := w.Stripe()
+	if s == nil {
+		return nil, errNoStripe
+	}
+	if s.graphSum != graphSum {
+		return nil, fmt.Errorf("%w (stripe has %08x, caller expects %08x)", ErrStripeReplaced, s.graphSum, graphSum)
+	}
+	dst := make([]float64, s.OwnedNodes())
+	var err error
+	switch dir {
+	case DirIn:
+		err = s.MultiplyIn(x, dst)
+	case DirOut:
+		err = s.MultiplyOut(x, dst)
+	default:
+		err = fmt.Errorf("distributed: unknown multiply direction %d", dir)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// MaxStripeUploadBytes caps the body of the stripe-install endpoint.
+const MaxStripeUploadBytes = 4 << 30
+
+// Handler returns the worker's HTTP API — the gpserver wire protocol (see
+// docs/API.md):
+//
+//	GET  /healthz      — liveness and stripe summary (JSON)
+//	GET  /v1/info      — WorkerInfo (JSON); 409 when no stripe is installed
+//	GET  /v1/outsums   — owned rows' out-weight sums (binary vector)
+//	POST /v1/multiply  — ?dir=in|out, body and response binary vectors
+//	POST /v1/stripe    — install a stripe (binary stripe codec body)
+//
+// Binary vectors are raw little-endian float64 arrays; stripes use the
+// checksummed format of graph.EncodeStripe.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", w.handleHealthz)
+	mux.HandleFunc("GET /v1/info", w.handleInfo)
+	mux.HandleFunc("GET /v1/outsums", w.handleOutSums)
+	mux.HandleFunc("POST /v1/multiply", w.handleMultiply)
+	mux.HandleFunc("POST /v1/stripe", w.handleInstallStripe)
+	return mux
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	s := w.Stripe()
+	if s == nil {
+		workerJSON(rw, http.StatusOK, map[string]any{"status": "empty"})
+		return
+	}
+	workerJSON(rw, http.StatusOK, map[string]any{
+		"status": "ok",
+		"stripe": s.Index,
+		"of":     s.Count,
+		"nodes":  s.NumNodes,
+		"rows":   s.OwnedNodes(),
+	})
+}
+
+func (w *Worker) handleInfo(rw http.ResponseWriter, r *http.Request) {
+	info, err := w.Info()
+	if err != nil {
+		workerError(rw, http.StatusConflict, "%v", err)
+		return
+	}
+	workerJSON(rw, http.StatusOK, info)
+}
+
+func (w *Worker) handleOutSums(rw http.ResponseWriter, r *http.Request) {
+	sums, err := w.OutSums()
+	if err != nil {
+		workerError(rw, http.StatusConflict, "%v", err)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set("Content-Length", strconv.Itoa(len(sums)*8))
+	_, _ = rw.Write(AppendVector(make([]byte, 0, len(sums)*8), sums))
+}
+
+func (w *Worker) handleMultiply(rw http.ResponseWriter, r *http.Request) {
+	dir, err := ParseDirection(r.URL.Query().Get("dir"))
+	if err != nil {
+		workerError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s := w.Stripe()
+	if s == nil {
+		workerError(rw, http.StatusConflict, "%v", errNoStripe)
+		return
+	}
+	// The optional graph parameter pins the stripe's source graph; callers
+	// that omit it (ad-hoc curl) accept whatever stripe is installed.
+	graphSum := s.graphSum
+	if gp := r.URL.Query().Get("graph"); gp != "" {
+		v, err := strconv.ParseUint(gp, 10, 32)
+		if err != nil {
+			workerError(rw, http.StatusBadRequest, "distributed: invalid graph fingerprint %q", gp)
+			return
+		}
+		graphSum = uint32(v)
+	}
+	// The input is the full iteration vector: exactly NumNodes entries.
+	body := http.MaxBytesReader(rw, r.Body, int64(s.NumNodes)*8+1)
+	x, err := ReadVector(body, s.NumNodes, nil)
+	if err != nil {
+		workerError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if extra := make([]byte, 1); readsOneByte(body, extra) {
+		workerError(rw, http.StatusBadRequest, "distributed: multiply body longer than %d entries", s.NumNodes)
+		return
+	}
+	out, err := w.Multiply(dir, graphSum, x)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrStripeReplaced) {
+			status = http.StatusConflict
+		}
+		workerError(rw, status, "%v", err)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set("Content-Length", strconv.Itoa(len(out)*8))
+	_, _ = rw.Write(AppendVector(make([]byte, 0, len(out)*8), out))
+}
+
+func readsOneByte(r interface{ Read([]byte) (int, error) }, buf []byte) bool {
+	n, _ := r.Read(buf)
+	return n > 0
+}
+
+func (w *Worker) handleInstallStripe(rw http.ResponseWriter, r *http.Request) {
+	s, err := DecodeStripe(http.MaxBytesReader(rw, r.Body, MaxStripeUploadBytes))
+	if err != nil {
+		workerError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.SetStripe(s)
+	info, _ := w.Info()
+	workerJSON(rw, http.StatusOK, info)
+}
+
+func workerJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(v)
+}
+
+func workerError(rw http.ResponseWriter, status int, format string, args ...any) {
+	workerJSON(rw, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

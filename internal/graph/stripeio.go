@@ -1,0 +1,436 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// This file implements the binary stripe codec: the on-disk and on-the-wire
+// format for one stripe of a round-robin-partitioned graph. A stripe is two
+// compact CSR blocks (the owned rows' out- and in-adjacency) plus the striping
+// header (index, count, total node count), so a worker process can load or
+// receive exactly its share of the graph without ever materializing the whole
+// thing.
+//
+// Layout (all integers little-endian):
+//
+//	magic    [4]byte  "RTS1"
+//	version  uint16   currently 1
+//	reserved uint16   must be zero
+//	index    uint32   stripe index in [0, count)
+//	count    uint32   total number of stripes
+//	graph    uint32   fingerprint of the source graph (GraphFingerprint)
+//	numNodes uint64   node count of the full graph
+//	rows     uint64   rows owned by this stripe
+//	out CSR block, then in CSR block, each:
+//	    uint64 len(RowPtr) followed by int64 entries
+//	    uint64 len(Col)    followed by int32 entries
+//	    uint64 len(Weight) followed by float64 entries
+//	    uint64 len(Sum)    followed by float64 entries
+//	crc      uint32   CRC-32C (Castagnoli) of every preceding byte
+//
+// The trailing checksum makes truncation and bit corruption detectable before
+// any structural validation runs; DecodeStripe additionally validates every
+// CSR invariant (monotone offsets, in-range columns, finite positive weights,
+// cached row sums), so a decoded stripe is safe to serve without re-checking.
+
+// stripeMagic identifies a stripe stream; the trailing digit is bumped only on
+// incompatible layout changes (compatible ones bump stripeVersion instead).
+var stripeMagic = [4]byte{'R', 'T', 'S', '1'}
+
+// stripeVersion is the current stripe codec version.
+const stripeVersion = 1
+
+// StripeData is the codec-level content of one graph stripe. Row r of each CSR
+// block holds the adjacency of global node Index + r*Count; Out lists the
+// edges leaving the node, In the edges entering it (the transposed rows).
+type StripeData struct {
+	// Index is this stripe's position in the round-robin partition.
+	Index int
+	// Count is the total number of stripes the graph was split into.
+	Count int
+	// NumNodes is the node count of the full (unstriped) graph; column
+	// entries are global node IDs in [0, NumNodes).
+	NumNodes int
+	// Graph is the fingerprint of the graph the stripe was cut from
+	// (GraphFingerprint). Coordinators refuse to mix workers whose stripes
+	// report different fingerprints — same-sized graphs with different
+	// adjacency would otherwise produce silently wrong rankings.
+	Graph uint32
+	// Out and In are the owned rows' forward and transposed adjacency.
+	Out CSR
+	In  CSR
+}
+
+// Rows returns the number of nodes owned by the stripe, derived from the
+// header: the size of {v : v mod Count == Index, v < NumNodes}.
+func (d *StripeData) Rows() int {
+	if d.Count <= 0 || d.NumNodes <= d.Index {
+		return 0
+	}
+	return (d.NumNodes - d.Index + d.Count - 1) / d.Count
+}
+
+// Validate checks the stripe's header and every CSR invariant. DecodeStripe
+// calls it on every decoded stripe; EncodeStripe calls it before writing.
+func (d *StripeData) Validate() error {
+	if d.Count <= 0 || d.Index < 0 || d.Index >= d.Count {
+		return fmt.Errorf("graph: stripe header: invalid stripe %d of %d", d.Index, d.Count)
+	}
+	if d.NumNodes < 0 {
+		return fmt.Errorf("graph: stripe header: negative node count %d", d.NumNodes)
+	}
+	rows := d.Rows()
+	if err := validateStripeCSR("out", d.Out, rows, d.NumNodes); err != nil {
+		return err
+	}
+	return validateStripeCSR("in", d.In, rows, d.NumNodes)
+}
+
+func validateStripeCSR(name string, c CSR, rows, numNodes int) error {
+	if len(c.RowPtr) != rows+1 {
+		return fmt.Errorf("graph: stripe %s: %d offsets for %d rows", name, len(c.RowPtr), rows)
+	}
+	if c.RowPtr[0] != 0 {
+		return fmt.Errorf("graph: stripe %s: offsets must start at zero", name)
+	}
+	if len(c.Weight) != len(c.Col) {
+		return fmt.Errorf("graph: stripe %s: %d weights for %d columns", name, len(c.Weight), len(c.Col))
+	}
+	if len(c.Sum) != rows {
+		return fmt.Errorf("graph: stripe %s: %d row sums for %d rows", name, len(c.Sum), rows)
+	}
+	if c.RowPtr[rows] != int64(len(c.Col)) {
+		return fmt.Errorf("graph: stripe %s: offsets cover %d of %d columns", name, c.RowPtr[rows], len(c.Col))
+	}
+	for r := 0; r < rows; r++ {
+		if c.RowPtr[r+1] < c.RowPtr[r] {
+			return fmt.Errorf("graph: stripe %s: offsets decrease at row %d", name, r)
+		}
+		sum := 0.0
+		for i := c.RowPtr[r]; i < c.RowPtr[r+1]; i++ {
+			if col := c.Col[i]; col < 0 || int(col) >= numNodes {
+				return fmt.Errorf("graph: stripe %s: row %d column %d out of range [0,%d)", name, r, col, numNodes)
+			}
+			w := c.Weight[i]
+			if !(w > 0) || math.IsInf(w, 0) {
+				return fmt.Errorf("graph: stripe %s: row %d has non-positive or non-finite weight %g", name, r, w)
+			}
+			sum += w
+		}
+		if math.IsNaN(c.Sum[r]) || math.Abs(sum-c.Sum[r]) > 1e-9*(1+sum) {
+			return fmt.Errorf("graph: stripe %s: row %d cached sum %g != %g", name, r, c.Sum[r], sum)
+		}
+	}
+	return nil
+}
+
+// EncodeStripe writes d to w in the versioned, checksummed binary stripe
+// format. It validates d first, so only well-formed stripes reach the wire.
+func EncodeStripe(w io.Writer, d *StripeData) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("graph: encode stripe: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	crc := crc32.New(castagnoli)
+	out := io.MultiWriter(bw, crc)
+
+	if _, err := out.Write(stripeMagic[:]); err != nil {
+		return err
+	}
+	hdr := []any{
+		uint16(stripeVersion), uint16(0),
+		uint32(d.Index), uint32(d.Count), d.Graph,
+		uint64(d.NumNodes), uint64(d.Rows()),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(out, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, c := range []CSR{d.Out, d.In} {
+		if err := writeStripeCSR(out, c); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeStripeCSR(w io.Writer, c CSR) error {
+	if err := writeSlice(w, len(c.RowPtr), func(i int) uint64 { return uint64(c.RowPtr[i]) }, 8); err != nil {
+		return err
+	}
+	if err := writeSlice(w, len(c.Col), func(i int) uint64 { return uint64(uint32(c.Col[i])) }, 4); err != nil {
+		return err
+	}
+	if err := writeSlice(w, len(c.Weight), func(i int) uint64 { return math.Float64bits(c.Weight[i]) }, 8); err != nil {
+		return err
+	}
+	return writeSlice(w, len(c.Sum), func(i int) uint64 { return math.Float64bits(c.Sum[i]) }, 8)
+}
+
+// writeSlice writes a length-prefixed array of fixed-width little-endian
+// values, buffering chunks so a stripe encode does a handful of Write calls
+// per array rather than one per element.
+func writeSlice(w io.Writer, n int, elem func(i int) uint64, width int) error {
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(n))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, stripeChunkBytes)
+	for i := 0; i < n; i++ {
+		v := elem(i)
+		switch width {
+		case 4:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		default:
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+		if len(buf) >= stripeChunkBytes {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// stripeChunkBytes bounds the per-read/write buffer of the codec. Reading in
+// chunks means a corrupt header claiming a huge array length fails with a
+// truncation error after the actual bytes run out instead of attempting one
+// enormous allocation.
+const stripeChunkBytes = 1 << 16
+
+// DecodeStripe reads a stripe previously written with EncodeStripe, verifying
+// the magic, version, trailing checksum and every CSR invariant. Any
+// truncation or corruption yields an error, never a malformed stripe.
+func DecodeStripe(r io.Reader) (*StripeData, error) {
+	cr := &crcReader{r: bufio.NewReader(r), crc: crc32.New(castagnoli)}
+
+	var magic [4]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: decode stripe: magic: %w", err)
+	}
+	if magic != stripeMagic {
+		return nil, fmt.Errorf("graph: decode stripe: bad magic %q", magic[:])
+	}
+	var version, reserved uint16
+	var index, count, fingerprint uint32
+	var numNodes, rows uint64
+	for _, v := range []any{&version, &reserved, &index, &count, &fingerprint, &numNodes, &rows} {
+		if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("graph: decode stripe: header: %w", err)
+		}
+	}
+	if version != stripeVersion {
+		return nil, fmt.Errorf("graph: decode stripe: unsupported version %d", version)
+	}
+	if reserved != 0 {
+		return nil, fmt.Errorf("graph: decode stripe: non-zero reserved field")
+	}
+	const maxInt = int(^uint(0) >> 1)
+	if numNodes > uint64(maxInt) || rows > uint64(maxInt) {
+		return nil, fmt.Errorf("graph: decode stripe: header sizes overflow")
+	}
+	d := &StripeData{Index: int(index), Count: int(count), NumNodes: int(numNodes), Graph: fingerprint}
+	if int(rows) != d.Rows() {
+		return nil, fmt.Errorf("graph: decode stripe: header claims %d rows, striping implies %d", rows, d.Rows())
+	}
+	var err error
+	if d.Out, err = readStripeCSR(cr); err != nil {
+		return nil, fmt.Errorf("graph: decode stripe: out block: %w", err)
+	}
+	if d.In, err = readStripeCSR(cr); err != nil {
+		return nil, fmt.Errorf("graph: decode stripe: in block: %w", err)
+	}
+
+	sum := cr.crc.Sum32() // the stored checksum itself is not hashed
+	var stored uint32
+	if err := binary.Read(cr.r, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("graph: decode stripe: checksum: %w", err)
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("graph: decode stripe: checksum mismatch (stored %08x, computed %08x)", stored, sum)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: decode stripe: %w", err)
+	}
+	return d, nil
+}
+
+// crcReader hashes everything read through it.
+type crcReader struct {
+	r   io.Reader
+	crc hash.Hash32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.crc.Write(p[:n])
+	}
+	return n, err
+}
+
+func readStripeCSR(r io.Reader) (CSR, error) {
+	var c CSR
+	rowPtr, err := readUint64s(r)
+	if err != nil {
+		return c, fmt.Errorf("offsets: %w", err)
+	}
+	c.RowPtr = make([]int64, len(rowPtr))
+	for i, v := range rowPtr {
+		if v > uint64(math.MaxInt64) {
+			return c, fmt.Errorf("offset %d overflows", i)
+		}
+		c.RowPtr[i] = int64(v)
+	}
+	if c.Col, err = readNodeIDs(r); err != nil {
+		return c, fmt.Errorf("columns: %w", err)
+	}
+	if c.Weight, err = readFloat64s(r); err != nil {
+		return c, fmt.Errorf("weights: %w", err)
+	}
+	if c.Sum, err = readFloat64s(r); err != nil {
+		return c, fmt.Errorf("row sums: %w", err)
+	}
+	return c, nil
+}
+
+// readArray reads a length-prefixed array in bounded chunks: the slice grows
+// only as bytes actually arrive, so a forged length prefix cannot force a
+// large allocation.
+func readArray[T any](r io.Reader, width int, decode func([]byte) T) ([]T, error) {
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(lenBuf[:])
+	if n > uint64(int(^uint(0)>>1))/uint64(width) {
+		return nil, fmt.Errorf("array length %d overflows", n)
+	}
+	out := []T{}
+	buf := make([]byte, stripeChunkBytes)
+	remaining := int(n)
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > stripeChunkBytes/width {
+			chunk = stripeChunkBytes / width
+		}
+		b := buf[:chunk*width]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		for i := 0; i < chunk; i++ {
+			out = append(out, decode(b[i*width:]))
+		}
+		remaining -= chunk
+	}
+	return out, nil
+}
+
+func readUint64s(r io.Reader) ([]uint64, error) {
+	return readArray(r, 8, func(b []byte) uint64 { return binary.LittleEndian.Uint64(b) })
+}
+
+func readFloat64s(r io.Reader) ([]float64, error) {
+	return readArray(r, 8, func(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) })
+}
+
+func readNodeIDs(r io.Reader) ([]NodeID, error) {
+	return readArray(r, 4, func(b []byte) NodeID { return NodeID(int32(binary.LittleEndian.Uint32(b))) })
+}
+
+// BuildStripeData extracts stripe `index` of `count` from a CSR view by
+// round-robin node assignment: the stripe owns every node v with
+// v mod count == index, and row r of each block is the adjacency of global
+// node index + r*count, copied into compact arrays.
+func BuildStripeData(v CSRView, index, count int) (*StripeData, error) {
+	if count <= 0 || index < 0 || index >= count {
+		return nil, fmt.Errorf("graph: invalid stripe %d of %d", index, count)
+	}
+	d := &StripeData{Index: index, Count: count, NumNodes: v.NumNodes(), Graph: GraphFingerprint(v)}
+	rows := d.Rows()
+	d.Out = sliceStripeRows(v.OutCSR(), index, count, rows)
+	d.In = sliceStripeRows(v.InCSR(), index, count, rows)
+	return d, nil
+}
+
+// sliceStripeRows copies every count-th row of src starting at first into a
+// compact CSR over the local row index.
+func sliceStripeRows(src CSR, first, count, rows int) CSR {
+	dst := CSR{RowPtr: make([]int64, rows+1), Sum: make([]float64, rows)}
+	var total int64
+	for r := 0; r < rows; r++ {
+		total += int64(src.Degree(NodeID(first + r*count)))
+	}
+	dst.Col = make([]NodeID, 0, total)
+	dst.Weight = make([]float64, 0, total)
+	for r := 0; r < rows; r++ {
+		v := NodeID(first + r*count)
+		cols, wts := src.Row(v)
+		dst.Col = append(dst.Col, cols...)
+		dst.Weight = append(dst.Weight, wts...)
+		dst.Sum[r] = src.Sum[v]
+		dst.RowPtr[r+1] = int64(len(dst.Col))
+	}
+	return dst
+}
+
+// GraphFingerprint returns a checksum identifying a graph's adjacency
+// structure: CRC-32C over the node count and the forward CSR arrays
+// (offsets, columns, weights). Every stripe cut from a graph records its
+// fingerprint, so a coordinator can refuse to assemble workers that were
+// striped from different graphs — even ones with identical node counts.
+func GraphFingerprint(v CSRView) uint32 {
+	crc := crc32.New(castagnoli)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v.NumNodes()))
+	crc.Write(b[:])
+	out := v.OutCSR()
+	_ = writeSlice(crc, len(out.RowPtr), func(i int) uint64 { return uint64(out.RowPtr[i]) }, 8)
+	_ = writeSlice(crc, len(out.Col), func(i int) uint64 { return uint64(uint32(out.Col[i])) }, 4)
+	_ = writeSlice(crc, len(out.Weight), func(i int) uint64 { return math.Float64bits(out.Weight[i]) }, 8)
+	return crc.Sum32()
+}
+
+// WriteStripeFile encodes d into the named file.
+func WriteStripeFile(path string, d *StripeData) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := EncodeStripe(f, d); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadStripeFile decodes a stripe from the named file.
+func ReadStripeFile(path string) (*StripeData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeStripe(f)
+}

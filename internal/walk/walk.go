@@ -61,6 +61,11 @@ func DefaultParams() Params {
 	return Params{Alpha: DefaultAlpha, Tol: DefaultTol, MaxIter: DefaultMaxIter}
 }
 
+// Normalized validates Alpha and substitutes the default tolerance and
+// iteration cap for zero values; it is what every solver entry point (local
+// and distributed) applies before iterating.
+func (p Params) Normalized() (Params, error) { return p.normalized() }
+
 func (p Params) normalized() (Params, error) {
 	if p.Alpha <= 0 || p.Alpha >= 1 {
 		return p, fmt.Errorf("walk: alpha must be in (0,1), got %g", p.Alpha)

@@ -12,6 +12,7 @@ func FuzzParseMethod(f *testing.F) {
 	for _, seed := range []string{
 		"", "auto", "exact", "2sbound", "2SBound", "gs", "g+s", "G+S",
 		"gupta", "sarkar", "AUTO", "Exact", "bogus", "2sbound ", "g +s",
+		"distributed", "Distributed",
 	} {
 		f.Add(seed)
 	}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# doclint.sh — fail when a package is missing its godoc package comment.
+#
+# Every library package (the root package and everything under internal/)
+# must have a `// Package <name> ...` comment on some file's package clause,
+# and every command (cmd/*, examples/*) a `// Command <name> ...` one. CI
+# runs this so documentation debt fails the build instead of accumulating.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+check_package() {
+    local dir="$1" name="$2"
+    local found=""
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in *_test.go) continue ;; esac
+        if grep -q "^// Package $name" "$f"; then
+            found="$f"
+            break
+        fi
+    done
+    if [ -z "$found" ]; then
+        echo "doclint: package $dir is missing a '// Package $name' comment" >&2
+        fail=1
+    fi
+}
+
+check_command() {
+    local dir="$1" name="$2"
+    if ! grep -q "^// Command $name" "$dir/main.go" 2>/dev/null; then
+        echo "doclint: command $dir is missing a '// Command $name' comment" >&2
+        fail=1
+    fi
+}
+
+check_package . roundtriprank
+for dir in internal/*/; do
+    check_package "${dir%/}" "$(basename "$dir")"
+done
+for dir in cmd/*/ examples/*/; do
+    check_command "${dir%/}" "$(basename "$dir")"
+done
+
+exit $fail
