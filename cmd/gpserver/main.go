@@ -12,6 +12,14 @@
 //     a coordinator (or operator) to POST one to /v1/stripe — see
 //     roundtriprank.DeployStripes.
 //
+// Workers serve immutable stripe snapshots. When the source graph commits a
+// new epoch, the coordinator side (roundtriprank.RedeployStripes, or an
+// rtrankd front end applying POST /v1/edges) reconciles the fleet: stripes
+// whose rows the commit changed are re-shipped to /v1/stripe, unchanged ones
+// are rebound to the new epoch via the cheap POST /v1/stripe/retag endpoint.
+// GET /healthz and /v1/info report the served epoch and fingerprints, so an
+// operator can watch a rollover land (see docs/OPERATIONS.md).
+//
 // Example (3-worker deployment of a synthetic BibNet, each worker extracting
 // its own stripe):
 //

@@ -1,8 +1,11 @@
 // Command rtrankd serves RoundTripRank queries over HTTP. It loads a graph (a
 // gob file or a generated synthetic dataset), builds an Engine, and exposes
 //
-//	POST /rank     — execute one ranking request (JSON in, JSON out)
-//	GET  /healthz  — liveness plus graph stats
+//	POST /rank      — execute one ranking request (JSON in, JSON out)
+//	GET  /healthz   — liveness plus graph stats
+//	GET  /v1/epoch  — the serving snapshot: epoch, fingerprint, sizes
+//	POST /v1/edges  — batched graph mutation: stage a delta, commit a new
+//	                  epoch, swap the engine (and redeploy worker stripes)
 //
 // Example:
 //
@@ -11,11 +14,18 @@
 //	    "query": ["term:spatio", "term:temporal", "term:data"],
 //	    "k": 5, "type": "venue", "method": "auto"
 //	}'
+//	curl -s localhost:8080/v1/edges -d '{
+//	    "add_nodes": [{"type": "term", "label": "term:streaming"}],
+//	    "set": [{"from": "term:streaming", "to": "paper:p0",
+//	             "weight": 1, "undirected": true}]
+//	}'
 //
 // With -workers, rtrankd also acts as the coordinator front end of a
 // gpserver cluster: the listed workers must serve the stripes of the same
 // graph, and requests may then select "method": "distributed" to fan the
-// exact solve out across them (see docs/API.md).
+// exact solve out across them (see docs/API.md). A mutation then also
+// reconciles the fleet before the new epoch serves, shipping only stripes
+// the commit changed (docs/OPERATIONS.md walks through the lifecycle).
 //
 // Every request runs under the HTTP request context, so a disconnecting
 // client cancels its in-flight computation; per-request alpha/beta/epsilon
@@ -33,6 +43,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"os/signal"
@@ -80,10 +91,24 @@ type rankResponse struct {
 // labels and scalars, so 1 MiB is generous.
 const maxRequestBytes = 1 << 20
 
+// maxMutationBytes caps the /v1/edges request body. An ingestion batch is
+// bounded JSON, not a graph upload; bulk loads go through -graph files.
+const maxMutationBytes = 64 << 20
+
 type server struct {
-	g       *roundtriprank.Graph
 	engine  *roundtriprank.Engine
 	workers int
+
+	// mutateMu serializes /v1/edges: each batch stages its delta against the
+	// snapshot it resolved labels on, so two concurrent batches must not
+	// interleave between staging and Apply.
+	mutateMu sync.Mutex
+}
+
+// graph returns the currently served snapshot. Label resolution and result
+// labeling go through it; the engine itself pins a snapshot per query.
+func (s *server) graph() *roundtriprank.Graph {
+	return s.engine.View().(*roundtriprank.Graph)
 }
 
 func main() {
@@ -120,11 +145,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{g: g, engine: engine, workers: len(transports)}
+	s := &server{engine: engine, workers: len(transports)}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/rank", s.handleRank)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/epoch", s.handleEpoch)
+	mux.HandleFunc("POST /v1/edges", s.handleEdges)
 
 	cfg := cliutil.HTTPServerConfig{WriteTimeout: *writeTmo}
 	err = cliutil.ListenAndServe(ctx, *listen, mux, cfg, func(a net.Addr) {
@@ -139,13 +166,188 @@ func main() {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	rpcs, retries := s.engine.ClusterStats()
+	g := s.graph()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"nodes":   s.g.NumNodes(),
-		"edges":   s.g.NumEdges(),
+		"nodes":   g.NumNodes(),
+		"edges":   g.NumEdges(),
+		"epoch":   g.Epoch(),
 		"workers": s.workers,
 		"cluster": map[string]any{"rpcs": rpcs, "retries": retries},
 	})
+}
+
+// handleEpoch reports the serving snapshot, so operators and deploy scripts
+// can watch an epoch rollover land.
+func (s *server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	g := s.graph()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":       g.Epoch(),
+		"fingerprint": fmt.Sprintf("%08x", roundtriprank.GraphFingerprint(g)),
+		"nodes":       g.NumNodes(),
+		"edges":       g.NumEdges(),
+	})
+}
+
+// nodeSpec names a node to add: a label plus an optional registered type name.
+type nodeSpec struct {
+	Type  string `json:"type,omitempty"`
+	Label string `json:"label"`
+}
+
+// edgeSpec names one edge op by endpoint labels. Weight defaults to 1 on set
+// and is ignored on remove; Undirected applies the op in both directions.
+type edgeSpec struct {
+	From       string  `json:"from"`
+	To         string  `json:"to"`
+	Weight     float64 `json:"weight,omitempty"`
+	Undirected bool    `json:"undirected,omitempty"`
+}
+
+// mutateRequest is the JSON body of POST /v1/edges: one atomic ingestion
+// batch, applied as a single commit (all ops land in one new epoch, or none).
+type mutateRequest struct {
+	AddNodes    []nodeSpec `json:"add_nodes,omitempty"`
+	Set         []edgeSpec `json:"set,omitempty"`
+	Remove      []edgeSpec `json:"remove,omitempty"`
+	RemoveNodes []string   `json:"remove_nodes,omitempty"`
+}
+
+type mutateResponse struct {
+	Epoch           uint64  `json:"epoch"`
+	Nodes           int     `json:"nodes"`
+	Edges           int     `json:"edges"`
+	AddedNodes      int     `json:"added_nodes"`
+	SetEdges        int     `json:"set_edges"`
+	RemovedEdges    int     `json:"removed_edges"`
+	RemovedNodes    int     `json:"removed_nodes"`
+	StripesShipped  int     `json:"stripes_shipped"`
+	StripesRetagged int     `json:"stripes_retagged"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
+// handleEdges stages one mutation batch as a Delta and applies it: the engine
+// commits a fresh snapshot one epoch later and swaps to it atomically, after
+// reconciling any configured worker fleet. In-flight queries are unaffected
+// (they finish on their epoch).
+func (s *server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	var in mutateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxMutationBytes)).Decode(&in); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(in.AddNodes) == 0 && len(in.Set) == 0 && len(in.Remove) == 0 && len(in.RemoveNodes) == 0 {
+		httpError(w, http.StatusBadRequest, "empty mutation: provide add_nodes, set, remove or remove_nodes")
+		return
+	}
+	start := time.Now()
+	s.mutateMu.Lock()
+	defer s.mutateMu.Unlock()
+	d, err := s.buildDelta(in)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.engine.Apply(r.Context(), d)
+	if err != nil {
+		var ce *roundtriprank.ClusterError
+		if errors.As(err, &ce) {
+			httpError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	an, se, re, rn := d.Ops()
+	writeJSON(w, http.StatusOK, mutateResponse{
+		Epoch:           res.Epoch,
+		Nodes:           res.Graph.NumNodes(),
+		Edges:           res.Graph.NumEdges(),
+		AddedNodes:      an,
+		SetEdges:        se,
+		RemovedEdges:    re,
+		RemovedNodes:    rn,
+		StripesShipped:  res.StripesShipped,
+		StripesRetagged: res.StripesRetagged,
+		ElapsedMS:       float64(time.Since(start).Microseconds()) / 1000.0,
+	})
+}
+
+// buildDelta translates a wire mutation batch into a staged Delta against the
+// current snapshot. Caller holds mutateMu.
+func (s *server) buildDelta(in mutateRequest) (*roundtriprank.Delta, error) {
+	g := s.graph()
+	d := roundtriprank.NewDelta(g)
+	for _, ns := range in.AddNodes {
+		if ns.Label == "" {
+			return nil, fmt.Errorf("add_nodes entry is missing a label")
+		}
+		var t roundtriprank.NodeType
+		if ns.Type != "" {
+			var err error
+			if t, err = cliutil.TypeByName(g, ns.Type); err != nil {
+				return nil, err
+			}
+		}
+		d.AddNode(t, ns.Label)
+	}
+	node := func(label string) (roundtriprank.NodeID, error) {
+		v := d.NodeByLabel(label)
+		if v == roundtriprank.NoNode {
+			return v, fmt.Errorf("node %q not found (add it via add_nodes first)", label)
+		}
+		return v, nil
+	}
+	for _, es := range in.Set {
+		from, err := node(es.From)
+		if err != nil {
+			return nil, err
+		}
+		to, err := node(es.To)
+		if err != nil {
+			return nil, err
+		}
+		w := es.Weight
+		if w == 0 {
+			w = 1
+		}
+		if es.Undirected {
+			err = d.SetUndirectedEdge(from, to, w)
+		} else {
+			err = d.SetEdge(from, to, w)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, es := range in.Remove {
+		from, err := node(es.From)
+		if err != nil {
+			return nil, err
+		}
+		to, err := node(es.To)
+		if err != nil {
+			return nil, err
+		}
+		if es.Undirected {
+			err = d.RemoveUndirectedEdge(from, to)
+		} else {
+			err = d.RemoveEdge(from, to)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, label := range in.RemoveNodes {
+		v, err := node(label)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.RemoveNode(v); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
 }
 
 func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
@@ -158,7 +360,7 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	req, err := s.buildRequest(in)
+	req, err := s.buildRequest(s.graph(), in)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -186,17 +388,23 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 		Rounds:    resp.Rounds,
 		ElapsedMS: float64(resp.Elapsed.Microseconds()) / 1000.0,
 	}
+	// Labels come from the snapshot current *after* the ranking: it is at
+	// least as new as the one the query ran on, and labels are append-only
+	// across epochs, so every result ID resolves even if a mutation landed
+	// mid-query.
+	g := s.graph()
 	for i, res := range resp.Results {
-		out.Results[i] = rankResult{Node: res.Node, Label: s.g.Label(res.Node), Score: res.Score}
+		out.Results[i] = rankResult{Node: res.Node, Label: g.Label(res.Node), Score: res.Score}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// buildRequest translates the wire request into an Engine request.
-func (s *server) buildRequest(in rankRequest) (roundtriprank.Request, error) {
+// buildRequest translates the wire request into an Engine request, resolving
+// labels against the given snapshot.
+func (s *server) buildRequest(g *roundtriprank.Graph, in rankRequest) (roundtriprank.Request, error) {
 	var nodes []roundtriprank.NodeID
 	for _, label := range in.Query {
-		v := s.g.NodeByLabel(label)
+		v := g.NodeByLabel(label)
 		if v == roundtriprank.NoNode {
 			return roundtriprank.Request{}, fmt.Errorf("query node %q not found", label)
 		}
@@ -212,7 +420,7 @@ func (s *server) buildRequest(in rankRequest) (roundtriprank.Request, error) {
 	}
 	filter := &roundtriprank.Filter{ExcludeQuery: !in.KeepQuery}
 	if in.Type != "" {
-		t, err := cliutil.TypeByName(s.g, in.Type)
+		t, err := cliutil.TypeByName(g, in.Type)
 		if err != nil {
 			return roundtriprank.Request{}, err
 		}

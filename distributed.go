@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"roundtriprank/internal/distributed"
+	"roundtriprank/internal/graph"
 )
 
 // This file is the public surface of the coordinator/worker subsystem: an
@@ -82,6 +83,57 @@ func DeployStripes(ctx context.Context, g *Graph, workers []Transport) error {
 	return nil
 }
 
+// RedeployStripes reconciles a worker fleet with a new graph snapshot after
+// a Commit: it cuts the len(workers)-way striping of g, asks each worker what
+// it currently serves, and ships the full stripe only where the content
+// fingerprint changed (or the worker is empty or mis-striped). Workers whose
+// stripe the commit did not touch are retagged — one tiny RPC rebinding the
+// stripe to the new graph fingerprint and epoch — so the cost of an epoch
+// rollover scales with the delta, not with the graph. It returns how many
+// stripes were shipped and how many retagged.
+//
+// Engine.Apply calls this automatically on engines configured with
+// WithWorkers; use it directly when the graph is committed out-of-band (e.g.
+// a loader process feeding a worker fleet that rtrankd coordinators dial).
+func RedeployStripes(ctx context.Context, g *Graph, workers []Transport) (shipped, retagged int, err error) {
+	if len(workers) == 0 {
+		return 0, 0, fmt.Errorf("roundtriprank: no workers to deploy to")
+	}
+	fp := graph.GraphFingerprint(g)
+	for i, w := range workers {
+		d, err := graph.BuildStripeData(g, i, len(workers))
+		if err != nil {
+			return shipped, retagged, err
+		}
+		content := d.ContentFingerprint()
+		info, infoErr := w.Info(ctx)
+		unchanged := infoErr == nil && info.Index == i && info.Count == len(workers) && info.Content == content
+		if unchanged {
+			if rt, ok := w.(distributed.StripeRetagger); ok {
+				if err := rt.RetagStripe(ctx, fp, g.Epoch(), content); err == nil {
+					retagged++
+					continue
+				}
+				// A refused retag (the stripe moved between Info and Retag, or
+				// the worker cannot retag) falls back to a full ship below.
+			}
+		}
+		sender, ok := w.(distributed.StripeSender)
+		if !ok {
+			return shipped, retagged, fmt.Errorf("roundtriprank: worker %d cannot receive stripes", i)
+		}
+		s, err := distributed.StripeFromData(d)
+		if err != nil {
+			return shipped, retagged, err
+		}
+		if err := sender.SendStripe(ctx, s); err != nil {
+			return shipped, retagged, fmt.Errorf("roundtriprank: redeploy stripe %d: %w", i, err)
+		}
+		shipped++
+	}
+	return shipped, retagged, nil
+}
+
 // WithWorkers configures the engine's stripe worker cluster, enabling the
 // Distributed method: workers[i] must serve stripe i of len(workers) of the
 // engine's graph. The coordinator connects and validates the topology on the
@@ -97,12 +149,12 @@ func WithWorkers(workers ...Transport) Option {
 	}
 }
 
-// ClusterStats reports the cumulative worker RPC count and how many of those
-// were retries after transient failures. All zeros before the first
-// distributed query (the coordinator connects lazily) or when no workers are
-// configured.
+// ClusterStats reports the worker RPC count of the current snapshot's
+// coordinator and how many of those were retries after transient failures.
+// All zeros before the first distributed query on the current epoch (each
+// epoch's coordinator connects lazily) or when no workers are configured.
 func (e *Engine) ClusterStats() (rpcs, retries int64) {
-	c := e.coord.Load()
+	c := e.snap.Load().coord.Load()
 	if c == nil {
 		return 0, 0
 	}

@@ -194,23 +194,40 @@ const DefaultExactLimit = 50_000
 // pairs) of the engine's score-vector cache used by RankBatch.
 const DefaultVectorCacheSize = 64
 
+// snapshot is one immutable epoch of the engine's serving state: the graph
+// view, its epoch, and the (lazily connected) coordinator pinned to that
+// epoch's stripes. Apply swaps the engine's snapshot pointer atomically;
+// queries capture the snapshot once at plan time and run on it to completion,
+// so in-flight queries finish on their epoch while new queries see the next.
+type snapshot struct {
+	view  View
+	epoch uint64
+
+	// connectMu serializes this snapshot's coordinator connect only; a stale
+	// epoch's slow connect never blocks the next epoch's first distributed
+	// query. Readers go through the atomic pointer and never take it.
+	connectMu sync.Mutex
+	coord     atomic.Pointer[distributed.Coordinator]
+}
+
 // Engine executes ranking requests over one graph view. It is safe for
-// concurrent use: per-query state lives in the request execution, and the
-// shared vector cache synchronizes internally.
+// concurrent use: per-query state lives in the request execution, the current
+// snapshot is read through an atomic pointer, and the shared vector cache
+// synchronizes internally.
 type Engine struct {
-	view       View
+	snap       atomic.Pointer[snapshot]
 	params     core.Params
 	exactLimit int
 	cache      *vecCache // nil when the cache is disabled
 
-	// workers are the stripe transports of the Distributed method; the
-	// coordinator over them is built lazily on the first distributed query so
-	// engine construction never blocks on the network. coordMu serializes the
-	// connection attempt only; readers (queries, ClusterStats) go through the
-	// atomic pointer so they never wait behind a slow connect.
+	// workers are the stripe transports of the Distributed method; each
+	// snapshot's coordinator over them is built lazily on the first
+	// distributed query of that epoch, so engine construction (and Apply)
+	// never block on the network.
 	workers []distributed.Transport
-	coordMu sync.Mutex
-	coord   atomic.Pointer[distributed.Coordinator]
+
+	// applyMu serializes Apply: commits are rare and strictly ordered.
+	applyMu sync.Mutex
 }
 
 // NewEngine creates an Engine over the given graph view with the paper's
@@ -220,17 +237,27 @@ func NewEngine(view View, opts ...Option) (*Engine, error) {
 		return nil, fmt.Errorf("roundtriprank: empty graph")
 	}
 	e := &Engine{
-		view:       view,
 		params:     core.DefaultParams(),
 		exactLimit: DefaultExactLimit,
 		cache:      newVecCache(DefaultVectorCacheSize),
 	}
+	e.snap.Store(newSnapshot(view))
 	for _, opt := range opts {
 		if err := opt(e); err != nil {
 			return nil, err
 		}
 	}
 	return e, nil
+}
+
+// newSnapshot wraps a view in a snapshot, adopting the view's own epoch when
+// it carries one (a committed *Graph does).
+func newSnapshot(view View) *snapshot {
+	s := &snapshot{view: view}
+	if ep, ok := view.(graph.Epocher); ok {
+		s.epoch = ep.Epoch()
+	}
+	return s
 }
 
 // CacheStats reports the cumulative hit and miss counts of the engine's
@@ -249,11 +276,20 @@ func (e *Engine) Alpha() float64 { return e.params.Walk.Alpha }
 // Beta returns the engine's default specificity bias.
 func (e *Engine) Beta() float64 { return e.params.Beta }
 
-// View returns the graph view the engine queries.
-func (e *Engine) View() View { return e.view }
+// View returns the graph view of the engine's current snapshot. After an
+// Apply it returns the new snapshot's view; queries planned earlier keep
+// executing on the view they captured.
+func (e *Engine) View() View { return e.snap.Load().view }
 
-// plan is a validated, default-resolved request ready to execute.
+// Epoch returns the epoch of the engine's current snapshot: the Epoch of the
+// served *Graph, bumped by every Apply (zero for unversioned views).
+func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
+
+// plan is a validated, default-resolved request ready to execute. It pins the
+// snapshot it was planned against, so the execution is immune to concurrent
+// Apply calls.
 type plan struct {
+	snap    *snapshot
 	query   walk.Query // normalized
 	k       int
 	method  Method // resolved: Exact or an online method
@@ -271,7 +307,8 @@ func (e *Engine) plan(req Request) (*plan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("roundtriprank: invalid query: %w", err)
 	}
-	n := e.view.NumNodes()
+	snap := e.snap.Load()
+	n := snap.view.NumNodes()
 	for _, v := range nq.Nodes {
 		if int(v) < 0 || int(v) >= n {
 			return nil, fmt.Errorf("roundtriprank: query node %d out of range [0,%d)", v, n)
@@ -299,7 +336,7 @@ func (e *Engine) plan(req Request) (*plan, error) {
 	if req.Tolerance > 0 {
 		p.Walk.Tol = req.Tolerance
 	}
-	keep, err := req.Filter.compile(e.view, nq)
+	keep, err := req.Filter.compile(snap.view, nq)
 	if err != nil {
 		return nil, err
 	}
@@ -308,13 +345,13 @@ func (e *Engine) plan(req Request) (*plan, error) {
 		return nil, fmt.Errorf("roundtriprank: the Distributed method needs workers (configure with WithWorkers)")
 	}
 	if method.kind == methodAuto {
-		if _, local := e.view.(*Graph); local && n <= e.exactLimit {
+		if _, local := snap.view.(*Graph); local && n <= e.exactLimit {
 			method = Exact
 		} else {
 			method = TwoSBound
 		}
 	}
-	return &plan{query: nq, k: req.K, method: method, params: p, epsilon: req.Epsilon, keep: keep}, nil
+	return &plan{snap: snap, query: nq, k: req.K, method: method, params: p, epsilon: req.Epsilon, keep: keep}, nil
 }
 
 // compile turns the declarative filter into a keep-predicate over node IDs.
@@ -386,7 +423,7 @@ func (e *Engine) Rank(ctx context.Context, req Request) (*Response, error) {
 }
 
 func (e *Engine) rankExact(ctx context.Context, p *plan) (*Response, error) {
-	s, err := core.Compute(ctx, e.view, p.query, p.params)
+	s, err := core.Compute(ctx, p.snap.view, p.query, p.params)
 	if err != nil {
 		return nil, err
 	}
@@ -407,36 +444,41 @@ func trimZeroScores(in []core.Ranked) []core.Ranked {
 	return in
 }
 
-// coordinator returns the engine's worker coordinator, connecting and
-// validating the cluster topology on first use. A failed connection attempt
-// is not cached, so a query issued after the workers come up succeeds.
-func (e *Engine) coordinator(ctx context.Context) (*distributed.Coordinator, error) {
-	if c := e.coord.Load(); c != nil {
+// coordinator returns the worker coordinator of the given snapshot,
+// connecting and validating the cluster topology on first use. A failed
+// connection attempt is not cached, so a query issued after the workers come
+// up succeeds. Each snapshot gets its own coordinator: after an Apply, the
+// next distributed query connects afresh and validates the workers against
+// the new epoch's fingerprint.
+func (e *Engine) coordinator(ctx context.Context, snap *snapshot) (*distributed.Coordinator, error) {
+	if c := snap.coord.Load(); c != nil {
 		return c, nil
 	}
-	e.coordMu.Lock()
-	defer e.coordMu.Unlock()
-	if c := e.coord.Load(); c != nil {
+	snap.connectMu.Lock()
+	defer snap.connectMu.Unlock()
+	if c := snap.coord.Load(); c != nil {
 		return c, nil
 	}
 	c, err := distributed.NewCoordinator(ctx, e.workers, nil)
 	if err != nil {
 		return nil, err
 	}
-	if c.NumNodes() != e.view.NumNodes() {
+	if c.NumNodes() != snap.view.NumNodes() {
 		return nil, fmt.Errorf("roundtriprank: workers serve a %d-node graph, the engine view has %d nodes",
-			c.NumNodes(), e.view.NumNodes())
+			c.NumNodes(), snap.view.NumNodes())
 	}
-	// When the engine's own view exposes CSR arrays, require the workers to
+	// When the snapshot's view exposes CSR arrays, require the workers to
 	// have been striped from the very same graph: equal node counts with
 	// different adjacency would return plausible-looking but wrong rankings.
-	if cv, ok := e.view.(graph.CSRView); ok {
+	// The fingerprint folds the epoch in, so a cluster still serving the
+	// previous epoch's stripes is rejected here until it is redeployed.
+	if cv, ok := snap.view.(graph.CSRView); ok {
 		if local := graph.GraphFingerprint(cv); local != c.GraphFingerprint() {
-			return nil, fmt.Errorf("roundtriprank: workers were striped from a different graph (fingerprint %08x, engine view has %08x)",
-				c.GraphFingerprint(), local)
+			return nil, fmt.Errorf("roundtriprank: workers were striped from a different graph (fingerprint %08x epoch %d, engine view has %08x epoch %d)",
+				c.GraphFingerprint(), c.Epoch(), local, snap.epoch)
 		}
 	}
-	e.coord.Store(c)
+	snap.coord.Store(c)
 	return c, nil
 }
 
@@ -448,7 +490,7 @@ func (e *Engine) coordinator(ctx context.Context) (*distributed.Coordinator, err
 // in ClusterError so servers can report them as backend trouble rather than
 // caller mistakes.
 func (e *Engine) rankDistributed(ctx context.Context, p *plan) (*Response, error) {
-	c, err := e.coordinator(ctx)
+	c, err := e.coordinator(ctx, p.snap)
 	if err != nil {
 		return nil, &ClusterError{Err: err}
 	}
@@ -492,7 +534,7 @@ func (e *Engine) rankDistributed(ctx context.Context, p *plan) (*Response, error
 }
 
 func (e *Engine) rankOnline(ctx context.Context, p *plan) (*Response, error) {
-	res, err := topk.TopK(ctx, e.view, p.query, topk.Options{
+	res, err := topk.TopK(ctx, p.snap.view, p.query, topk.Options{
 		K:       p.k,
 		Epsilon: p.epsilon,
 		Alpha:   p.params.Walk.Alpha,
@@ -648,11 +690,11 @@ func (e *Engine) execPlan(ctx context.Context, p *plan, cache *vecCache) (*Respo
 // rankExactShared answers an exact-path plan from single-node vectors,
 // fetching each through the given cache.
 func (e *Engine) rankExactShared(ctx context.Context, p *plan, cache *vecCache) (*Response, error) {
-	n := e.view.NumNodes()
+	n := p.snap.view.NumNodes()
 	f := make([]float64, n)
 	t := make([]float64, n)
 	for j, node := range p.query.Nodes {
-		fv, tv, err := e.singleNodeVectors(ctx, node, p.params.Walk, cache)
+		fv, tv, err := singleNodeVectors(ctx, p.snap, node, p.params.Walk, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -666,16 +708,82 @@ func (e *Engine) rankExactShared(ctx context.Context, p *plan, cache *vecCache) 
 	return &Response{Results: toResults(top), Method: Exact, Converged: true}, nil
 }
 
+// ApplyResult reports the outcome of one Engine.Apply: the committed graph
+// snapshot and, when the engine fronts a worker cluster, how the redeploy
+// reconciled the fleet (full stripe ships vs. cheap retags of stripes the
+// commit did not touch).
+type ApplyResult struct {
+	// Graph is the committed snapshot the engine now serves.
+	Graph *Graph
+	// Epoch is the new serving epoch (Graph.Epoch()).
+	Epoch uint64
+	// StripesShipped and StripesRetagged count the worker reconciliation:
+	// shipped stripes had content changed by the commit (or empty/mismatched
+	// workers), retagged stripes were identical and only had their graph
+	// fingerprint and epoch rebound. Both zero without workers.
+	StripesShipped, StripesRetagged int
+}
+
+// Apply commits a staged Delta against the engine's current graph and swaps
+// the engine to the resulting snapshot atomically. In-flight queries finish
+// on the epoch they were planned against (their snapshot, vector-cache keys
+// and coordinator are all pinned); queries planned after Apply returns see
+// the new epoch. The vector cache drops every entry from older epochs.
+//
+// When the engine is configured with workers, Apply first reconciles the
+// fleet with the new snapshot — shipping stripes whose content the commit
+// changed and retagging the rest — and only then swaps, so a distributed
+// query never plans against a graph its cluster does not serve yet. In-flight
+// distributed queries of the previous epoch fail their pinned-fingerprint
+// check once their worker's stripe moves (a 409/ClusterError); callers
+// should retry, which re-plans on the new epoch. See docs/OPERATIONS.md.
+//
+// Apply calls are serialized; each Delta must have been staged against the
+// snapshot it is applied to (stage with NewDelta(engine.View().(*Graph)) and
+// apply promptly, or retry on the staleness error).
+func (e *Engine) Apply(ctx context.Context, d *Delta) (*ApplyResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	cur := e.snap.Load()
+	base, ok := cur.view.(*Graph)
+	if !ok {
+		return nil, fmt.Errorf("roundtriprank: Apply needs the engine to serve a *Graph, not %T", cur.view)
+	}
+	ng, err := graph.Commit(base, d)
+	if err != nil {
+		return nil, err
+	}
+	res := &ApplyResult{Graph: ng, Epoch: ng.Epoch()}
+	if len(e.workers) > 0 {
+		res.StripesShipped, res.StripesRetagged, err = RedeployStripes(ctx, ng, e.workers)
+		if err != nil {
+			return nil, &ClusterError{Err: fmt.Errorf("redeploy for epoch %d: %w", ng.Epoch(), err)}
+		}
+	}
+	e.snap.Store(newSnapshot(ng))
+	if e.cache != nil {
+		e.cache.invalidateExcept(ng.Epoch())
+	}
+	return res, nil
+}
+
 // singleNodeVectors returns the exact F-Rank and T-Rank vectors of one query
-// node through the given cache. Callers must not modify the returned slices.
-func (e *Engine) singleNodeVectors(ctx context.Context, node NodeID, wp walk.Params, cache *vecCache) ([]float64, []float64, error) {
-	return cache.get(ctx, vecKey{node: node, alpha: wp.Alpha, tol: wp.Tol}, func() ([]float64, []float64, error) {
+// node through the given cache. The snapshot's epoch is part of the cache
+// key, so vectors computed against one epoch are never served for another;
+// an in-flight query keeps hitting (or repopulating) its own epoch's entries
+// even while Apply swaps the engine forward. Callers must not modify the
+// returned slices.
+func singleNodeVectors(ctx context.Context, snap *snapshot, node NodeID, wp walk.Params, cache *vecCache) ([]float64, []float64, error) {
+	return cache.get(ctx, vecKey{node: node, epoch: snap.epoch, alpha: wp.Alpha, tol: wp.Tol}, func() ([]float64, []float64, error) {
 		single := walk.SingleNode(node)
-		fv, err := walk.FRank(ctx, e.view, single, wp)
+		fv, err := walk.FRank(ctx, snap.view, single, wp)
 		if err != nil {
 			return nil, nil, err
 		}
-		tv, err := walk.TRank(ctx, e.view, single, wp)
+		tv, err := walk.TRank(ctx, snap.view, single, wp)
 		if err != nil {
 			return nil, nil, err
 		}

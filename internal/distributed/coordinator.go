@@ -27,6 +27,7 @@ type Coordinator struct {
 	ts     []Transport
 	n      int       // nodes in the full graph
 	graph  uint32    // graph fingerprint every worker must agree on
+	epoch  uint64    // snapshot version every worker must agree on
 	rows   []int     // owned rows per stripe
 	outSum []float64 // global out-weight sums, assembled from the stripes
 	opts   CoordinatorOptions
@@ -95,6 +96,7 @@ func NewCoordinator(ctx context.Context, transports []Transport, opts *Coordinat
 		if i == 0 {
 			c.n = info.NumNodes
 			c.graph = info.Graph
+			c.epoch = info.Epoch
 		} else {
 			if info.NumNodes != c.n {
 				return nil, fmt.Errorf("distributed: worker %d serves a %d-node graph, worker 0 a %d-node one", i, info.NumNodes, c.n)
@@ -102,6 +104,10 @@ func NewCoordinator(ctx context.Context, transports []Transport, opts *Coordinat
 			if info.Graph != c.graph {
 				return nil, fmt.Errorf("distributed: worker %d was striped from a different graph (fingerprint %08x, worker 0 has %08x)",
 					i, info.Graph, c.graph)
+			}
+			if info.Epoch != c.epoch {
+				return nil, fmt.Errorf("distributed: worker %d serves epoch %d, worker 0 epoch %d (redeploy in progress?)",
+					i, info.Epoch, c.epoch)
 			}
 		}
 		// Never trust the advertised row count: the merge loops index global
@@ -152,6 +158,12 @@ func (c *Coordinator) NumNodes() int { return c.n }
 // GraphFingerprint returns the fingerprint of the graph the cluster serves
 // (graph.GraphFingerprint), agreed on by every worker at connect time.
 func (c *Coordinator) GraphFingerprint() uint32 { return c.graph }
+
+// Epoch returns the snapshot version of the graph the cluster serves, agreed
+// on by every worker at connect time. A coordinator is pinned to its epoch:
+// after a redeploy rolls the workers forward, its multiplies fail their
+// fingerprint check and the caller connects a fresh coordinator.
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
 
 // Workers returns the number of workers in the cluster.
 func (c *Coordinator) Workers() int { return len(c.ts) }

@@ -1,21 +1,5 @@
-// Package distributed implements serving a round-robin-striped graph from
-// multiple processes. It has two cooperating topologies.
-//
-// The coordinator/worker subsystem executes exact solves across the cluster:
-// each Worker holds one Stripe (compact CSR slices of the owned rows,
-// loadable from the binary codec in internal/graph) and serves stateless
-// per-iteration gather RPCs; the Coordinator fans each power iteration out
-// over a Transport per worker — in-process Loopback or HTTPTransport (the
-// cmd/gpserver wire protocol) — retries transient failures, and merges the
-// partial vectors. The arithmetic mirrors the in-process CSR kernels exactly,
-// so distributed F-Rank/T-Rank vectors are bit-identical to local ones.
-//
-// The AP/GP pair reproduces the paper's architecture of Sect. V-B for the
-// online search: Graph Processors answer adjacency requests for their stripe
-// over TCP while the Active Processor runs 2SBound and assembles only the
-// active set — the nodes and edges the query actually touches — in local
-// memory, exposed as a graph.View so the same 2SBound implementation runs
-// unchanged on one machine or a cluster.
+// This file holds the Stripe structure and the legacy AP/GP topology; the
+// package documentation lives in doc.go.
 package distributed
 
 import (
@@ -60,6 +44,8 @@ type Stripe struct {
 	Count    int
 	NumNodes int
 	graphSum uint32 // fingerprint of the source graph (graph.GraphFingerprint)
+	epoch    uint64 // snapshot version of the source graph (graph.Graph.Epoch)
+	content  uint32 // fingerprint of the stripe's own payload (StripeData.ContentFingerprint)
 	rows     int
 	out      graph.CSR
 	in       graph.CSR
@@ -85,6 +71,8 @@ func StripeFromData(d *graph.StripeData) (*Stripe, error) {
 		Count:    d.Count,
 		NumNodes: d.NumNodes,
 		graphSum: d.Graph,
+		epoch:    d.Epoch,
+		content:  d.ContentFingerprint(),
 		rows:     d.Rows(),
 		out:      d.Out,
 		in:       d.In,
@@ -95,10 +83,30 @@ func StripeFromData(d *graph.StripeData) (*Stripe, error) {
 // from (graph.GraphFingerprint of the full graph, not of the slice).
 func (s *Stripe) GraphFingerprint() uint32 { return s.graphSum }
 
+// Epoch returns the snapshot version of the graph the stripe was cut from.
+func (s *Stripe) Epoch() uint64 { return s.epoch }
+
+// ContentFingerprint returns the fingerprint of the stripe's own payload
+// (StripeData.ContentFingerprint), stable across commits that do not touch
+// the stripe's rows. Redeploys compare it to skip shipping unchanged stripes.
+func (s *Stripe) ContentFingerprint() uint32 { return s.content }
+
+// retagged returns a copy of the stripe bound to a new source-graph identity,
+// sharing the CSR arrays. Used when a commit left this stripe's rows
+// unchanged: the payload is identical, only the graph fingerprint and epoch
+// move. A fresh Stripe (rather than in-place mutation) keeps in-flight
+// multiplies reading a consistent snapshot.
+func (s *Stripe) retagged(graphSum uint32, epoch uint64) *Stripe {
+	c := *s
+	c.graphSum = graphSum
+	c.epoch = epoch
+	return &c
+}
+
 // Data returns the stripe's codec payload. The CSR slices are shared with the
 // stripe, not copied; treat them as read-only.
 func (s *Stripe) Data() *graph.StripeData {
-	return &graph.StripeData{Index: s.Index, Count: s.Count, NumNodes: s.NumNodes, Graph: s.graphSum, Out: s.out, In: s.in}
+	return &graph.StripeData{Index: s.Index, Count: s.Count, NumNodes: s.NumNodes, Graph: s.graphSum, Epoch: s.epoch, Out: s.out, In: s.in}
 }
 
 // Encode writes the stripe in the binary stripe format of

@@ -1,0 +1,30 @@
+// Package distributed implements serving a round-robin-striped graph from
+// multiple processes. It has two cooperating topologies.
+//
+// # Coordinator/worker (exact solves)
+//
+// The coordinator/worker subsystem executes exact solves across the cluster:
+// each Worker holds one Stripe (compact CSR slices of the owned rows,
+// loadable from the binary codec in internal/graph) and serves stateless
+// per-iteration gather RPCs; the Coordinator fans each power iteration out
+// over a Transport per worker — in-process Loopback or HTTPTransport (the
+// cmd/gpserver wire protocol) — retries transient failures, and merges the
+// partial vectors. The arithmetic mirrors the in-process CSR kernels exactly,
+// so distributed F-Rank/T-Rank vectors are bit-identical to local ones.
+//
+// Stripes are immutable snapshots identified by the source graph's
+// epoch-stamped fingerprint, which Multiply pins per call: when a commit
+// rolls the graph to a new epoch, stale coordinators fail loudly instead of
+// mixing snapshots. A fleet follows a commit via the stripe-install endpoint
+// for changed stripes and the cheap retag RPC (StripeRetagger) for stripes
+// whose content the commit did not touch.
+//
+// # AP/GP (online search)
+//
+// The AP/GP pair reproduces the paper's architecture of Sect. V-B for the
+// online search: Graph Processors answer adjacency requests for their stripe
+// over TCP while the Active Processor runs 2SBound and assembles only the
+// active set — the nodes and edges the query actually touches — in local
+// memory, exposed as a graph.View so the same 2SBound implementation runs
+// unchanged on one machine or a cluster.
+package distributed

@@ -127,6 +127,18 @@ func (t *HTTPTransport) SendStripe(ctx context.Context, s *Stripe) error {
 	return body.Close()
 }
 
+// RetagStripe implements StripeRetagger by POSTing to the worker's retag
+// endpoint. The worker answers 409 on a content mismatch, which surfaces as a
+// non-transient error so the caller falls back to shipping the full stripe.
+func (t *HTTPTransport) RetagStripe(ctx context.Context, graphSum uint32, epoch uint64, content uint32) error {
+	path := fmt.Sprintf("/v1/stripe/retag?graph=%d&epoch=%d&content=%d", graphSum, epoch, content)
+	body, err := t.do(ctx, http.MethodPost, path, nil, "")
+	if err != nil {
+		return err
+	}
+	return body.Close()
+}
+
 // Close implements Transport.
 func (t *HTTPTransport) Close() error {
 	t.client.CloseIdleConnections()

@@ -58,6 +58,12 @@ type WorkerInfo struct {
 	// Graph is the fingerprint of the graph the stripe was cut from; the
 	// coordinator refuses to assemble workers reporting different values.
 	Graph uint32 `json:"graph"`
+	// Epoch is the snapshot version of the source graph.
+	Epoch uint64 `json:"epoch"`
+	// Content is the fingerprint of the stripe's own payload
+	// (graph.StripeData.ContentFingerprint). Redeploys compare it against the
+	// freshly cut stripe to decide between shipping and retagging.
+	Content uint32 `json:"content"`
 	// NumNodes is the node count of the full striped graph.
 	NumNodes int `json:"nodes"`
 	// Rows is the number of nodes the stripe owns.
@@ -95,6 +101,20 @@ type Transport interface {
 type StripeSender interface {
 	// SendStripe ships the stripe to the worker, replacing whatever it served.
 	SendStripe(ctx context.Context, s *Stripe) error
+}
+
+// StripeRetagger is implemented by transports whose worker can rebind its
+// served stripe to a new source-graph identity without re-receiving the
+// payload. After a Commit, stripes whose rows the delta did not touch have
+// identical payloads under the new graph — only the graph fingerprint and
+// epoch moved — so the redeploy retags them in one tiny RPC instead of
+// shipping megabytes of unchanged CSR arrays.
+type StripeRetagger interface {
+	// RetagStripe rebinds the worker's stripe to the given graph fingerprint
+	// and epoch, provided the served payload's content fingerprint equals
+	// content; a mismatch (or an empty worker) fails without side effects and
+	// the caller falls back to SendStripe.
+	RetagStripe(ctx context.Context, graphSum uint32, epoch uint64, content uint32) error
 }
 
 // TransientError marks a worker failure as retryable: the coordinator retries
@@ -196,6 +216,15 @@ func (l *Loopback) SendStripe(ctx context.Context, s *Stripe) error {
 	}
 	l.w.SetStripe(s)
 	return nil
+}
+
+// RetagStripe implements StripeRetagger.
+func (l *Loopback) RetagStripe(ctx context.Context, graphSum uint32, epoch uint64, content uint32) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_, err := l.w.Retag(graphSum, epoch, content)
+	return err
 }
 
 // Close implements Transport; loopback transports hold no resources.

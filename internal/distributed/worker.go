@@ -42,8 +42,37 @@ var errNoStripe = errors.New("distributed: worker has no stripe installed")
 
 // ErrStripeReplaced reports that a worker's stripe no longer matches the
 // graph fingerprint the caller pinned at connect time — typically because a
-// different graph's stripe was installed after the coordinator connected.
+// new epoch's stripe was installed (or the stripe retagged) after the
+// coordinator connected. Callers reconnect to pick up the new snapshot.
 var ErrStripeReplaced = errors.New("distributed: worker stripe does not match the pinned graph fingerprint")
+
+// ErrContentMismatch reports that a retag was refused because the worker's
+// served payload differs from the content fingerprint the caller expected;
+// the caller must ship the full stripe instead.
+var ErrContentMismatch = errors.New("distributed: stripe content does not match, retag refused")
+
+// Retag rebinds the served stripe to a new source-graph identity (fingerprint
+// and epoch) without replacing its payload. The served payload's content
+// fingerprint must equal content; otherwise the call fails with
+// ErrContentMismatch and the stripe is left untouched. The rebind installs a
+// fresh Stripe value, so in-flight multiplies keep their consistent snapshot
+// (and fail their pinned-fingerprint check on the next call, as with a full
+// replacement).
+func (w *Worker) Retag(graphSum uint32, epoch uint64, content uint32) (WorkerInfo, error) {
+	w.mu.Lock()
+	s := w.stripe
+	if s == nil {
+		w.mu.Unlock()
+		return WorkerInfo{}, errNoStripe
+	}
+	if s.ContentFingerprint() != content {
+		w.mu.Unlock()
+		return WorkerInfo{}, fmt.Errorf("%w (serving %08x, caller expects %08x)", ErrContentMismatch, s.ContentFingerprint(), content)
+	}
+	w.stripe = s.retagged(graphSum, epoch)
+	w.mu.Unlock()
+	return w.Info()
+}
 
 // Info implements the worker side of Transport.Info.
 func (w *Worker) Info() (WorkerInfo, error) {
@@ -56,6 +85,8 @@ func (w *Worker) Info() (WorkerInfo, error) {
 		Index:    s.Index,
 		Count:    s.Count,
 		Graph:    s.graphSum,
+		Epoch:    s.epoch,
+		Content:  s.content,
 		NumNodes: s.NumNodes,
 		Rows:     s.OwnedNodes(),
 		OutEdges: len(s.out.Col),
@@ -108,11 +139,13 @@ const MaxStripeUploadBytes = 4 << 30
 // Handler returns the worker's HTTP API — the gpserver wire protocol (see
 // docs/API.md):
 //
-//	GET  /healthz      — liveness and stripe summary (JSON)
-//	GET  /v1/info      — WorkerInfo (JSON); 409 when no stripe is installed
-//	GET  /v1/outsums   — owned rows' out-weight sums (binary vector)
-//	POST /v1/multiply  — ?dir=in|out, body and response binary vectors
-//	POST /v1/stripe    — install a stripe (binary stripe codec body)
+//	GET  /healthz          — liveness and stripe summary (JSON)
+//	GET  /v1/info          — WorkerInfo (JSON); 409 when no stripe is installed
+//	GET  /v1/outsums       — owned rows' out-weight sums (binary vector)
+//	POST /v1/multiply      — ?dir=in|out, body and response binary vectors
+//	POST /v1/stripe        — install a stripe (binary stripe codec body)
+//	POST /v1/stripe/retag  — ?graph=F&epoch=E&content=C rebind an unchanged
+//	                         stripe to a new epoch; 409 on content mismatch
 //
 // Binary vectors are raw little-endian float64 arrays; stripes use the
 // checksummed format of graph.EncodeStripe.
@@ -123,6 +156,7 @@ func (w *Worker) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/outsums", w.handleOutSums)
 	mux.HandleFunc("POST /v1/multiply", w.handleMultiply)
 	mux.HandleFunc("POST /v1/stripe", w.handleInstallStripe)
+	mux.HandleFunc("POST /v1/stripe/retag", w.handleRetagStripe)
 	return mux
 }
 
@@ -133,11 +167,14 @@ func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	workerJSON(rw, http.StatusOK, map[string]any{
-		"status": "ok",
-		"stripe": s.Index,
-		"of":     s.Count,
-		"nodes":  s.NumNodes,
-		"rows":   s.OwnedNodes(),
+		"status":  "ok",
+		"stripe":  s.Index,
+		"of":      s.Count,
+		"nodes":   s.NumNodes,
+		"rows":    s.OwnedNodes(),
+		"epoch":   s.epoch,
+		"graph":   s.graphSum,
+		"content": s.content,
 	})
 }
 
@@ -211,6 +248,23 @@ func (w *Worker) handleMultiply(rw http.ResponseWriter, r *http.Request) {
 func readsOneByte(r interface{ Read([]byte) (int, error) }, buf []byte) bool {
 	n, _ := r.Read(buf)
 	return n > 0
+}
+
+func (w *Worker) handleRetagStripe(rw http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	graphSum, err1 := strconv.ParseUint(q.Get("graph"), 10, 32)
+	epoch, err2 := strconv.ParseUint(q.Get("epoch"), 10, 64)
+	content, err3 := strconv.ParseUint(q.Get("content"), 10, 32)
+	if err1 != nil || err2 != nil || err3 != nil {
+		workerError(rw, http.StatusBadRequest, "distributed: retag needs numeric graph, epoch and content parameters")
+		return
+	}
+	info, err := w.Retag(uint32(graphSum), epoch, uint32(content))
+	if err != nil {
+		workerError(rw, http.StatusConflict, "%v", err)
+		return
+	}
+	workerJSON(rw, http.StatusOK, info)
 }
 
 func (w *Worker) handleInstallStripe(rw http.ResponseWriter, r *http.Request) {

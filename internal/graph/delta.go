@@ -1,0 +1,488 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Delta is a staged batch of mutations against one base Graph snapshot: node
+// additions, edge upserts (add or reweight), edge removals and node removals.
+// Nothing is applied until Commit merges the delta into a fresh Graph one
+// epoch later; until then the base graph keeps serving unchanged, and the
+// staged state can be previewed through the View overlay.
+//
+// Node IDs are stable across commits: added nodes extend the ID space and
+// removed nodes keep their ID, type and label but lose every incident edge
+// (they become isolated, so no round trip passes through them and they drop
+// out of all rankings). This is what lets epochs roll over under live traffic
+// without renumbering anything a client might be holding.
+//
+// Ops are idempotent set-semantics, not an op log: the staged state always
+// describes the final desired adjacency, with later calls overriding earlier
+// ones (SetEdge after RemoveEdge re-adds the edge; RemoveNode discards staged
+// edges touching the node). A Delta is not safe for concurrent use.
+type Delta struct {
+	base *Graph
+
+	// staged node additions, IDs base.NumNodes()..base.NumNodes()+len-1
+	newTypes   []Type
+	newLabels  []string
+	newByLabel map[string]NodeID
+
+	set          map[edgeKey]float64 // final weights of added/reweighted edges
+	removed      map[edgeKey]bool    // base edges to drop
+	removedNodes map[NodeID]bool     // nodes to isolate
+}
+
+type edgeKey struct{ from, to NodeID }
+
+// NewDelta returns an empty mutation batch against base.
+func NewDelta(base *Graph) *Delta {
+	return &Delta{
+		base:         base,
+		newByLabel:   make(map[string]NodeID),
+		set:          make(map[edgeKey]float64),
+		removed:      make(map[edgeKey]bool),
+		removedNodes: make(map[NodeID]bool),
+	}
+}
+
+// Base returns the graph snapshot the delta was staged against.
+func (d *Delta) Base() *Graph { return d.base }
+
+// NumNodes returns the node count the committed graph will have.
+func (d *Delta) NumNodes() int { return d.base.numNodes + len(d.newTypes) }
+
+// Empty reports whether the delta stages no mutations. Committing an empty
+// delta still produces a new epoch (useful for forcing a rollover).
+func (d *Delta) Empty() bool {
+	return len(d.newTypes) == 0 && len(d.set) == 0 && len(d.removed) == 0 && len(d.removedNodes) == 0
+}
+
+// Ops returns the staged mutation counts, for logging and ingestion replies.
+func (d *Delta) Ops() (addedNodes, setEdges, removedEdges, removedNodes int) {
+	return len(d.newTypes), len(d.set), len(d.removed), len(d.removedNodes)
+}
+
+// AddNode stages a new node with the given type and label and returns its ID
+// (base.NumNodes() plus its position in the batch). Labels must be unique;
+// adding a label the base graph or the batch already has returns the existing
+// node's ID, mirroring Builder.AddNode.
+func (d *Delta) AddNode(t Type, label string) NodeID {
+	if v := d.base.NodeByLabel(label); v != NoNode {
+		return v
+	}
+	if v, ok := d.newByLabel[label]; ok {
+		return v
+	}
+	id := NodeID(d.base.numNodes + len(d.newTypes))
+	d.newTypes = append(d.newTypes, t)
+	d.newLabels = append(d.newLabels, label)
+	d.newByLabel[label] = id
+	return id
+}
+
+// NodeByLabel resolves a label against the base graph and the staged
+// additions, or returns NoNode.
+func (d *Delta) NodeByLabel(label string) NodeID {
+	if v := d.base.NodeByLabel(label); v != NoNode {
+		return v
+	}
+	if v, ok := d.newByLabel[label]; ok {
+		return v
+	}
+	return NoNode
+}
+
+// checkNode validates that v exists in the base graph or the staged additions.
+func (d *Delta) checkNode(v NodeID) error {
+	if v < 0 || int(v) >= d.NumNodes() {
+		return fmt.Errorf("graph: delta: node %d does not exist (have %d nodes)", v, d.NumNodes())
+	}
+	return nil
+}
+
+// SetEdge stages the directed edge from->to with the given positive weight:
+// an insert when the edge does not exist, a reweight when it does. It undoes a
+// staged removal of the same edge, and re-attaches edges to a node staged for
+// removal (the staging order decides, matching operator intent).
+func (d *Delta) SetEdge(from, to NodeID, w float64) error {
+	if !(w > 0) || math.IsInf(w, 1) {
+		return fmt.Errorf("graph: delta: edge weight must be positive and finite, got %g", w)
+	}
+	if from == to {
+		return fmt.Errorf("graph: delta: self-loop on node %d is not supported", from)
+	}
+	if err := d.checkNode(from); err != nil {
+		return err
+	}
+	if err := d.checkNode(to); err != nil {
+		return err
+	}
+	k := edgeKey{from, to}
+	delete(d.removed, k)
+	d.set[k] = w
+	return nil
+}
+
+// SetUndirectedEdge stages an undirected edge as two directed edges of equal
+// weight.
+func (d *Delta) SetUndirectedEdge(a, b NodeID, w float64) error {
+	if err := d.SetEdge(a, b, w); err != nil {
+		return err
+	}
+	return d.SetEdge(b, a, w)
+}
+
+// RemoveEdge stages the removal of the directed edge from->to. The edge must
+// exist — in the base graph or as a staged addition; removing a staged
+// addition simply unstages it.
+func (d *Delta) RemoveEdge(from, to NodeID) error {
+	if err := d.checkNode(from); err != nil {
+		return err
+	}
+	if err := d.checkNode(to); err != nil {
+		return err
+	}
+	k := edgeKey{from, to}
+	staged := false
+	if _, ok := d.set[k]; ok {
+		delete(d.set, k)
+		staged = true
+	}
+	if int(from) < d.base.numNodes && d.base.HasEdge(from, to) {
+		d.removed[k] = true
+		return nil
+	}
+	if !staged {
+		return fmt.Errorf("graph: delta: edge %d->%d does not exist", from, to)
+	}
+	return nil
+}
+
+// RemoveUndirectedEdge stages the removal of both directions of an undirected
+// edge.
+func (d *Delta) RemoveUndirectedEdge(a, b NodeID) error {
+	if err := d.RemoveEdge(a, b); err != nil {
+		return err
+	}
+	return d.RemoveEdge(b, a)
+}
+
+// RemoveNode stages the isolation of node v: every incident edge (in either
+// direction, including staged ones) is dropped, while the node keeps its ID,
+// type and label. Isolated nodes score zero under every round-trip measure
+// and are never returned in rankings. A later SetEdge may re-attach the node.
+func (d *Delta) RemoveNode(v NodeID) error {
+	if err := d.checkNode(v); err != nil {
+		return err
+	}
+	for k := range d.set {
+		if k.from == v || k.to == v {
+			delete(d.set, k)
+		}
+	}
+	for k := range d.removed {
+		if k.from == v || k.to == v {
+			delete(d.removed, k)
+		}
+	}
+	d.removedNodes[v] = true
+	return nil
+}
+
+// stagedEdge is one staged addition/reweight, indexed per row for the merge.
+type stagedEdge struct {
+	other NodeID // the non-row endpoint
+	w     float64
+}
+
+// rowAdds indexes the staged upserts by one endpoint, each row sorted by the
+// other endpoint so merges against the (sorted) base CSR rows stay ordered.
+func (d *Delta) rowAdds(byFrom bool) map[NodeID][]stagedEdge {
+	adds := make(map[NodeID][]stagedEdge)
+	for k, w := range d.set {
+		if byFrom {
+			adds[k.from] = append(adds[k.from], stagedEdge{other: k.to, w: w})
+		} else {
+			adds[k.to] = append(adds[k.to], stagedEdge{other: k.from, w: w})
+		}
+	}
+	for _, row := range adds {
+		sort.Slice(row, func(i, j int) bool { return row[i].other < row[j].other })
+	}
+	return adds
+}
+
+// dropBase reports whether a base edge from->to is superseded by the staged
+// state: removed explicitly, incident to a removed node, or shadowed by an
+// upsert (the upsert is emitted from the staged side of the merge).
+func (d *Delta) dropBase(from, to NodeID) bool {
+	if d.removedNodes[from] || d.removedNodes[to] {
+		return true
+	}
+	if d.removed[edgeKey{from, to}] {
+		return true
+	}
+	_, shadowed := d.set[edgeKey{from, to}]
+	return shadowed
+}
+
+// mergeRow yields the final adjacency of one row in ascending neighbor order:
+// the surviving base entries merged with the staged upserts. base may be nil
+// (a new or removed node's base row).
+func mergeRow(baseCol []NodeID, baseW []float64, drop func(other NodeID) bool, adds []stagedEdge, yield func(other NodeID, w float64)) {
+	ai := 0
+	for i, to := range baseCol {
+		if drop(to) {
+			continue
+		}
+		for ai < len(adds) && adds[ai].other < to {
+			yield(adds[ai].other, adds[ai].w)
+			ai++
+		}
+		yield(to, baseW[i])
+	}
+	for ; ai < len(adds); ai++ {
+		yield(adds[ai].other, adds[ai].w)
+	}
+}
+
+// baseOutRow returns the base out-adjacency of v, or nil slices when v is new
+// or staged for removal.
+func (d *Delta) baseOutRow(v NodeID) ([]NodeID, []float64) {
+	if int(v) >= d.base.numNodes || d.removedNodes[v] {
+		return nil, nil
+	}
+	return d.base.OutNeighbors(v)
+}
+
+// baseInRow is baseOutRow for the transposed adjacency.
+func (d *Delta) baseInRow(v NodeID) ([]NodeID, []float64) {
+	if int(v) >= d.base.numNodes || d.removedNodes[v] {
+		return nil, nil
+	}
+	return d.base.InNeighbors(v)
+}
+
+// Commit merges the delta into a fresh immutable Graph whose epoch is
+// base.Epoch()+1 — the base graph is untouched and keeps serving its own
+// snapshot. The merge streams each base CSR row once against the sorted
+// staged upserts, so a commit costs O(nodes + edges + staged·log staged) and
+// the resulting arrays are laid out exactly as a Builder would lay them out:
+// committing a delta and rebuilding the equivalent graph from scratch produce
+// bit-identical adjacency (only epoch and fingerprint differ), which the
+// cross-epoch parity suite pins for every execution method.
+//
+// The delta must have been staged against base; committing it against any
+// other snapshot is refused (stage a fresh delta instead).
+func Commit(base *Graph, d *Delta) (*Graph, error) {
+	if d == nil {
+		return nil, fmt.Errorf("graph: commit: nil delta")
+	}
+	if d.base != base {
+		return nil, fmt.Errorf("graph: commit: delta was staged against a different snapshot (epoch %d, committing against epoch %d)",
+			d.base.epoch, base.epoch)
+	}
+	n := d.NumNodes()
+	g := &Graph{
+		numNodes:  n,
+		epoch:     base.epoch + 1,
+		types:     make([]Type, 0, n),
+		labels:    make([]string, 0, n),
+		typeNames: make(map[Type]string, len(base.typeNames)),
+		byLabel:   make(map[string]NodeID, n),
+	}
+	g.types = append(append(g.types, base.types...), d.newTypes...)
+	g.labels = append(append(g.labels, base.labels...), d.newLabels...)
+	for t, name := range base.typeNames {
+		g.typeNames[t] = name
+	}
+	for l, id := range base.byLabel {
+		g.byLabel[l] = id
+	}
+	for l, id := range d.newByLabel {
+		g.byLabel[l] = id
+	}
+
+	// Forward CSR: stream every row's merged adjacency in order.
+	outAdds := d.rowAdds(true)
+	g.out = CSR{RowPtr: make([]int64, n+1), Sum: make([]float64, n)}
+	for v := 0; v < n; v++ {
+		col, w := d.baseOutRow(NodeID(v))
+		mergeRow(col, w, func(to NodeID) bool { return d.dropBase(NodeID(v), to) }, outAdds[NodeID(v)],
+			func(to NodeID, ew float64) {
+				g.out.Col = append(g.out.Col, to)
+				g.out.Weight = append(g.out.Weight, ew)
+				g.out.Sum[v] += ew
+			})
+		g.out.RowPtr[v+1] = int64(len(g.out.Col))
+	}
+	g.numEdges = len(g.out.Col)
+
+	// Transposed CSR by counting sort, exactly as Builder.Build does: rows are
+	// visited in (from, to) order, so each in-row lists sources ascending.
+	m := g.numEdges
+	g.in = CSR{RowPtr: make([]int64, n+1), Col: make([]NodeID, m), Weight: make([]float64, m), Sum: make([]float64, n)}
+	for _, to := range g.out.Col {
+		g.in.RowPtr[to+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.in.RowPtr[v+1] += g.in.RowPtr[v]
+	}
+	cursor := make([]int64, n)
+	copy(cursor, g.in.RowPtr[:n])
+	for v := 0; v < n; v++ {
+		lo, hi := g.out.RowPtr[v], g.out.RowPtr[v+1]
+		for i := lo; i < hi; i++ {
+			to := g.out.Col[i]
+			j := cursor[to]
+			g.in.Col[j] = NodeID(v)
+			g.in.Weight[j] = g.out.Weight[i]
+			cursor[to]++
+			g.in.Sum[to] += g.out.Weight[i]
+		}
+	}
+	return g, nil
+}
+
+// DeltaView is a read-only overlay presenting the delta's staged state merged
+// over the base graph's CSR arrays, without committing: base rows stream
+// straight from the base CSR with removals and reweights applied, staged
+// additions are merged in neighbor order. It is a snapshot of the delta at
+// View() time; later staging is not reflected.
+//
+// The overlay implements the generic View interface (degree and weight-sum
+// queries cost one O(degree) row merge), so exact solves and the online
+// search run on it unchanged through the interface fallback of the walk
+// kernels. The parallel CSR kernels need flat arrays: compact-on-commit is
+// the intended fast path (Commit produces them), and graph.Compact flattens
+// an overlay into a CSRView when a pre-commit view must be solved repeatedly.
+type DeltaView struct {
+	base         *Graph
+	n            int
+	outAdds      map[NodeID][]stagedEdge
+	inAdds       map[NodeID][]stagedEdge
+	set          map[edgeKey]float64
+	removed      map[edgeKey]bool
+	removedNodes map[NodeID]bool
+	newTypes     []Type
+}
+
+// View snapshots the staged state as a read-only overlay over the base graph.
+func (d *Delta) View() *DeltaView {
+	v := &DeltaView{
+		base:         d.base,
+		n:            d.NumNodes(),
+		outAdds:      d.rowAdds(true),
+		inAdds:       d.rowAdds(false),
+		set:          make(map[edgeKey]float64, len(d.set)),
+		removed:      make(map[edgeKey]bool, len(d.removed)),
+		removedNodes: make(map[NodeID]bool, len(d.removedNodes)),
+		newTypes:     append([]Type(nil), d.newTypes...),
+	}
+	for k, w := range d.set {
+		v.set[k] = w
+	}
+	for k := range d.removed {
+		v.removed[k] = true
+	}
+	for k := range d.removedNodes {
+		v.removedNodes[k] = true
+	}
+	return v
+}
+
+// dropBase mirrors Delta.dropBase over the snapshot's own maps.
+func (v *DeltaView) dropBase(from, to NodeID) bool {
+	if v.removedNodes[from] || v.removedNodes[to] {
+		return true
+	}
+	if v.removed[edgeKey{from, to}] {
+		return true
+	}
+	_, shadowed := v.set[edgeKey{from, to}]
+	return shadowed
+}
+
+func (v *DeltaView) baseOut(u NodeID) ([]NodeID, []float64) {
+	if int(u) >= v.base.numNodes || v.removedNodes[u] {
+		return nil, nil
+	}
+	return v.base.OutNeighbors(u)
+}
+
+func (v *DeltaView) baseIn(u NodeID) ([]NodeID, []float64) {
+	if int(u) >= v.base.numNodes || v.removedNodes[u] {
+		return nil, nil
+	}
+	return v.base.InNeighbors(u)
+}
+
+// NumNodes implements View.
+func (v *DeltaView) NumNodes() int { return v.n }
+
+// Epoch implements Epocher: the overlay previews the next epoch.
+func (v *DeltaView) Epoch() uint64 { return v.base.epoch + 1 }
+
+// Type reports the node type, covering staged additions; it satisfies the
+// engine's TypedView so type filters work on an overlay.
+func (v *DeltaView) Type(u NodeID) Type {
+	if int(u) < v.base.numNodes {
+		return v.base.Type(u)
+	}
+	return v.newTypes[int(u)-v.base.numNodes]
+}
+
+// EachOut implements View.
+func (v *DeltaView) EachOut(u NodeID, fn func(to NodeID, w float64) bool) {
+	col, w := v.baseOut(u)
+	stopped := false
+	mergeRow(col, w, func(to NodeID) bool { return v.dropBase(u, to) }, v.outAdds[u],
+		func(to NodeID, ew float64) {
+			if !stopped && !fn(to, ew) {
+				stopped = true
+			}
+		})
+}
+
+// EachIn implements View.
+func (v *DeltaView) EachIn(u NodeID, fn func(from NodeID, w float64) bool) {
+	col, w := v.baseIn(u)
+	stopped := false
+	mergeRow(col, w, func(from NodeID) bool { return v.dropBase(from, u) }, v.inAdds[u],
+		func(from NodeID, ew float64) {
+			if !stopped && !fn(from, ew) {
+				stopped = true
+			}
+		})
+}
+
+// OutDegree implements View.
+func (v *DeltaView) OutDegree(u NodeID) int {
+	n := 0
+	v.EachOut(u, func(NodeID, float64) bool { n++; return true })
+	return n
+}
+
+// InDegree implements View.
+func (v *DeltaView) InDegree(u NodeID) int {
+	n := 0
+	v.EachIn(u, func(NodeID, float64) bool { n++; return true })
+	return n
+}
+
+// OutWeightSum implements View.
+func (v *DeltaView) OutWeightSum(u NodeID) float64 {
+	s := 0.0
+	v.EachOut(u, func(_ NodeID, w float64) bool { s += w; return true })
+	return s
+}
+
+// InWeightSum implements View.
+func (v *DeltaView) InWeightSum(u NodeID) float64 {
+	s := 0.0
+	v.EachIn(u, func(_ NodeID, w float64) bool { s += w; return true })
+	return s
+}

@@ -1,0 +1,29 @@
+// Package graph provides the typed, directed, weighted graph substrate used by
+// all proximity measures in this repository.
+//
+// A Graph is an immutable compressed-sparse-row (CSR) structure produced by a
+// Builder. Nodes carry a small integer type (paper, author, term, venue,
+// phrase, URL, ...) and a string label; edges are directed and weighted, and
+// an undirected edge is represented by two directed edges. Both out- and
+// in-adjacency are materialized so that forward walks (F-Rank), backward walks
+// (T-Rank) and border-node expansions are all O(degree).
+//
+// Random-walk code operates on the View interface rather than on *Graph
+// directly, which allows per-query edge masking (ground-truth edge removal in
+// the evaluation tasks) without copying the graph. Views that can expose flat
+// CSR arrays implement CSRView, the fast path of the parallel walk kernels;
+// Compact flattens any other view into one.
+//
+// # Mutation and epochs
+//
+// Graphs never mutate in place. A Delta stages a batch of changes against one
+// snapshot — node additions, edge upserts, edge removals, node isolations —
+// and Commit merges it into a fresh Graph whose Epoch is one higher, with
+// adjacency arrays laid out bit-identically to a from-scratch Build of the
+// same edges. The Delta's View overlay serves the staged state read-only
+// before commit. GraphFingerprint stamps the epoch into the snapshot's
+// identity, and the stripe codec (stripeio.go) carries both the graph
+// fingerprint and a per-stripe ContentFingerprint, which is what lets a
+// worker fleet roll to a new epoch by re-shipping only the stripes a commit
+// actually changed.
+package graph

@@ -1,21 +1,11 @@
-// Package graph provides the typed, directed, weighted graph substrate used by
-// all proximity measures in this repository.
-//
-// A Graph is an immutable compressed-sparse-row (CSR) structure produced by a
-// Builder. Nodes carry a small integer type (paper, author, term, venue,
-// phrase, URL, ...) and a string label; edges are directed and weighted, and
-// an undirected edge is represented by two directed edges. Both out- and
-// in-adjacency are materialized so that forward walks (F-Rank), backward walks
-// (T-Rank) and border-node expansions are all O(degree).
-//
-// Random-walk code operates on the View interface rather than on *Graph
-// directly, which allows per-query edge masking (ground-truth edge removal in
-// the evaluation tasks) without copying the graph.
+// This file defines the core Graph structure and View interfaces; the
+// package documentation lives in doc.go.
 package graph
 
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // NodeID identifies a node in a Graph. IDs are dense indices in [0, NumNodes).
@@ -90,10 +80,19 @@ type CSRView interface {
 	InCSR() CSR
 }
 
-// Graph is an immutable CSR graph. Construct with a Builder.
+// Graph is an immutable CSR graph. Construct with a Builder, or derive a new
+// snapshot from an existing Graph with Commit. Mutation never happens in
+// place: Commit merges a Delta into a fresh Graph one epoch later, so every
+// *Graph ever handed out keeps serving its own consistent adjacency.
 type Graph struct {
 	numNodes int
 	numEdges int
+	epoch    uint64
+
+	// fp lazily caches GraphFingerprint: the CSR arrays are immutable, and
+	// serving endpoints poll the fingerprint far more often than it changes.
+	fpOnce sync.Once
+	fp     uint32
 
 	types  []Type
 	labels []string
@@ -113,6 +112,12 @@ func (g *Graph) OutCSR() CSR { return g.out }
 
 // InCSR implements CSRView.
 func (g *Graph) InCSR() CSR { return g.in }
+
+// Epoch returns the graph's snapshot version: zero for a freshly built graph,
+// incremented by every Commit. The epoch is stamped into GraphFingerprint, so
+// two snapshots of an evolving graph never alias even when a sequence of
+// commits happens to restore an earlier adjacency.
+func (g *Graph) Epoch() uint64 { return g.epoch }
 
 // NumNodes returns the number of nodes in the graph.
 func (g *Graph) NumNodes() int { return g.numNodes }

@@ -8,10 +8,12 @@ import (
 	"os"
 )
 
-// wireGraph is the gob-serializable form of a Graph.
+// wireGraph is the gob-serializable form of a Graph. Epoch was added for live
+// graphs; gob decodes streams written without it as epoch zero.
 type wireGraph struct {
 	NumNodes  int
 	NumEdges  int
+	Epoch     uint64
 	Types     []Type
 	Labels    []string
 	OutOff    []int64
@@ -26,6 +28,7 @@ func Encode(w io.Writer, g *Graph) error {
 	wg := wireGraph{
 		NumNodes:  g.numNodes,
 		NumEdges:  g.numEdges,
+		Epoch:     g.epoch,
 		Types:     g.types,
 		Labels:    g.labels,
 		OutOff:    g.out.RowPtr,
@@ -72,7 +75,12 @@ func Decode(r io.Reader) (*Graph, error) {
 			}
 		}
 	}
-	return b.Build()
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	g.epoch = wg.Epoch
+	return g, nil
 }
 
 // WriteFile encodes g into the named file.

@@ -44,8 +44,10 @@ import (
 // incompatible layout changes (compatible ones bump stripeVersion instead).
 var stripeMagic = [4]byte{'R', 'T', 'S', '1'}
 
-// stripeVersion is the current stripe codec version.
-const stripeVersion = 1
+// stripeVersion is the current stripe codec version. Version 2 added the
+// source graph's epoch to the header; version-1 streams still decode (their
+// epoch is zero).
+const stripeVersion = 2
 
 // StripeData is the codec-level content of one graph stripe. Row r of each CSR
 // block holds the adjacency of global node Index + r*Count; Out lists the
@@ -63,9 +65,32 @@ type StripeData struct {
 	// report different fingerprints — same-sized graphs with different
 	// adjacency would otherwise produce silently wrong rankings.
 	Graph uint32
+	// Epoch is the snapshot version of the source graph (Graph.Epoch). It
+	// rides along for operators; identity checks go through Graph, which
+	// already folds the epoch in.
+	Epoch uint64
 	// Out and In are the owned rows' forward and transposed adjacency.
 	Out CSR
 	In  CSR
+}
+
+// ContentFingerprint hashes the stripe's own payload — the striping header
+// (index, count, node count) and both CSR blocks — but not the source graph's
+// fingerprint or epoch. It is therefore stable across commits that leave the
+// stripe's rows (and the edges into them) untouched, which is what lets a
+// redeploy after a Commit skip shipping unchanged stripes and merely retag
+// them with the new graph fingerprint.
+func (d *StripeData) ContentFingerprint() uint32 {
+	crc := crc32.New(castagnoli)
+	var b [24]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(d.Index))
+	binary.LittleEndian.PutUint64(b[8:], uint64(d.Count))
+	binary.LittleEndian.PutUint64(b[16:], uint64(d.NumNodes))
+	crc.Write(b[:])
+	for _, c := range []CSR{d.Out, d.In} {
+		_ = writeStripeCSR(crc, c)
+	}
+	return crc.Sum32()
 }
 
 // Rows returns the number of nodes owned by the stripe, derived from the
@@ -146,7 +171,7 @@ func EncodeStripe(w io.Writer, d *StripeData) error {
 	}
 	hdr := []any{
 		uint16(stripeVersion), uint16(0),
-		uint32(d.Index), uint32(d.Count), d.Graph,
+		uint32(d.Index), uint32(d.Count), d.Graph, d.Epoch,
 		uint64(d.NumNodes), uint64(d.Rows()),
 	}
 	for _, v := range hdr {
@@ -234,23 +259,34 @@ func DecodeStripe(r io.Reader) (*StripeData, error) {
 	}
 	var version, reserved uint16
 	var index, count, fingerprint uint32
-	var numNodes, rows uint64
-	for _, v := range []any{&version, &reserved, &index, &count, &fingerprint, &numNodes, &rows} {
+	var epoch, numNodes, rows uint64
+	for _, v := range []any{&version, &reserved, &index, &count, &fingerprint} {
 		if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
 			return nil, fmt.Errorf("graph: decode stripe: header: %w", err)
 		}
 	}
-	if version != stripeVersion {
+	if version != 1 && version != stripeVersion {
 		return nil, fmt.Errorf("graph: decode stripe: unsupported version %d", version)
 	}
 	if reserved != 0 {
 		return nil, fmt.Errorf("graph: decode stripe: non-zero reserved field")
 	}
+	// The epoch field was added in version 2; version-1 stripes predate live
+	// graphs and decode as epoch zero.
+	fields := []any{&numNodes, &rows}
+	if version >= 2 {
+		fields = []any{&epoch, &numNodes, &rows}
+	}
+	for _, v := range fields {
+		if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("graph: decode stripe: header: %w", err)
+		}
+	}
 	const maxInt = int(^uint(0) >> 1)
 	if numNodes > uint64(maxInt) || rows > uint64(maxInt) {
 		return nil, fmt.Errorf("graph: decode stripe: header sizes overflow")
 	}
-	d := &StripeData{Index: int(index), Count: int(count), NumNodes: int(numNodes), Graph: fingerprint}
+	d := &StripeData{Index: int(index), Count: int(count), NumNodes: int(numNodes), Graph: fingerprint, Epoch: epoch}
 	if int(rows) != d.Rows() {
 		return nil, fmt.Errorf("graph: decode stripe: header claims %d rows, striping implies %d", rows, d.Rows())
 	}
@@ -368,6 +404,9 @@ func BuildStripeData(v CSRView, index, count int) (*StripeData, error) {
 		return nil, fmt.Errorf("graph: invalid stripe %d of %d", index, count)
 	}
 	d := &StripeData{Index: index, Count: count, NumNodes: v.NumNodes(), Graph: GraphFingerprint(v)}
+	if e, ok := v.(Epocher); ok {
+		d.Epoch = e.Epoch()
+	}
 	rows := d.Rows()
 	d.Out = sliceStripeRows(v.OutCSR(), index, count, rows)
 	d.In = sliceStripeRows(v.InCSR(), index, count, rows)
@@ -395,16 +434,46 @@ func sliceStripeRows(src CSR, first, count, rows int) CSR {
 	return dst
 }
 
-// GraphFingerprint returns a checksum identifying a graph's adjacency
-// structure: CRC-32C over the node count and the forward CSR arrays
+// Epocher is implemented by views that carry a snapshot version; *Graph does.
+// GraphFingerprint folds the epoch into the fingerprint when present.
+type Epocher interface {
+	// Epoch returns the snapshot version (zero for an unversioned view).
+	Epoch() uint64
+}
+
+// GraphFingerprint returns a checksum identifying a graph snapshot: CRC-32C
+// over the node count, the snapshot epoch and the forward CSR arrays
 // (offsets, columns, weights). Every stripe cut from a graph records its
 // fingerprint, so a coordinator can refuse to assemble workers that were
 // striped from different graphs — even ones with identical node counts.
+// Stamping the epoch makes every Commit a new identity: a cluster can never
+// silently keep serving yesterday's snapshot of a graph whose adjacency a
+// commit happened to restore.
+//
+// Epoch zero deliberately hashes exactly as the pre-epoch formula did (node
+// count + CSR only), so stripes cut before epochs existed — version-1 codec
+// files, workers still running an older build — remain valid against the
+// epoch-0 graphs they were cut from.
+//
+// The result is cached on *Graph (snapshots are immutable), so polling
+// endpoints and per-commit redeploys do not re-hash the edge arrays.
 func GraphFingerprint(v CSRView) uint32 {
+	if g, ok := v.(*Graph); ok {
+		g.fpOnce.Do(func() { g.fp = computeFingerprint(g) })
+		return g.fp
+	}
+	return computeFingerprint(v)
+}
+
+func computeFingerprint(v CSRView) uint32 {
 	crc := crc32.New(castagnoli)
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(v.NumNodes()))
 	crc.Write(b[:])
+	if e, ok := v.(Epocher); ok && e.Epoch() != 0 {
+		binary.LittleEndian.PutUint64(b[:], e.Epoch())
+		crc.Write(b[:])
+	}
 	out := v.OutCSR()
 	_ = writeSlice(crc, len(out.RowPtr), func(i int) uint64 { return uint64(out.RowPtr[i]) }, 8)
 	_ = writeSlice(crc, len(out.Col), func(i int) uint64 { return uint64(uint32(out.Col[i])) }, 4)

@@ -1,42 +1,5 @@
-// Package roundtriprank is the public API of this repository: a from-scratch
-// Go implementation of RoundTripRank and RoundTripRank+ (Fang, Chang, Lauw —
-// "RoundTripRank: Graph-based Proximity with Importance and Specificity",
-// ICDE 2013) together with the 2SBound online top-K algorithm.
-//
-// RoundTripRank measures the proximity of a node v to a query q as the
-// probability that a random round trip starting and ending at q passes through
-// v, which integrates importance (reachability from the query, as in
-// Personalized PageRank) with specificity (reachability back to the query) in
-// one coherent random walk. RoundTripRank+ exposes a specificity bias β ∈
-// [0, 1] that trades the two senses off: β = 0 is pure importance, β = 1 pure
-// specificity, β = 0.5 the balanced RoundTripRank.
-//
-// The entry point is the Engine, which executes Requests — each carrying the
-// query distribution, K, per-query α/β/ε overrides, a declarative Filter and
-// an execution Method — and returns Responses:
-//
-//	b := roundtriprank.NewGraphBuilder()
-//	alice := b.AddNode(1, "author:alice")
-//	paper := b.AddNode(2, "paper:p1")
-//	b.MustAddUndirectedEdge(alice, paper, 1)
-//	g := b.MustBuild()
-//
-//	engine, _ := roundtriprank.NewEngine(g)
-//	resp, _ := engine.Rank(ctx, roundtriprank.Request{
-//		Query:  roundtriprank.SingleNode(paper),
-//		K:      10,
-//		Filter: &roundtriprank.Filter{Types: []roundtriprank.NodeType{1}, ExcludeQuery: true},
-//	})
-//
-// The default Method, Auto, plans exact full-vector solves on small in-memory
-// graphs and the online 2SBound branch-and-bound search on large (or remote,
-// AP/GP-distributed) ones; Exact, TwoSBound and BoundScheme select a path
-// explicitly, and Distributed fans the exact solve out to a cluster of
-// stripe workers configured with WithWorkers (see distributed.go and
-// ARCHITECTURE.md). Engine.RankBatch amortizes a batch of queries by sharing
-// single-node score vectors through the Linearity Theorem, and every
-// computation honors context cancellation. The Ranker type is the deprecated
-// pre-Engine API, kept as a thin shim.
+// This file collects the graph-construction re-exports and the deprecated
+// Ranker shim; the package documentation lives in doc.go.
 package roundtriprank
 
 import (
@@ -64,6 +27,10 @@ type (
 	// View is the read-only graph interface accepted by all ranking entry
 	// points; *Graph implements it.
 	View = graph.View
+	// Delta is a staged batch of mutations against one Graph snapshot: node
+	// additions, edge upserts, edge and node removals. Stage with NewDelta
+	// and apply with Engine.Apply (or Commit for a standalone merge).
+	Delta = graph.Delta
 )
 
 // NoNode is returned by lookups that fail.
@@ -71,6 +38,21 @@ const NoNode = graph.NoNode
 
 // NewGraphBuilder returns an empty graph builder.
 func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }
+
+// GraphFingerprint returns the checksum identifying a graph snapshot (its
+// adjacency arrays plus its epoch). Stripes record it, coordinators validate
+// it, and operators can compare it against GET /v1/epoch on a serving
+// rtrankd.
+func GraphFingerprint(g *Graph) uint32 { return graph.GraphFingerprint(g) }
+
+// NewDelta returns an empty mutation batch staged against base. See
+// graph.Delta for the staging semantics (stable node IDs, set-like ops).
+func NewDelta(base *Graph) *Delta { return graph.NewDelta(base) }
+
+// Commit merges a staged Delta into a fresh immutable Graph one epoch after
+// base, leaving base untouched. Engines serving base are not affected; use
+// Engine.Apply to commit and swap an engine in one step.
+func Commit(base *Graph, d *Delta) (*Graph, error) { return graph.Commit(base, d) }
 
 // SingleNode returns a query consisting of one node.
 func SingleNode(v NodeID) Query { return walk.SingleNode(v) }
@@ -211,7 +193,7 @@ type Scores struct {
 
 // Scores computes exact scores for every node using the iterative solvers.
 func (r *Ranker) Scores(q Query) (*Scores, error) {
-	s, err := core.Compute(context.Background(), r.engine.view, q, r.engine.params)
+	s, err := core.Compute(context.Background(), r.engine.View(), q, r.engine.params)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# mdlint.sh — fail when a Markdown document links to a file that does not
+# exist.
+#
+# Checks every relative link target in README.md, ARCHITECTURE.md, PAPER.md,
+# ROADMAP.md and docs/*.md (inline [text](target) links; external http(s):
+# and pure-anchor #… targets are skipped, fragments are stripped). CI runs
+# this so a renamed or forgotten document breaks the build instead of
+# silently 404ing for readers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+files=(README.md ARCHITECTURE.md PAPER.md ROADMAP.md docs/*.md)
+
+for f in "${files[@]}"; do
+    [ -e "$f" ] || continue
+    dir=$(dirname "$f")
+    # Inline links: capture the (…) target of every […](…) occurrence.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        path="${target%%#*}"         # strip any fragment
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "mdlint: $f links to missing file: $target" >&2
+            fail=1
+        fi
+    done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$f" | sed -E 's/^\[[^]]*\]\(//; s/\)$//')
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "mdlint: all relative links resolve"
+fi
+exit $fail

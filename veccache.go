@@ -8,9 +8,14 @@ import (
 
 // vecKey identifies one cached pair of single-node score vectors. Alpha and
 // tolerance are part of the key because per-request overrides change the
-// vectors; beta is not, because it only affects the combination step.
+// vectors; beta is not, because it only affects the combination step. The
+// snapshot epoch is part of the key because a Commit changes the graph the
+// vectors were solved on: entries of different epochs never alias, so a
+// query that started before an Apply keeps reading vectors consistent with
+// its own snapshot.
 type vecKey struct {
 	node       NodeID
+	epoch      uint64
 	alpha, tol float64
 }
 
@@ -103,6 +108,27 @@ func (c *vecCache) evictLocked() {
 			delete(c.entries, e.key)
 		}
 		el = prev
+	}
+}
+
+// invalidateExcept drops every completed entry whose key belongs to a
+// different epoch than the one given. Apply calls it after swapping
+// snapshots, so superseded vectors free their memory immediately instead of
+// waiting for LRU pressure. In-flight entries are left alone — their waiters
+// are blocked on the computation — and expire via normal LRU once done; they
+// can only be hit by queries still pinned to their own epoch, for which they
+// remain correct.
+func (c *vecCache) invalidateExcept(epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*vecEntry)
+		if e.done && e.key.epoch != epoch {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+		}
 	}
 }
 

@@ -1,0 +1,217 @@
+package roundtriprank
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// vkey builds a cache key for node n at the given epoch with fixed walk
+// parameters.
+func vkey(n NodeID, epoch uint64) vecKey {
+	return vecKey{node: n, epoch: epoch, alpha: 0.25, tol: 1e-9}
+}
+
+// vecOf returns a compute func yielding a recognizable one-element vector.
+func vecOf(v float64, calls *atomic.Int64) func() ([]float64, []float64, error) {
+	return func() ([]float64, []float64, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		return []float64{v}, []float64{-v}, nil
+	}
+}
+
+func TestVecCacheEvictsLRUWhenFull(t *testing.T) {
+	c := newVecCache(2)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.get(ctx, vkey(NodeID(i), 0), vecOf(float64(i), nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, size := c.stats(); size != 2 {
+		t.Fatalf("size %d after overflow, want 2", size)
+	}
+	// Node 0 was least recently used and must have been evicted: getting it
+	// again recomputes.
+	var calls atomic.Int64
+	if _, _, err := c.get(ctx, vkey(0, 0), vecOf(0, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("evicted key served from cache (%d computes)", calls.Load())
+	}
+	// Node 2 is hot and must still be cached.
+	calls.Store(0)
+	if _, _, err := c.get(ctx, vkey(2, 0), vecOf(2, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("hot key recomputed")
+	}
+}
+
+// TestVecCacheZeroCapacity pins the degenerate cache: every completed entry
+// is evicted immediately, yet gets still return correct values and in-flight
+// deduplication still works (the entry lives in the map until its compute
+// finishes).
+func TestVecCacheZeroCapacity(t *testing.T) {
+	c := newVecCache(0)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		f, _, err := c.get(ctx, vkey(7, 0), vecOf(42, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f[0] != 42 {
+			t.Fatalf("got %v, want 42", f[0])
+		}
+		if _, _, size := c.stats(); size != 0 {
+			t.Fatalf("zero-capacity cache retained %d entries", size)
+		}
+	}
+
+	// In-flight dedup at capacity zero: concurrent getters of one key must
+	// share a single compute.
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocked := func() ([]float64, []float64, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return []float64{1}, []float64{1}, nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := c.get(ctx, vkey(8, 0), blocked); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := c.get(ctx, vkey(8, 0), vecOf(99, &calls)); err != nil {
+			t.Error(err)
+		}
+	}()
+	// The waiter registers a cache hit before blocking on the in-flight
+	// entry; only then may the owner's compute be released, or the waiter
+	// could arrive after the zero-capacity eviction and recompute.
+	for {
+		if hits, _, _ := c.stats(); hits > 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("%d computes for one key, want 1 (dedup)", calls.Load())
+	}
+}
+
+func TestVecCacheEpochKeysDoNotAlias(t *testing.T) {
+	c := newVecCache(8)
+	ctx := context.Background()
+	f0, _, err := c.get(ctx, vkey(1, 0), vecOf(10, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _, err := c.get(ctx, vkey(1, 1), vecOf(11, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0[0] != 10 || f1[0] != 11 {
+		t.Fatalf("epochs aliased: %v %v", f0[0], f1[0])
+	}
+	hits, misses, size := c.stats()
+	if hits != 0 || misses != 2 || size != 2 {
+		t.Fatalf("stats %d/%d/%d, want 0 hits, 2 misses, 2 entries", hits, misses, size)
+	}
+
+	c.invalidateExcept(1)
+	if _, _, size := c.stats(); size != 1 {
+		t.Fatalf("invalidateExcept left %d entries, want 1", size)
+	}
+	var calls atomic.Int64
+	if _, _, err := c.get(ctx, vkey(1, 1), vecOf(0, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("current epoch's entry was invalidated")
+	}
+	if _, _, err := c.get(ctx, vkey(1, 0), vecOf(12, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatal("stale epoch's entry survived invalidation")
+	}
+}
+
+// TestVecCacheInvalidateDuringFill races invalidateExcept against an
+// in-flight compute: the in-flight entry must not be detached from its
+// waiters (both getters see the computed value exactly once), and a
+// subsequent invalidation drops the completed stale entry.
+func TestVecCacheInvalidateDuringFill(t *testing.T) {
+	c := newVecCache(4)
+	ctx := context.Background()
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocked := func() ([]float64, []float64, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return []float64{5}, []float64{5}, nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]float64, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			compute := blocked
+			if i == 1 {
+				compute = vecOf(999, &calls) // must never run: dedup on the owner
+			}
+			f, _, err := c.get(ctx, vkey(3, 0), compute)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = f[0]
+		}()
+		if i == 0 {
+			<-started
+		}
+	}
+
+	// The fill is in flight on epoch 0; an Apply-style invalidation for epoch
+	// 1 must skip it.
+	c.invalidateExcept(1)
+	close(release)
+	wg.Wait()
+	if results[0] != 5 || results[1] != 5 {
+		t.Fatalf("waiters got %v, want the in-flight value 5", results)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d computes, want 1", calls.Load())
+	}
+
+	// Now completed and stale: the next invalidation removes it.
+	if _, _, size := c.stats(); size != 1 {
+		t.Fatalf("size %d after fill, want 1", size)
+	}
+	c.invalidateExcept(1)
+	if _, _, size := c.stats(); size != 0 {
+		t.Fatalf("completed stale entry survived invalidation (size %d)", size)
+	}
+}
