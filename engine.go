@@ -57,6 +57,11 @@ var (
 	// Exact runs the iterative F-Rank/T-Rank solvers over the whole graph.
 	Exact = Method{kind: methodExact}
 	// TwoSBound runs the online branch-and-bound top-K search (Algorithm 1).
+	// On CSR-capable views (any *Graph) the search executes on pooled flat
+	// scratch state — dense generation-stamped arrays recycled across
+	// queries — so steady-state serving performs a small constant number of
+	// allocations per query; each concurrently executing query holds one
+	// O(NumNodes) scratch instance (see docs/TUNING.md for sizing).
 	TwoSBound = Method{kind: methodOnline, scheme: Scheme2SBound}
 	// Distributed runs the exact solvers across the engine's worker cluster
 	// (configured with WithWorkers): the coordinator fans each power
@@ -219,6 +224,9 @@ type Engine struct {
 	params     core.Params
 	exactLimit int
 	cache      *vecCache // nil when the cache is disabled
+	// onlineMapBaseline forces the online methods onto the map-based
+	// searcher (WithOnlineMapBaseline); serving engines leave it false.
+	onlineMapBaseline bool
 
 	// workers are the stripe transports of the Distributed method; each
 	// snapshot's coordinator over them is built lazily on the first
@@ -533,14 +541,20 @@ func (e *Engine) rankDistributed(ctx context.Context, p *plan) (*Response, error
 	return &Response{Results: toResults(top), Method: Distributed, Converged: true}, nil
 }
 
+// rankOnline executes an online-method plan through topk.TopK, which picks
+// the pooled scratch-state searcher for CSR-capable snapshot views and the
+// map-based fallback otherwise. The scratch pool is process-wide: queries
+// racing an Apply simply re-size the recycled arrays to their own snapshot's
+// NumNodes on acquisition, so epoch swaps need no pool coordination.
 func (e *Engine) rankOnline(ctx context.Context, p *plan) (*Response, error) {
 	res, err := topk.TopK(ctx, p.snap.view, p.query, topk.Options{
-		K:       p.k,
-		Epsilon: p.epsilon,
-		Alpha:   p.params.Walk.Alpha,
-		Beta:    p.params.Beta,
-		Scheme:  p.method.scheme,
-		Keep:    p.keep,
+		K:        p.k,
+		Epsilon:  p.epsilon,
+		Alpha:    p.params.Walk.Alpha,
+		Beta:     p.params.Beta,
+		Scheme:   p.method.scheme,
+		Keep:     p.keep,
+		ForceMap: e.onlineMapBaseline,
 	})
 	if err != nil {
 		return nil, err

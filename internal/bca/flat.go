@@ -1,0 +1,275 @@
+package bca
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/scratch"
+	"roundtriprank/internal/walk"
+)
+
+// Flat is the scratch-state BCA engine behind the online serving path: the
+// same algorithm as State, but with every map[NodeID]float64 replaced by a
+// generation-stamped dense array and the lazy benefit heap replaced by an
+// index-keyed heap with in-place decrease-key. A Flat is reusable: Init
+// rebinds it to a new query in O(1) without freeing its arrays, so a pooled
+// instance serves a stream of queries with no steady-state allocation (see
+// internal/topk's searcher pool). It requires a CSR-capable view; wrapped
+// views without flat adjacency keep using the map-based State.
+//
+// Differences from State worth knowing:
+//
+//   - MaxResidual is O(1): a second indexed heap orders nodes by raw
+//     residual, maintained incrementally alongside the benefit heap, instead
+//     of rescanning the residual map per call.
+//   - ProcessBest never sees a stale priority: addResidual moves the node
+//     within the benefit heap at update time, so the heap holds exactly the
+//     nodes with positive residual (|heap| <= touched nodes) and the
+//     pop-and-repush churn of the lazy heap is gone.
+//   - The restart distribution is a deduplicated slice pair, so the
+//     dangling-node spread iterates in deterministic first-occurrence order
+//     rather than random map order.
+type Flat struct {
+	out   graph.CSR
+	alpha float64
+
+	restartNodes   []graph.NodeID
+	restartWeights []float64
+
+	rho scratch.Floats
+	mu  scratch.Floats
+
+	// benefit orders live-residual nodes by mu(v)/max(1, outdeg(v)) for
+	// greedy selection; resid orders the same nodes by mu(v) so MaxResidual
+	// is a Peek.
+	benefit scratch.Heap
+	resid   scratch.Heap
+
+	totalResidual float64
+	processed     int
+}
+
+// Init starts (or restarts) a BCA computation for the given query with
+// teleport probability alpha in (0, 1), reusing the Flat's internal arrays.
+func (s *Flat) Init(view graph.CSRView, q walk.Query, alpha float64) error {
+	if alpha <= 0 || alpha >= 1 {
+		return fmt.Errorf("bca: alpha must be in (0,1), got %g", alpha)
+	}
+	n := view.NumNodes()
+	var err error
+	s.restartNodes, s.restartWeights, err =
+		q.NormalizeInto(n, s.restartNodes[:0], s.restartWeights[:0])
+	if err != nil {
+		return fmt.Errorf("bca: %w", err)
+	}
+	s.out = view.OutCSR()
+	s.alpha = alpha
+	s.rho.Reset(n)
+	s.mu.Reset(n)
+	s.benefit.Reset(n)
+	s.resid.Reset(n)
+	s.totalResidual = 0
+	s.processed = 0
+	for i, v := range s.restartNodes {
+		s.addResidual(v, s.restartWeights[i])
+	}
+	return nil
+}
+
+// Detach drops the engine's reference to the graph's CSR arrays so a pooled
+// instance does not pin a superseded snapshot in memory between queries. The
+// scratch arrays (which are the point of pooling) are kept; Init rebinds a
+// view.
+func (s *Flat) Detach() { s.out = graph.CSR{} }
+
+// Alpha returns the teleport probability of this computation.
+func (s *Flat) Alpha() float64 { return s.alpha }
+
+// Rho returns the current PPR estimate at v (a lower bound of the exact PPR).
+func (s *Flat) Rho(v graph.NodeID) float64 { return s.rho.Get(v) }
+
+// Residual returns the current residual at v.
+func (s *Flat) Residual(v graph.NodeID) float64 { return s.mu.Get(v) }
+
+// TotalResidual returns the total remaining residual mass.
+func (s *Flat) TotalResidual() float64 {
+	if s.totalResidual < 0 {
+		return 0
+	}
+	return s.totalResidual
+}
+
+// MaxResidual returns the largest residual currently held by any node, in
+// O(1) from the residual heap.
+func (s *Flat) MaxResidual() float64 {
+	_, pri, ok := s.resid.Peek()
+	if !ok {
+		return 0
+	}
+	return pri
+}
+
+// Processed returns the number of BCA processing operations performed.
+func (s *Flat) Processed() int { return s.processed }
+
+// SeenCount returns the number of nodes with a non-zero estimate (|Sf|).
+func (s *Flat) SeenCount() int { return s.rho.Len() }
+
+// LiveResidualCount returns the number of nodes currently holding positive
+// residual, which is also the size of both internal heaps.
+func (s *Flat) LiveResidualCount() int { return s.benefit.Len() }
+
+// EachSeen calls fn for every node with a non-zero PPR estimate.
+func (s *Flat) EachSeen(fn func(v graph.NodeID, rho float64)) { s.rho.Each(fn) }
+
+// EachRestart calls fn for every query node with its normalized weight.
+func (s *Flat) EachRestart(fn func(v graph.NodeID, w float64)) {
+	for i, v := range s.restartNodes {
+		fn(v, s.restartWeights[i])
+	}
+}
+
+// EachResidual calls fn for every node with a positive residual.
+func (s *Flat) EachResidual(fn func(v graph.NodeID, mu float64)) {
+	s.mu.Each(func(v graph.NodeID, m float64) {
+		if m > 0 {
+			fn(v, m)
+		}
+	})
+}
+
+func (s *Flat) addResidual(v graph.NodeID, amount float64) {
+	if amount <= 0 {
+		return
+	}
+	nm := s.mu.Add(v, amount)
+	s.totalResidual += amount
+	deg := s.out.Degree(v)
+	if deg < 1 {
+		deg = 1
+	}
+	s.benefit.Update(v, nm/float64(deg))
+	s.resid.Update(v, nm)
+}
+
+// Process applies one BCA processing step to node v, mirroring State.Process:
+// alpha of the residual becomes estimate, the rest spreads along out-edges,
+// and residual at dangling nodes restarts at the query.
+func (s *Flat) Process(v graph.NodeID) {
+	residual := s.mu.Get(v)
+	if residual <= 0 {
+		return
+	}
+	s.mu.Set(v, 0)
+	s.benefit.Remove(v)
+	s.resid.Remove(v)
+	s.totalResidual -= residual
+	s.processed++
+	s.rho.Add(v, s.alpha*residual)
+	spread := (1 - s.alpha) * residual
+	outSum := s.out.Sum[v]
+	if outSum <= 0 {
+		for i, qv := range s.restartNodes {
+			s.addResidual(qv, spread*s.restartWeights[i])
+		}
+		return
+	}
+	cols, wts := s.out.Row(v)
+	for i, to := range cols {
+		s.addResidual(to, spread*wts[i]/outSum)
+	}
+}
+
+// ProcessBest processes up to m nodes chosen greedily by benefit
+// mu(v)/|Out(v)|. Because the benefit heap is updated in place there are no
+// stale entries: the top of the heap is always the true best candidate.
+func (s *Flat) ProcessBest(m int) int {
+	done := 0
+	for done < m {
+		v, _, ok := s.benefit.Peek()
+		if !ok {
+			return done
+		}
+		s.Process(v)
+		done++
+	}
+	return done
+}
+
+// Run processes best-benefit nodes until the total residual drops below tol,
+// maxOps steps have been performed, or the context is cancelled.
+func (s *Flat) Run(ctx context.Context, tol float64, maxOps int) error {
+	ctx = walk.OrBackground(ctx)
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if maxOps <= 0 {
+		maxOps = math.MaxInt32
+	}
+	for s.TotalResidual() > tol && s.processed < maxOps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if s.ProcessBest(1) == 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Estimates returns a dense copy of the current PPR estimates.
+func (s *Flat) Estimates(n int) []float64 {
+	out := make([]float64, n)
+	s.rho.Each(func(v graph.NodeID, r float64) { out[v] = r })
+	return out
+}
+
+// CheckInvariant verifies the same mass-conservation invariants as
+// State.CheckInvariant, plus the flat-specific ones: both heaps hold exactly
+// the positive-residual nodes and the residual heap's top matches a full
+// scan. Used by tests.
+func (s *Flat) CheckInvariant() error {
+	mass := 0.0
+	s.rho.Each(func(_ graph.NodeID, r float64) { mass += r })
+	if mass > 1+1e-9 {
+		return fmt.Errorf("bca: estimates sum to %g > 1", mass)
+	}
+	if s.totalResidual < -1e-9 {
+		return fmt.Errorf("bca: negative total residual %g", s.totalResidual)
+	}
+	recount, live, maxRes := 0.0, 0, 0.0
+	var err error
+	s.mu.Each(func(v graph.NodeID, m float64) {
+		if m < -1e-12 {
+			err = fmt.Errorf("bca: negative residual %g", m)
+		}
+		if m > 0 {
+			live++
+			if !s.benefit.Contains(v) || !s.resid.Contains(v) {
+				err = fmt.Errorf("bca: node %d has residual %g but no heap entry", v, m)
+			}
+		} else if s.benefit.Contains(v) || s.resid.Contains(v) {
+			err = fmt.Errorf("bca: node %d has no residual but a heap entry", v)
+		}
+		if m > maxRes {
+			maxRes = m
+		}
+		recount += m
+	})
+	if err != nil {
+		return err
+	}
+	if math.Abs(recount-s.TotalResidual()) > 1e-9*(1+recount) {
+		return fmt.Errorf("bca: residual accounting drift: %g vs %g", recount, s.totalResidual)
+	}
+	if s.benefit.Len() != live || s.resid.Len() != live {
+		return fmt.Errorf("bca: heap sizes %d/%d, want %d live residuals",
+			s.benefit.Len(), s.resid.Len(), live)
+	}
+	if got := s.MaxResidual(); math.Abs(got-maxRes) > 1e-15*(1+maxRes) {
+		return fmt.Errorf("bca: incremental max residual %g, scan says %g", got, maxRes)
+	}
+	return nil
+}

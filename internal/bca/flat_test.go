@@ -1,0 +1,278 @@
+package bca
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/testgraphs"
+	"roundtriprank/internal/walk"
+)
+
+func TestFlatInitValidation(t *testing.T) {
+	g := testgraphs.Cycle(4)
+	var s Flat
+	if err := s.Init(g, walk.SingleNode(0), 0); err == nil {
+		t.Errorf("alpha 0 should error")
+	}
+	if err := s.Init(g, walk.SingleNode(0), 1); err == nil {
+		t.Errorf("alpha 1 should error")
+	}
+	if err := s.Init(g, walk.Query{}, 0.25); err == nil {
+		t.Errorf("empty query should error")
+	}
+	if err := s.Init(g, walk.SingleNode(99), 0.25); err == nil {
+		t.Errorf("out-of-range query node should error")
+	}
+	// A failed Init must not poison a later successful one.
+	if err := s.Init(g, walk.SingleNode(2), 0.25); err != nil {
+		t.Fatalf("Init after failures: %v", err)
+	}
+	if got := s.TotalResidual(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("initial total residual = %g, want 1", got)
+	}
+	if s.MaxResidual() != s.Residual(2) {
+		t.Errorf("MaxResidual should equal the query residual initially")
+	}
+}
+
+// TestFlatProcessMatchesMapState drives the flat and map engines through the
+// same explicit processing sequence and checks estimates, residuals and
+// counters stay bit-identical: Process performs the same arithmetic in the
+// same order on both paths.
+func TestFlatProcessMatchesMapState(t *testing.T) {
+	toy := testgraphs.NewToy()
+	q := walk.SingleNode(toy.T1)
+	ms, err := New(toy.Graph, q, 0.25)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var fs Flat
+	if err := fs.Init(toy.Graph, q, 0.25); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	n := toy.Graph.NumNodes()
+	for step := 0; step < 200; step++ {
+		// Pick the map engine's best-benefit node by scan, so the choice is
+		// implementation-independent, and process it on both engines.
+		best, bestBenefit := graph.NoNode, -1.0
+		ms.EachResidual(func(v graph.NodeID, mu float64) {
+			deg := toy.Graph.OutDegree(v)
+			if deg < 1 {
+				deg = 1
+			}
+			if b := mu / float64(deg); b > bestBenefit {
+				best, bestBenefit = v, b
+			}
+		})
+		if best == graph.NoNode {
+			break
+		}
+		// Occasionally process a random node instead (often a no-op),
+		// exercising the zero-residual paths.
+		if rng.Intn(4) == 0 {
+			best = graph.NodeID(rng.Intn(n))
+		}
+		ms.Process(best)
+		fs.Process(best)
+		if ms.TotalResidual() != fs.TotalResidual() {
+			t.Fatalf("step %d: total residual %g (map) != %g (flat)", step, ms.TotalResidual(), fs.TotalResidual())
+		}
+		if ms.Processed() != fs.Processed() || ms.SeenCount() != fs.SeenCount() {
+			t.Fatalf("step %d: counters diverged", step)
+		}
+		for v := 0; v < n; v++ {
+			node := graph.NodeID(v)
+			if ms.Rho(node) != fs.Rho(node) {
+				t.Fatalf("step %d: rho(%d) %g != %g", step, v, ms.Rho(node), fs.Rho(node))
+			}
+			if ms.Residual(node) != fs.Residual(node) {
+				t.Fatalf("step %d: mu(%d) %g != %g", step, v, ms.Residual(node), fs.Residual(node))
+			}
+		}
+		if err := fs.CheckInvariant(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestFlatRunConvergesToExactPPR(t *testing.T) {
+	toy := testgraphs.NewToy()
+	alpha := 0.25
+	q := walk.SingleNode(toy.T1)
+	exact, err := walk.FRank(context.Background(), toy.Graph, q, walk.Params{Alpha: alpha, Tol: 1e-12, MaxIter: 1000})
+	if err != nil {
+		t.Fatalf("FRank: %v", err)
+	}
+	var s Flat
+	if err := s.Init(toy.Graph, q, alpha); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	s.Run(context.Background(), 1e-10, 0)
+	if s.TotalResidual() > 1e-10 {
+		t.Fatalf("Run did not reach tolerance: residual %g", s.TotalResidual())
+	}
+	est := s.Estimates(toy.Graph.NumNodes())
+	for v := range est {
+		if math.Abs(est[v]-exact[v]) > 1e-8 {
+			t.Errorf("node %d: flat BCA %g vs exact %g", v, est[v], exact[v])
+		}
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Errorf("invariant after Run: %v", err)
+	}
+}
+
+// TestFlatHeapNeverExceedsTouched pins the decrease-key property the lazy
+// map heap lacked: the benefit heap holds exactly the live-residual nodes,
+// so its size can never exceed the number of touched nodes.
+func TestFlatHeapNeverExceedsTouched(t *testing.T) {
+	toy := testgraphs.NewToy()
+	var s Flat
+	if err := s.Init(toy.Graph, walk.SingleNode(toy.T1), 0.25); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	for step := 0; step < 500; step++ {
+		touched := 0
+		s.mu.Each(func(graph.NodeID, float64) { touched++ })
+		if s.LiveResidualCount() > touched {
+			t.Fatalf("step %d: heap size %d exceeds %d touched nodes", step, s.LiveResidualCount(), touched)
+		}
+		live := 0
+		s.EachResidual(func(graph.NodeID, float64) { live++ })
+		if s.LiveResidualCount() != live {
+			t.Fatalf("step %d: heap size %d, want exactly %d live residuals", step, s.LiveResidualCount(), live)
+		}
+		if s.ProcessBest(1) == 0 {
+			break
+		}
+	}
+	if s.Processed() == 0 {
+		t.Fatalf("no processing happened")
+	}
+}
+
+// TestFlatMaxResidualIncremental checks the O(1) MaxResidual against a full
+// scan throughout a run (the map path rescanned the residual map per call).
+func TestFlatMaxResidualIncremental(t *testing.T) {
+	toy := testgraphs.NewToy()
+	var s Flat
+	if err := s.Init(toy.Graph, walk.MultiNode(toy.T1, toy.T2), 0.3); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	for step := 0; step < 300; step++ {
+		scan := 0.0
+		s.EachResidual(func(_ graph.NodeID, mu float64) {
+			if mu > scan {
+				scan = mu
+			}
+		})
+		if got := s.MaxResidual(); got != scan {
+			t.Fatalf("step %d: MaxResidual %g, scan %g", step, got, scan)
+		}
+		if s.ProcessBest(1) == 0 {
+			break
+		}
+	}
+}
+
+// TestFlatReuseAcrossGraphs re-Inits one Flat across graphs of different
+// sizes (the pool-resize situation after an engine epoch swap) and checks
+// each run matches a fresh instance exactly.
+func TestFlatReuseAcrossGraphs(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+		q    graph.NodeID
+	}{
+		{"toy", testgraphs.NewToy().Graph, testgraphs.NewToy().T1},
+		{"line", testgraphs.Line(6), 0},
+		{"cycle", testgraphs.Cycle(40), 7},
+		{"star", testgraphs.Star(5), 0},
+	}
+	var reused Flat
+	for round := 0; round < 2; round++ { // grow and shrink both ways
+		for _, tc := range graphs {
+			if err := reused.Init(tc.g, walk.SingleNode(tc.q), 0.25); err != nil {
+				t.Fatalf("%s: reused Init: %v", tc.name, err)
+			}
+			var fresh Flat
+			if err := fresh.Init(tc.g, walk.SingleNode(tc.q), 0.25); err != nil {
+				t.Fatalf("%s: fresh Init: %v", tc.name, err)
+			}
+			reused.Run(context.Background(), 1e-9, 0)
+			fresh.Run(context.Background(), 1e-9, 0)
+			re := reused.Estimates(tc.g.NumNodes())
+			fr := fresh.Estimates(tc.g.NumNodes())
+			for v := range fr {
+				if re[v] != fr[v] {
+					t.Fatalf("%s: node %d reused %g != fresh %g", tc.name, v, re[v], fr[v])
+				}
+			}
+			if err := reused.CheckInvariant(); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+		}
+	}
+}
+
+// Property: the flat engine upholds the same invariants as the map engine on
+// random graphs (mirrors TestQuickBCAInvariants).
+func TestQuickFlatInvariants(t *testing.T) {
+	f := func(seed int64, stepsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		b := graph.NewBuilder()
+		ids := make([]graph.NodeID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = b.AddNode(graph.Untyped, "n"+string(rune('A'+i)))
+		}
+		m := n + rng.Intn(3*n)
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				v = (u + 1) % n
+			}
+			b.MustAddEdge(ids[u], ids[v], 0.5+rng.Float64())
+		}
+		g := b.MustBuild()
+		alpha := 0.15 + 0.6*rng.Float64()
+		q := ids[rng.Intn(n)]
+		exact, err := walk.FRank(context.Background(), g, walk.SingleNode(q), walk.Params{Alpha: alpha, Tol: 1e-12, MaxIter: 1000})
+		if err != nil {
+			return false
+		}
+		var s Flat
+		if err := s.Init(g, walk.SingleNode(q), alpha); err != nil {
+			return false
+		}
+		prevResidual := s.TotalResidual()
+		steps := 1 + int(stepsRaw%60)
+		for i := 0; i < steps; i++ {
+			if s.ProcessBest(1) == 0 {
+				break
+			}
+			if s.TotalResidual() > prevResidual+1e-9 {
+				return false
+			}
+			prevResidual = s.TotalResidual()
+			if s.CheckInvariant() != nil {
+				return false
+			}
+		}
+		ok := true
+		s.EachSeen(func(v graph.NodeID, rho float64) {
+			if rho > exact[v]+1e-8 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+package bounds
+
+import (
+	"fmt"
+	"slices"
+
+	"roundtriprank/internal/bca"
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/scratch"
+	"roundtriprank/internal/walk"
+)
+
+// FFlat is the scratch-state implementation of FBounds used on the online
+// serving path: per-node bounds live in one generation-stamped dense
+// structure, the Stage-II sweep streams the transposed CSR rows directly, and
+// Init rebinds the whole tracker to a new query in O(1), so a pooled
+// instance serves a stream of queries with no steady-state allocation. The
+// map-based FBounds remains the fallback for views without CSR adjacency and
+// the correctness baseline the parity tests compare against.
+type FFlat struct {
+	opt FOptions
+	in  graph.CSR
+	out graph.CSR
+
+	engine  bca.Flat
+	restart scratch.Floats
+	b       scratch.Bounds
+	unseen  float64
+
+	expansions int
+	sweep      []graph.NodeID // reusable ID-sorted seen list for Stage II
+}
+
+// Init starts (or restarts) an F-Rank bounds computation for the query,
+// reusing the tracker's internal arrays.
+func (fb *FFlat) Init(view graph.CSRView, q walk.Query, opt FOptions) error {
+	opt = opt.normalized()
+	if err := fb.engine.Init(view, q, opt.Alpha); err != nil {
+		return fmt.Errorf("bounds: %w", err)
+	}
+	n := view.NumNodes()
+	fb.opt = opt
+	fb.in = view.InCSR()
+	fb.out = view.OutCSR()
+	fb.restart.Reset(n)
+	fb.engine.EachRestart(fb.restart.Set)
+	fb.b.Reset(n)
+	fb.unseen = 1
+	fb.expansions = 0
+	fb.sweep = fb.sweep[:0]
+	return nil
+}
+
+// Detach drops the tracker's references to the graph's CSR arrays so a
+// pooled instance does not pin a superseded snapshot between queries; Init
+// rebinds a view.
+func (fb *FFlat) Detach() {
+	fb.in, fb.out = graph.CSR{}, graph.CSR{}
+	fb.engine.Detach()
+}
+
+// Expansions returns the number of Stage-I expansions performed so far.
+func (fb *FFlat) Expansions() int { return fb.expansions }
+
+// SeenCount returns |Sf|.
+func (fb *FFlat) SeenCount() int { return fb.b.Len() }
+
+// Seen reports whether v is in the f-neighborhood.
+func (fb *FFlat) Seen(v graph.NodeID) bool { return fb.b.Seen(v) }
+
+// Lower returns the lower bound for a seen node (zero for unseen nodes).
+func (fb *FFlat) Lower(v graph.NodeID) float64 { return fb.b.Lower(v) }
+
+// Upper returns the upper bound for v: its individual bound when seen, the
+// unseen upper bound otherwise.
+func (fb *FFlat) Upper(v graph.NodeID) float64 {
+	if u, ok := fb.b.Upper(v); ok {
+		return u
+	}
+	return fb.unseen
+}
+
+// UnseenUpper returns the common upper bound for all unseen nodes.
+func (fb *FFlat) UnseenUpper() float64 { return fb.unseen }
+
+// SeenList returns the f-neighborhood in insertion order; the slice is valid
+// until the next Init and must not be mutated.
+func (fb *FFlat) SeenList() []graph.NodeID { return fb.b.Touched() }
+
+// EachSeen calls fn for every node in the f-neighborhood with its bounds.
+func (fb *FFlat) EachSeen(fn func(v graph.NodeID, lower, upper float64)) {
+	fb.b.Each(fn)
+}
+
+// Exhausted reports whether further expansion cannot meaningfully tighten
+// the bounds.
+func (fb *FFlat) Exhausted() bool {
+	return fb.engine.TotalResidual() < 1e-15
+}
+
+// Expand performs one Stage-I step exactly like FBounds.Expand.
+func (fb *FFlat) Expand() int {
+	processed := fb.engine.ProcessBest(fb.opt.M)
+	fb.expansions++
+	fb.initializeBounds()
+	if fb.opt.StageII {
+		fb.Refine()
+	}
+	return processed
+}
+
+// initializeBounds applies the Stage-I bound initialization (Prop. 4 or the
+// first-arrival bound), keeping bounds monotone.
+func (fb *FFlat) initializeBounds() {
+	alpha := fb.opt.Alpha
+	maxRes := fb.engine.MaxResidual()
+	totRes := fb.engine.TotalResidual()
+
+	var unseen float64
+	if fb.opt.ImprovedBound {
+		// Eq. 19: α/(2−α)·max_u µ(u) + (1−α)/(2−α)·Σ_u µ(u).
+		unseen = alpha/(2-alpha)*maxRes + (1-alpha)/(2-alpha)*totRes
+	} else {
+		// Weaker first-arrival bound (Gupta et al.).
+		unseen = maxRes + (1-alpha)*totRes
+	}
+	if unseen < fb.unseen {
+		fb.unseen = unseen
+	}
+
+	fb.engine.EachSeen(func(v graph.NodeID, rho float64) {
+		lo, up, seen := fb.b.Get(v)
+		if !seen {
+			fb.b.Set(v, rho, rho+fb.unseen) // Eq. 20–21
+			return
+		}
+		if rho > lo {
+			lo = rho
+		}
+		if u := rho + fb.unseen; u < up {
+			up = u
+		}
+		fb.b.Set(v, lo, up)
+	})
+}
+
+// Refine runs the Stage-II iterative refinement of Eq. 17–18 over the
+// f-neighborhood, streaming the transposed CSR rows.
+func (fb *FFlat) Refine() {
+	if fb.b.Len() == 0 {
+		return
+	}
+	fb.sweep = append(fb.sweep[:0], fb.b.Touched()...)
+	slices.Sort(fb.sweep)
+
+	alpha := fb.opt.Alpha
+	for iter := 0; iter < fb.opt.RefineMaxIter; iter++ {
+		maxChange := 0.0
+		for _, v := range fb.sweep {
+			restart := fb.restart.Get(v)
+			sumLo, sumUp := 0.0, 0.0
+			cols, wts := fb.in.Row(v)
+			for i, from := range cols {
+				outSum := fb.out.Sum[from]
+				if outSum <= 0 {
+					continue
+				}
+				m := wts[i] / outSum
+				if lo, up, seen := fb.b.Get(from); seen {
+					sumLo += m * lo
+					sumUp += m * up
+				} else {
+					sumUp += m * fb.unseen
+				}
+			}
+			lo, up, _ := fb.b.Get(v)
+			newLo := alpha*restart + (1-alpha)*sumLo
+			newUp := alpha*restart + (1-alpha)*sumUp
+			changed := false
+			if newLo > lo {
+				if d := newLo - lo; d > maxChange {
+					maxChange = d
+				}
+				lo, changed = newLo, true
+			}
+			if newUp < up {
+				if d := up - newUp; d > maxChange {
+					maxChange = d
+				}
+				up, changed = newUp, true
+			}
+			if changed {
+				fb.b.Set(v, lo, up)
+			}
+		}
+		if maxChange < fb.opt.RefineTol {
+			return
+		}
+	}
+}
+
+// CheckConsistent verifies the same invariants as FBounds.CheckConsistent.
+// Used by tests.
+func (fb *FFlat) CheckConsistent() error {
+	return checkBounds(&fb.b, fb.unseen, false)
+}

@@ -1,0 +1,334 @@
+package bounds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/testgraphs"
+	"roundtriprank/internal/walk"
+)
+
+func checkFFlatSound(t *testing.T, fb *FFlat, exact []float64, label string) {
+	t.Helper()
+	if err := fb.CheckConsistent(); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	for v := 0; v < len(exact); v++ {
+		node := graph.NodeID(v)
+		if fb.Seen(node) {
+			if exact[v] < fb.Lower(node)-1e-9 || exact[v] > fb.Upper(node)+1e-9 {
+				t.Errorf("%s: seen node %d exact %.9f outside [%.9f, %.9f]",
+					label, v, exact[v], fb.Lower(node), fb.Upper(node))
+			}
+		} else if exact[v] > fb.UnseenUpper()+1e-9 {
+			t.Errorf("%s: unseen node %d exact %.9f above unseen bound %.9f",
+				label, v, exact[v], fb.UnseenUpper())
+		}
+	}
+}
+
+func checkTFlatSound(t *testing.T, tb *TFlat, exact []float64, label string) {
+	t.Helper()
+	if err := tb.CheckConsistent(); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	for v := 0; v < len(exact); v++ {
+		node := graph.NodeID(v)
+		if tb.Seen(node) {
+			if exact[v] < tb.Lower(node)-1e-9 || exact[v] > tb.Upper(node)+1e-9 {
+				t.Errorf("%s: seen node %d exact %.9f outside [%.9f, %.9f]",
+					label, v, exact[v], tb.Lower(node), tb.Upper(node))
+			}
+		} else if exact[v] > tb.UnseenUpper()+1e-9 {
+			t.Errorf("%s: unseen node %d exact %.9f above unseen bound %.9f",
+				label, v, exact[v], tb.UnseenUpper())
+		}
+	}
+}
+
+func TestFFlatSoundnessOnToy(t *testing.T) {
+	toy := testgraphs.NewToy()
+	q := walk.SingleNode(toy.T1)
+	alpha := 0.25
+	exactF, _ := exactFT(t, toy.Graph, q, alpha)
+
+	for _, improved := range []bool{true, false} {
+		for _, stageII := range []bool{true, false} {
+			opt := DefaultFOptions(alpha)
+			opt.M = 2
+			opt.ImprovedBound = improved
+			opt.StageII = stageII
+			var fb FFlat
+			if err := fb.Init(toy.Graph, q, opt); err != nil {
+				t.Fatalf("Init: %v", err)
+			}
+			prevUnseen := fb.UnseenUpper()
+			for round := 0; round < 12; round++ {
+				fb.Expand()
+				label := "flat improved=" + boolStr(improved) + " stageII=" + boolStr(stageII)
+				checkFFlatSound(t, &fb, exactF, label)
+				if fb.UnseenUpper() > prevUnseen+1e-12 {
+					t.Errorf("%s: unseen upper bound increased", label)
+				}
+				prevUnseen = fb.UnseenUpper()
+			}
+			if fb.SeenCount() == 0 {
+				t.Errorf("f-neighborhood should not be empty after expansions")
+			}
+		}
+	}
+}
+
+func TestTFlatSoundnessOnToy(t *testing.T) {
+	toy := testgraphs.NewToy()
+	q := walk.SingleNode(toy.T1)
+	alpha := 0.25
+	_, exactT := exactFT(t, toy.Graph, q, alpha)
+
+	for _, stageII := range []bool{true, false} {
+		opt := DefaultTOptions(alpha)
+		opt.M = 2
+		opt.StageII = stageII
+		var tb TFlat
+		if err := tb.Init(toy.Graph, q, opt); err != nil {
+			t.Fatalf("Init: %v", err)
+		}
+		checkTFlatSound(t, &tb, exactT, "flat initial stageII="+boolStr(stageII))
+		if math.Abs(tb.Lower(toy.T1)-alpha) > 1e-12 {
+			t.Errorf("initial lower bound at query should be alpha, got %g", tb.Lower(toy.T1))
+		}
+		if tb.Upper(toy.T1) != 1 {
+			t.Errorf("initial upper bound at query should be 1, got %g", tb.Upper(toy.T1))
+		}
+		prevUnseen := tb.UnseenUpper()
+		for round := 0; round < 10; round++ {
+			added := tb.Expand()
+			checkTFlatSound(t, &tb, exactT, "flat stageII="+boolStr(stageII))
+			if tb.UnseenUpper() > prevUnseen+1e-12 {
+				t.Errorf("unseen upper bound increased")
+			}
+			prevUnseen = tb.UnseenUpper()
+			if added == 0 && !tb.Exhausted() {
+				t.Errorf("Expand added nothing but border nodes remain")
+			}
+			if tb.Exhausted() {
+				break
+			}
+		}
+		if !tb.Exhausted() {
+			t.Errorf("t-neighborhood should eventually exhaust on the toy graph")
+		}
+		if tb.UnseenUpper() != 0 {
+			t.Errorf("exhausted neighborhood should have zero unseen bound, got %g", tb.UnseenUpper())
+		}
+		if tb.SeenCount() != toy.Graph.NumNodes() {
+			t.Errorf("exhausted neighborhood should contain all nodes: %d vs %d",
+				tb.SeenCount(), toy.Graph.NumNodes())
+		}
+	}
+}
+
+func TestTFlatDirectedLine(t *testing.T) {
+	g := testgraphs.Line(4)
+	q := walk.SingleNode(0)
+	var tb TFlat
+	if err := tb.Init(g, q, DefaultTOptions(0.25)); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	if !tb.Exhausted() {
+		t.Fatalf("query with no in-neighbors should exhaust immediately")
+	}
+	if tb.UnseenUpper() != 0 {
+		t.Errorf("unseen bound should be 0, got %g", tb.UnseenUpper())
+	}
+	if tb.Expand() != 0 {
+		t.Errorf("Expand on an exhausted neighborhood should add nothing")
+	}
+	_, exactT := exactFT(t, g, q, 0.25)
+	checkTFlatSound(t, &tb, exactT, "flat line")
+}
+
+func TestFlatBoundsValidation(t *testing.T) {
+	toy := testgraphs.NewToy()
+	var fb FFlat
+	if err := fb.Init(toy.Graph, walk.Query{}, DefaultFOptions(0.25)); err == nil {
+		t.Errorf("empty query should error for FFlat")
+	}
+	if err := fb.Init(toy.Graph, walk.SingleNode(toy.T1), DefaultFOptions(0)); err == nil {
+		t.Errorf("alpha 0 should error for FFlat")
+	}
+	var tb TFlat
+	if err := tb.Init(toy.Graph, walk.Query{}, DefaultTOptions(0.25)); err == nil {
+		t.Errorf("empty query should error for TFlat")
+	}
+	if err := tb.Init(toy.Graph, walk.SingleNode(toy.T1), DefaultTOptions(1.5)); err == nil {
+		t.Errorf("alpha out of range should error for TFlat")
+	}
+	if err := tb.Init(toy.Graph, walk.SingleNode(999), DefaultTOptions(0.25)); err == nil {
+		t.Errorf("out-of-range query should error for TFlat")
+	}
+}
+
+// TestTBoundsAdjacentMultiNodeBorderCount pins the two-pass initialization
+// of both T-side trackers: with a multi-node query whose nodes are adjacent
+// (cycle 0→1→2→0, query {0,1}), node 1's only in-neighbor is node 0 — also a
+// query node — so node 1 must never be counted as a border node. The
+// single-pass map initialization used to get this wrong nondeterministically
+// (map iteration order decided whether node 0 was already seen when node 1's
+// in-neighbors were counted, and the phantom border count was never
+// repaired).
+func TestTBoundsAdjacentMultiNodeBorderCount(t *testing.T) {
+	g := testgraphs.Cycle(3)
+	q := walk.MultiNode(0, 1)
+	for i := 0; i < 50; i++ {
+		tb, err := NewTBounds(g, q, DefaultTOptions(0.25))
+		if err != nil {
+			t.Fatalf("NewTBounds: %v", err)
+		}
+		var tf TFlat
+		if err := tf.Init(g, q, DefaultTOptions(0.25)); err != nil {
+			t.Fatalf("TFlat.Init: %v", err)
+		}
+		if tb.BorderCount() != 1 || tf.BorderCount() != 1 {
+			t.Fatalf("run %d: BorderCount map=%d flat=%d, want 1 (node 1's in-neighbor is a query node)",
+				i, tb.BorderCount(), tf.BorderCount())
+		}
+	}
+}
+
+// TestFlatBoundsReuseAcrossGraphs re-Inits one tracker pair across graphs of
+// different sizes (the pool-resize situation after an engine epoch swap) and
+// checks every reused run produces exactly the bounds of a fresh tracker.
+func TestFlatBoundsReuseAcrossGraphs(t *testing.T) {
+	toy := testgraphs.NewToy()
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		q    graph.NodeID
+	}{
+		{"toy", toy.Graph, toy.T1},
+		{"cycle", testgraphs.Cycle(50), 3},
+		{"star", testgraphs.Star(6), 0},
+	}
+	var rfb FFlat
+	var rtb TFlat
+	for round := 0; round < 2; round++ {
+		for _, tc := range cases {
+			q := walk.SingleNode(tc.q)
+			if err := rfb.Init(tc.g, q, DefaultFOptions(0.25)); err != nil {
+				t.Fatalf("%s: FFlat Init: %v", tc.name, err)
+			}
+			if err := rtb.Init(tc.g, q, DefaultTOptions(0.25)); err != nil {
+				t.Fatalf("%s: TFlat Init: %v", tc.name, err)
+			}
+			var ffb FFlat
+			var ftb TFlat
+			if err := ffb.Init(tc.g, q, DefaultFOptions(0.25)); err != nil {
+				t.Fatalf("%s: fresh FFlat Init: %v", tc.name, err)
+			}
+			if err := ftb.Init(tc.g, q, DefaultTOptions(0.25)); err != nil {
+				t.Fatalf("%s: fresh TFlat Init: %v", tc.name, err)
+			}
+			for i := 0; i < 4; i++ {
+				rfb.Expand()
+				ffb.Expand()
+				rtb.Expand()
+				ftb.Expand()
+			}
+			if rfb.SeenCount() != ffb.SeenCount() || rtb.SeenCount() != ftb.SeenCount() {
+				t.Fatalf("%s: reused and fresh trackers grew different neighborhoods", tc.name)
+			}
+			for v := 0; v < tc.g.NumNodes(); v++ {
+				node := graph.NodeID(v)
+				if rfb.Lower(node) != ffb.Lower(node) || rfb.Upper(node) != ffb.Upper(node) {
+					t.Fatalf("%s: F bounds at %d differ between reused and fresh", tc.name, v)
+				}
+				if rtb.Lower(node) != ftb.Lower(node) || rtb.Upper(node) != ftb.Upper(node) {
+					t.Fatalf("%s: T bounds at %d differ between reused and fresh", tc.name, v)
+				}
+			}
+		}
+	}
+}
+
+// Property: the flat trackers sandwich the exact F-Rank / T-Rank values on
+// random strongly connected graphs under every scheme combination (mirrors
+// TestQuickBoundsSoundness).
+func TestQuickFlatBoundsSoundness(t *testing.T) {
+	f := func(seed int64, roundsRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		b := graph.NewBuilder()
+		ids := make([]graph.NodeID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = b.AddNode(graph.Untyped, "n"+string(rune('0'+i%10))+string(rune('a'+i/10)))
+		}
+		for i := 0; i < n; i++ {
+			b.MustAddEdge(ids[i], ids[(i+1)%n], 1)
+		}
+		extra := rng.Intn(3 * n)
+		for i := 0; i < extra; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				v = (u + 1) % n
+			}
+			b.MustAddEdge(ids[u], ids[v], 0.25+rng.Float64())
+		}
+		g := b.MustBuild()
+		alpha := 0.15 + 0.5*rng.Float64()
+		q := walk.SingleNode(ids[rng.Intn(n)])
+		p := walk.Params{Alpha: alpha, Tol: 1e-13, MaxIter: 2000}
+		exactF, err := walk.FRank(nil, g, q, p)
+		if err != nil {
+			return false
+		}
+		exactT, err := walk.TRank(nil, g, q, p)
+		if err != nil {
+			return false
+		}
+		rounds := 1 + int(roundsRaw%8)
+		m := 1 + int(mRaw%6)
+
+		improved := rng.Intn(2) == 0
+		stageII := rng.Intn(2) == 0
+		var fb FFlat
+		if err := fb.Init(g, q, FOptions{Alpha: alpha, M: m, ImprovedBound: improved, StageII: stageII}); err != nil {
+			return false
+		}
+		var tb TFlat
+		if err := tb.Init(g, q, TOptions{Alpha: alpha, M: m, StageII: stageII}); err != nil {
+			return false
+		}
+		for i := 0; i < rounds; i++ {
+			fb.Expand()
+			tb.Expand()
+		}
+		if fb.CheckConsistent() != nil || tb.CheckConsistent() != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			node := graph.NodeID(v)
+			if fb.Seen(node) {
+				if exactF[v] < fb.Lower(node)-1e-8 || exactF[v] > fb.Upper(node)+1e-8 {
+					return false
+				}
+			} else if exactF[v] > fb.UnseenUpper()+1e-8 {
+				return false
+			}
+			if tb.Seen(node) {
+				if exactT[v] < tb.Lower(node)-1e-8 || exactT[v] > tb.Upper(node)+1e-8 {
+					return false
+				}
+			} else if exactT[v] > tb.UnseenUpper()+1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

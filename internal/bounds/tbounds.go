@@ -104,9 +104,17 @@ func NewTBounds(view graph.View, q walk.Query, opt TOptions) (*TBounds, error) {
 		}
 		tb.restart[v] += nq.Weights[i]
 	}
+	// Bounds first, border counts second: countOutsideIn must see the full
+	// initial neighborhood, or a query node processed before an adjacent
+	// query node would count it as outside — permanently, since query nodes
+	// never re-join St — leaving a phantom border node whose (dis)appearance
+	// depended on map iteration order. The flat tracker (TFlat.Init) does
+	// the same two passes.
 	for v, w := range tb.restart {
 		tb.lower[v] = opt.Alpha * w
 		tb.upper[v] = 1
+	}
+	for v := range tb.restart {
 		tb.outsideIn[v] = tb.countOutsideIn(v)
 	}
 	tb.expansions = 1 // the paper counts the initial St = {q} as the first expansion

@@ -1,0 +1,331 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/scratch"
+	"roundtriprank/internal/walk"
+)
+
+// TFlat is the scratch-state implementation of TBounds used on the online
+// serving path: the t-neighborhood, both bounds and the border counters live
+// in generation-stamped dense arrays, expansions and the Stage-II sweep
+// stream CSR rows directly, and Init rebinds the tracker to a new query in
+// O(1). The map-based TBounds remains the fallback for views without CSR
+// adjacency and the correctness baseline.
+type TFlat struct {
+	opt TOptions
+	in  graph.CSR
+	out graph.CSR
+
+	restart      scratch.Floats
+	restartNodes []graph.NodeID
+	restartW     []float64
+
+	b scratch.Bounds
+	// outsideIn counts, for every node in St, how many of its in-neighbors
+	// are still outside St; a node is a border node iff its count is
+	// positive.
+	outsideIn scratch.Ints
+	unseen    float64
+
+	expansions int
+	sweep      []graph.NodeID // reusable ID-sorted seen list for Stage II
+	// pickN/pickP are the reusable top-M border selection (descending by
+	// upper bound, ties keep earlier insertion), replacing the per-expansion
+	// heapx.TopK allocation.
+	pickN []graph.NodeID
+	pickP []float64
+}
+
+// Init starts (or restarts) a T-Rank bounds computation for the query,
+// reusing the tracker's internal arrays.
+func (tb *TFlat) Init(view graph.CSRView, q walk.Query, opt TOptions) error {
+	opt = opt.normalized()
+	if opt.Alpha <= 0 || opt.Alpha >= 1 {
+		return fmt.Errorf("bounds: alpha must be in (0,1), got %g", opt.Alpha)
+	}
+	n := view.NumNodes()
+	var err error
+	tb.restartNodes, tb.restartW, err =
+		q.NormalizeInto(n, tb.restartNodes[:0], tb.restartW[:0])
+	if err != nil {
+		return fmt.Errorf("bounds: %w", err)
+	}
+	tb.opt = opt
+	tb.in = view.InCSR()
+	tb.out = view.OutCSR()
+	tb.restart.Reset(n)
+	tb.b.Reset(n)
+	tb.outsideIn.Reset(n)
+	tb.unseen = 1 - opt.Alpha
+	tb.sweep = tb.sweep[:0]
+	for i, v := range tb.restartNodes {
+		w := tb.restartW[i]
+		tb.restart.Set(v, w)
+		tb.b.Set(v, opt.Alpha*w, 1)
+	}
+	// Border counts go in a second pass: countOutsideIn must see the full
+	// initial neighborhood.
+	for _, v := range tb.restartNodes {
+		tb.outsideIn.Set(v, tb.countOutsideIn(v))
+	}
+	tb.expansions = 1 // the paper counts the initial St = {q} as the first expansion
+	tb.recomputeUnseen()
+	return nil
+}
+
+func (tb *TFlat) countOutsideIn(v graph.NodeID) int {
+	count := 0
+	cols, _ := tb.in.Row(v)
+	for _, from := range cols {
+		if !tb.b.Seen(from) {
+			count++
+		}
+	}
+	return count
+}
+
+// Detach drops the tracker's references to the graph's CSR arrays so a
+// pooled instance does not pin a superseded snapshot between queries; Init
+// rebinds a view.
+func (tb *TFlat) Detach() {
+	tb.in, tb.out = graph.CSR{}, graph.CSR{}
+}
+
+// Expansions returns the number of Stage-I expansions performed (including
+// the initial singleton neighborhood).
+func (tb *TFlat) Expansions() int { return tb.expansions }
+
+// SeenCount returns |St|.
+func (tb *TFlat) SeenCount() int { return tb.b.Len() }
+
+// Seen reports whether v is in the t-neighborhood.
+func (tb *TFlat) Seen(v graph.NodeID) bool { return tb.b.Seen(v) }
+
+// Lower returns the lower bound for a seen node (zero for unseen nodes).
+func (tb *TFlat) Lower(v graph.NodeID) float64 { return tb.b.Lower(v) }
+
+// Upper returns the upper bound for v: its individual bound when seen, the
+// unseen upper bound otherwise.
+func (tb *TFlat) Upper(v graph.NodeID) float64 {
+	if u, ok := tb.b.Upper(v); ok {
+		return u
+	}
+	return tb.unseen
+}
+
+// UnseenUpper returns the common upper bound for unseen nodes (Eq. 22).
+func (tb *TFlat) UnseenUpper() float64 { return tb.unseen }
+
+// SeenList returns the t-neighborhood in insertion order; the slice is valid
+// until the next Init and must not be mutated.
+func (tb *TFlat) SeenList() []graph.NodeID { return tb.b.Touched() }
+
+// EachSeen calls fn for every node in the t-neighborhood with its bounds.
+func (tb *TFlat) EachSeen(fn func(v graph.NodeID, lower, upper float64)) {
+	tb.b.Each(fn)
+}
+
+// BorderCount returns the number of border nodes of St.
+func (tb *TFlat) BorderCount() int {
+	n := 0
+	for _, v := range tb.b.Touched() {
+		if tb.outsideIn.Get(v) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Exhausted reports whether the t-neighborhood has no border nodes left.
+func (tb *TFlat) Exhausted() bool { return tb.BorderCount() == 0 }
+
+// Expand performs one Stage-I step exactly like TBounds.Expand: pull the
+// in-neighborhoods of the M border nodes with the largest upper bounds into
+// St, initialize the newcomers, retighten the unseen bound, and refine.
+func (tb *TFlat) Expand() int {
+	// Select the M border nodes with the largest upper bounds into the
+	// reusable pick buffers (kept sorted descending, like heapx.TopK but
+	// with deterministic insertion order from the touched list).
+	m := tb.opt.M
+	tb.pickN, tb.pickP = tb.pickN[:0], tb.pickP[:0]
+	for _, v := range tb.b.Touched() {
+		if tb.outsideIn.Get(v) <= 0 {
+			continue
+		}
+		up, _ := tb.b.Upper(v)
+		if len(tb.pickN) == m && up <= tb.pickP[m-1] {
+			continue
+		}
+		tb.pickN = append(tb.pickN, v)
+		tb.pickP = append(tb.pickP, up)
+		for i := len(tb.pickN) - 1; i > 0 && tb.pickP[i] > tb.pickP[i-1]; i-- {
+			tb.pickN[i], tb.pickN[i-1] = tb.pickN[i-1], tb.pickN[i]
+			tb.pickP[i], tb.pickP[i-1] = tb.pickP[i-1], tb.pickP[i]
+		}
+		if len(tb.pickN) > m {
+			tb.pickN = tb.pickN[:m]
+			tb.pickP = tb.pickP[:m]
+		}
+	}
+	if len(tb.pickN) == 0 {
+		return 0
+	}
+	added := 0
+	prevUnseen := tb.unseen
+	for _, u := range tb.pickN {
+		cols, _ := tb.in.Row(u)
+		for _, from := range cols {
+			if tb.b.Seen(from) {
+				continue
+			}
+			// Newly included node: lower bound zero, upper bound is the
+			// unseen upper bound from the previous expansion.
+			tb.b.Set(from, 0, prevUnseen)
+			tb.outsideIn.Set(from, tb.countOutsideIn(from))
+			// Every seen out-neighbor of the newcomer loses one outside
+			// in-neighbor (the newcomer already counted its own membership).
+			outCols, _ := tb.out.Row(from)
+			for _, to := range outCols {
+				if to != from && tb.b.Seen(to) {
+					tb.outsideIn.Add(to, -1)
+				}
+			}
+			added++
+		}
+	}
+	tb.expansions++
+	tb.recomputeUnseen()
+	if tb.opt.StageII {
+		tb.Refine()
+	} else {
+		tb.localUpdate()
+		tb.recomputeUnseen()
+	}
+	return added
+}
+
+// recomputeUnseen applies Eq. 22, keeping the bound monotone non-increasing.
+func (tb *TFlat) recomputeUnseen() {
+	maxBorder := 0.0
+	for _, v := range tb.b.Touched() {
+		if tb.outsideIn.Get(v) <= 0 {
+			continue
+		}
+		if up, _ := tb.b.Upper(v); up > maxBorder {
+			maxBorder = up
+		}
+	}
+	candidate := (1 - tb.opt.Alpha) * maxBorder
+	if candidate < tb.unseen {
+		tb.unseen = candidate
+	}
+}
+
+// localUpdate applies a single pass of the recursion to the seen nodes
+// (Sarkar-style expansion-only realization).
+func (tb *TFlat) localUpdate() {
+	tb.sortSweep()
+	tb.applyRecursion()
+}
+
+// Refine runs the Stage-II iterative refinement of Eq. 17–18 over the
+// t-neighborhood, re-tightening the unseen bound after every sweep when the
+// scheme asks for it.
+func (tb *TFlat) Refine() {
+	tb.sortSweep()
+	for iter := 0; iter < tb.opt.RefineMaxIter; iter++ {
+		maxChange := tb.applyRecursion()
+		if tb.opt.TightenUnseenInRefine {
+			tb.recomputeUnseen()
+		}
+		if maxChange < tb.opt.RefineTol {
+			return
+		}
+	}
+}
+
+func (tb *TFlat) sortSweep() {
+	tb.sweep = append(tb.sweep[:0], tb.b.Touched()...)
+	slices.Sort(tb.sweep)
+}
+
+// applyRecursion performs one sweep of Eq. 17–18 (T-Rank form: out-neighbors)
+// over the sorted seen list and returns the largest bound change.
+func (tb *TFlat) applyRecursion() float64 {
+	alpha := tb.opt.Alpha
+	maxChange := 0.0
+	for _, v := range tb.sweep {
+		restart := tb.restart.Get(v)
+		outSum := tb.out.Sum[v]
+		sumLo, sumUp := 0.0, 0.0
+		if outSum > 0 {
+			cols, wts := tb.out.Row(v)
+			for i, to := range cols {
+				m := wts[i] / outSum
+				if lo, up, seen := tb.b.Get(to); seen {
+					sumLo += m * lo
+					sumUp += m * up
+				} else {
+					sumUp += m * tb.unseen
+				}
+			}
+		}
+		lo, up, _ := tb.b.Get(v)
+		newLo := alpha*restart + (1-alpha)*sumLo
+		newUp := alpha*restart + (1-alpha)*sumUp
+		changed := false
+		if newLo > lo {
+			if d := newLo - lo; d > maxChange {
+				maxChange = d
+			}
+			lo, changed = newLo, true
+		}
+		if newUp < up {
+			if d := up - newUp; d > maxChange {
+				maxChange = d
+			}
+			up, changed = newUp, true
+		}
+		if changed {
+			tb.b.Set(v, lo, up)
+		}
+	}
+	return maxChange
+}
+
+// CheckConsistent verifies the same invariants as TBounds.CheckConsistent.
+// Used by tests.
+func (tb *TFlat) CheckConsistent() error {
+	return checkBounds(&tb.b, tb.unseen, true)
+}
+
+// checkBounds verifies lower <= upper for every seen node and a sane unseen
+// bound; capped additionally requires upper <= 1 (the T-Rank invariant).
+func checkBounds(b *scratch.Bounds, unseen float64, capped bool) error {
+	if unseen < 0 || math.IsNaN(unseen) || math.IsInf(unseen, 0) {
+		return fmt.Errorf("bounds: invalid unseen upper bound %g", unseen)
+	}
+	var err error
+	b.Each(func(v graph.NodeID, lo, up float64) {
+		if err != nil {
+			return
+		}
+		if lo > up+1e-12 {
+			err = fmt.Errorf("bounds: node %d lower %g exceeds upper %g", v, lo, up)
+			return
+		}
+		if lo < -1e-12 {
+			err = fmt.Errorf("bounds: node %d negative lower bound %g", v, lo)
+			return
+		}
+		if capped && up > 1+1e-9 {
+			err = fmt.Errorf("bounds: node %d bounds out of range [%g, %g]", v, lo, up)
+		}
+	})
+	return err
+}

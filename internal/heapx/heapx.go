@@ -1,10 +1,14 @@
 // Package heapx provides a small generic binary max-heap keyed by float64
-// priorities. It is used for benefit-ordered node selection in the BCA engine
-// and for border-node selection in the T-Rank bounds framework.
+// priorities. It backs benefit-ordered node selection in the map-based BCA
+// engine and border-node selection in the map-based T-Rank bounds framework
+// — the fallback/baseline implementations for views without CSR adjacency.
 //
 // The heap intentionally does not support decrease-key; callers push updated
-// entries and discard stale ones on pop (lazy invalidation), which is simpler
-// and fast enough for the access patterns in this repository.
+// entries and discard stale ones on pop (lazy invalidation), which is simple
+// and fast enough for the fallback path. The online serving hot path no
+// longer uses it: scratch.Heap (internal/scratch) is an index-keyed d-ary
+// heap that moves entries in place on priority changes, so it never holds
+// stale duplicates and its size is bounded by the touched-node count.
 package heapx
 
 // Entry is a heap element: an item with a priority.

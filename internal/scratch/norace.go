@@ -1,0 +1,7 @@
+//go:build !race
+
+package scratch
+
+// RaceEnabled reports whether the race detector is active in this build; see
+// race.go.
+const RaceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package scratch
+
+// RaceEnabled reports whether the race detector is active in this build.
+// Allocation-pinning tests consult it: under -race, sync.Pool deliberately
+// bypasses reuse to expose races, so steady-state allocation counts are not
+// meaningful there.
+const RaceEnabled = true

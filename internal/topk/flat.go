@@ -1,0 +1,200 @@
+package topk
+
+import (
+	"context"
+	"slices"
+	"sync"
+
+	"roundtriprank/internal/bounds"
+	"roundtriprank/internal/core"
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/walk"
+)
+
+// flatSearcher is the scratch-state counterpart of searcher: the whole
+// per-query state of Algorithm 1 — BCA engine, both bound trackers, the
+// candidate buffer — lives in one pooled object backed by dense
+// generation-stamped arrays, so a steady-state query allocates (almost)
+// nothing. Instances are recycled through flatPool and rebound to the query
+// (and, after an engine epoch swap, resized to the new NumNodes) by Init.
+type flatSearcher struct {
+	opt        Options
+	fb         bounds.FFlat
+	tb         bounds.TFlat
+	expF, expT float64 // exponents applied to F/T bounds: 2(1−β), 2β
+	members    []member
+}
+
+// flatPool recycles flatSearcher scratch across queries and goroutines. Each
+// pooled object holds O(NumNodes) of arrays (see docs/TUNING.md for the
+// footprint); under concurrency the pool grows to about one object per
+// simultaneously executing online query.
+var flatPool = sync.Pool{New: func() any { return new(flatSearcher) }}
+
+// flatTopK answers one online top-K query on the scratch-state path. The
+// caller has already normalized opt and derived the scheme's bound options.
+func flatTopK(ctx context.Context, view graph.CSRView, q walk.Query, opt Options, fOpt bounds.FOptions, tOpt bounds.TOptions) (*Result, error) {
+	s := flatPool.Get().(*flatSearcher)
+	// Release drops the searcher's references to the snapshot's CSR arrays
+	// and the caller's Keep closure before the object idles in the pool:
+	// after an epoch swap, a pooled searcher must not pin the superseded
+	// graph (or whatever Keep captured) until its next reuse.
+	defer func() {
+		s.opt = Options{}
+		s.fb.Detach()
+		s.tb.Detach()
+		flatPool.Put(s)
+	}()
+	if err := s.fb.Init(view, q, fOpt); err != nil {
+		return nil, err
+	}
+	if err := s.tb.Init(view, q, tOpt); err != nil {
+		return nil, err
+	}
+	s.opt = opt
+	s.expF = 2 * (1 - opt.Beta)
+	s.expT = 2 * opt.Beta
+	return s.run(ctx)
+}
+
+// run is Algorithm 1's round loop, mirroring searcher.run.
+func (s *flatSearcher) run(ctx context.Context) (*Result, error) {
+	res := &Result{Flat: true}
+	for round := 0; round < s.opt.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		fProgress := s.fb.Expand()
+		tProgress := s.tb.Expand()
+		res.Rounds++
+
+		ok := s.candidate()
+		if ok && s.satisfied() {
+			res.TopK = s.ranked()
+			res.Converged = true
+			break
+		}
+		if fProgress == 0 && tProgress == 0 {
+			// Nothing left to expand: refine to convergence and return what
+			// the neighborhood holds.
+			s.fb.Refine()
+			s.tb.Refine()
+			ok = s.candidate()
+			res.TopK = s.ranked()
+			res.Converged = ok && s.satisfied()
+			break
+		}
+	}
+	if res.TopK == nil {
+		s.candidate()
+		res.TopK = s.ranked()
+	}
+	res.FSeen = s.fb.SeenCount()
+	res.TSeen = s.tb.SeenCount()
+	res.RSeen = s.intersectionSize()
+	return res, nil
+}
+
+func (s *flatSearcher) rLower(v graph.NodeID) float64 {
+	return combineBounds(s.fb.Lower(v), s.tb.Lower(v), s.expF, s.expT)
+}
+
+func (s *flatSearcher) rUpper(v graph.NodeID) float64 {
+	return combineBounds(s.fb.Upper(v), s.tb.Upper(v), s.expF, s.expT)
+}
+
+// unseenUpper computes the unseen upper bound rˆ(q) for nodes outside
+// S = Sf ∩ St (Eq. 16) by streaming both touched lists.
+func (s *flatSearcher) unseenUpper() float64 {
+	fu, tu := s.fb.UnseenUpper(), s.tb.UnseenUpper()
+	best := combineBounds(fu, tu, s.expF, s.expT)
+	for _, v := range s.fb.SeenList() {
+		if !s.tb.Seen(v) {
+			if c := combineBounds(s.fb.Upper(v), tu, s.expF, s.expT); c > best {
+				best = c
+			}
+		}
+	}
+	for _, v := range s.tb.SeenList() {
+		if !s.fb.Seen(v) {
+			if c := combineBounds(fu, s.tb.Upper(v), s.expF, s.expT); c > best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+func (s *flatSearcher) intersectionSize() int {
+	n := 0
+	for _, v := range s.fb.SeenList() {
+		if s.tb.Seen(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// candidate assembles the r-neighborhood S = Sf ∩ St (restricted to nodes
+// the Keep filter admits) into the reusable members buffer, sorted by lower
+// bound, and reports whether it already holds at least K nodes.
+func (s *flatSearcher) candidate() bool {
+	s.members = s.members[:0]
+	for _, v := range s.fb.SeenList() {
+		if s.tb.Seen(v) && (s.opt.Keep == nil || s.opt.Keep(v)) {
+			s.members = append(s.members, member{node: v, lower: s.rLower(v), upper: s.rUpper(v)})
+		}
+	}
+	slices.SortFunc(s.members, func(a, b member) int {
+		switch {
+		case a.lower > b.lower:
+			return -1
+		case a.lower < b.lower:
+			return 1
+		case a.node < b.node:
+			return -1
+		case a.node > b.node:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return len(s.members) >= s.opt.K
+}
+
+// satisfied checks the ε-relaxed top-K conditions (Eq. 13–14) against the
+// sorted candidate neighborhood.
+func (s *flatSearcher) satisfied() bool {
+	k := s.opt.K
+	if len(s.members) < k {
+		return false
+	}
+	eps := s.opt.Epsilon
+	maxOther := s.unseenUpper()
+	for _, m := range s.members[k:] {
+		if m.upper > maxOther {
+			maxOther = m.upper
+		}
+	}
+	if !(s.members[k-1].lower > maxOther-eps) {
+		return false
+	}
+	for i := 0; i+1 < k; i++ {
+		if !(s.members[i].lower > s.members[i+1].upper-eps) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *flatSearcher) ranked() []core.Ranked {
+	k := s.opt.K
+	if len(s.members) < k {
+		k = len(s.members)
+	}
+	out := make([]core.Ranked, k)
+	for i := 0; i < k; i++ {
+		out[i] = core.Ranked{Node: s.members[i].node, Score: s.members[i].lower}
+	}
+	return out
+}

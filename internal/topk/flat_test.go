@@ -1,0 +1,192 @@
+package topk
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/scratch"
+	"roundtriprank/internal/testgraphs"
+	"roundtriprank/internal/walk"
+)
+
+// hideCSR wraps a view so it no longer satisfies graph.CSRView, forcing the
+// map-based searcher — the same trick the kernel benchmarks use to compare
+// the CSR and generic walk paths.
+func hideCSR(v graph.View) graph.View { return struct{ graph.View }{v} }
+
+// TestFlatDispatch pins the path selection: CSR-capable views take the
+// pooled scratch-state searcher, wrapped views fall back to the map-based
+// one, and both report it through Result.Flat.
+func TestFlatDispatch(t *testing.T) {
+	toy := testgraphs.NewToy()
+	q := walk.SingleNode(toy.T1)
+	opt := Options{K: 3, Epsilon: 0.01, Alpha: 0.25, Beta: 0.5}
+	flat, err := TopK(context.Background(), toy.Graph, q, opt)
+	if err != nil {
+		t.Fatalf("flat TopK: %v", err)
+	}
+	if !flat.Flat {
+		t.Errorf("CSR view should take the scratch-state path")
+	}
+	mapped, err := TopK(context.Background(), hideCSR(toy.Graph), q, opt)
+	if err != nil {
+		t.Fatalf("map TopK: %v", err)
+	}
+	if mapped.Flat {
+		t.Errorf("wrapped view should take the map fallback")
+	}
+	forced, err := TopK(context.Background(), toy.Graph, q, Options{K: 3, Epsilon: 0.01, Alpha: 0.25, Beta: 0.5, ForceMap: true})
+	if err != nil {
+		t.Fatalf("forced-map TopK: %v", err)
+	}
+	if forced.Flat {
+		t.Errorf("ForceMap should take the map searcher even on a CSR view")
+	}
+}
+
+// TestFlatMatchesMapPath is the flat-vs-map parity gate: on every test graph
+// and scheme, the scratch-state path and the map-based baseline must return
+// the same top-K node sets in the same order with matching scores (both are
+// exact lower bounds at an ε≈0-converged termination, so tiny floating-point
+// divergence from different processing orders is all that is tolerated). K
+// is chosen at a strict score gap of the exact ranking, as in the root
+// parity suite: across an exact tie the ε≈0 conditions are unsatisfiable.
+func TestFlatMatchesMapPath(t *testing.T) {
+	toy := testgraphs.NewToy()
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		q    graph.NodeID
+	}{
+		{"toy", toy.Graph, toy.T1},
+		{"toyPaper", toy.Graph, toy.P[2]},
+		{"line", testgraphs.Line(10), 0},
+		{"cycle", testgraphs.Cycle(12), 7},
+		{"star", testgraphs.Star(8), 0},
+	}
+	for _, tc := range cases {
+		q := walk.SingleNode(tc.q)
+		naive, _, err := Naive(context.Background(), tc.g, q, Options{K: tc.g.NumNodes(), Alpha: 0.25, Beta: 0.5})
+		if err != nil {
+			t.Fatalf("%s: Naive: %v", tc.name, err)
+		}
+		k := 0
+		for i := 0; i < len(naive) && i < 5; i++ {
+			if naive[i].Score <= 0 {
+				break
+			}
+			if i+1 < len(naive) && naive[i].Score-naive[i+1].Score <= 1e-6 {
+				break
+			}
+			k = i + 1
+		}
+		if k == 0 {
+			t.Fatalf("%s: no strict gap to pin K at", tc.name)
+		}
+		for _, scheme := range []Scheme{Scheme2SBound, SchemeGS, SchemeGupta, SchemeSarkar} {
+			t.Run(fmt.Sprintf("%s/%s", tc.name, scheme), func(t *testing.T) {
+				opt := Options{K: k, Epsilon: 1e-9, Alpha: 0.25, Beta: 0.5, Scheme: scheme}
+				flat, err := TopK(context.Background(), tc.g, q, opt)
+				if err != nil {
+					t.Fatalf("flat: %v", err)
+				}
+				mapped, err := TopK(context.Background(), hideCSR(tc.g), q, opt)
+				if err != nil {
+					t.Fatalf("map: %v", err)
+				}
+				if !flat.Flat || mapped.Flat {
+					t.Fatalf("dispatch wrong: flat=%v mapped=%v", flat.Flat, mapped.Flat)
+				}
+				if flat.Converged != mapped.Converged {
+					t.Fatalf("convergence disagrees: flat=%v map=%v", flat.Converged, mapped.Converged)
+				}
+				if len(flat.TopK) != len(mapped.TopK) {
+					t.Fatalf("sizes disagree: flat %d, map %d", len(flat.TopK), len(mapped.TopK))
+				}
+				for i := range flat.TopK {
+					if flat.TopK[i].Node != mapped.TopK[i].Node {
+						t.Errorf("rank %d: flat node %d, map node %d", i, flat.TopK[i].Node, mapped.TopK[i].Node)
+					}
+					if d := math.Abs(flat.TopK[i].Score - mapped.TopK[i].Score); d > 1e-9 {
+						t.Errorf("rank %d: score diff %g", i, d)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFlatPoolReuseAcrossSizes alternates pooled queries between graphs of
+// very different sizes, forcing the recycled scratch to grow and shrink, and
+// checks each answer stays identical to the first run on that graph.
+func TestFlatPoolReuseAcrossSizes(t *testing.T) {
+	toy := testgraphs.NewToy()
+	big := testgraphs.Cycle(500)
+	type key struct {
+		name string
+		g    *graph.Graph
+		q    graph.NodeID
+	}
+	cases := []key{
+		{"toy", toy.Graph, toy.T1},
+		{"big", big, 250},
+		{"star", testgraphs.Star(4), 0},
+	}
+	run := func(g *graph.Graph, q graph.NodeID) *Result {
+		res, err := TopK(context.Background(), g, walk.SingleNode(q), Options{K: 3, Epsilon: 0.01, Alpha: 0.25, Beta: 0.5})
+		if err != nil {
+			t.Fatalf("TopK: %v", err)
+		}
+		return res
+	}
+	want := map[string]*Result{}
+	for _, tc := range cases {
+		want[tc.name] = run(tc.g, tc.q)
+	}
+	for round := 0; round < 3; round++ {
+		for _, tc := range cases {
+			got := run(tc.g, tc.q)
+			w := want[tc.name]
+			if len(got.TopK) != len(w.TopK) || got.Rounds != w.Rounds || got.FSeen != w.FSeen || got.TSeen != w.TSeen {
+				t.Fatalf("round %d %s: pooled rerun diverged (%+v vs %+v)", round, tc.name, got, w)
+			}
+			for i := range w.TopK {
+				if got.TopK[i] != w.TopK[i] {
+					t.Fatalf("round %d %s rank %d: %+v vs %+v", round, tc.name, i, got.TopK[i], w.TopK[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFlatSteadyStateAllocs pins the headline property of the scratch-state
+// path: once the pool is warm, an online 2SBound query performs only a small
+// constant number of allocations (the Result struct and ranked slice),
+// versus thousands of map/heap allocations on the pre-PR path.
+func TestFlatSteadyStateAllocs(t *testing.T) {
+	if scratch.RaceEnabled {
+		t.Skip("sync.Pool bypasses reuse under the race detector; allocation counts are not meaningful")
+	}
+	toy := testgraphs.NewToy()
+	q := walk.SingleNode(toy.T1)
+	opt := Options{K: 3, Epsilon: 0.01, Alpha: 0.25, Beta: 0.5}
+	// Warm the pool.
+	if _, err := TopK(context.Background(), toy.Graph, q, opt); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := TopK(context.Background(), toy.Graph, q, opt); err != nil {
+			t.Fatalf("TopK: %v", err)
+		}
+	})
+	// The budget leaves headroom for the Result, the ranked slice and an
+	// occasional pool refill after a GC, while still failing loudly if a map
+	// or per-round allocation sneaks back into the hot path.
+	const budget = 12
+	if avg > budget {
+		t.Errorf("steady-state TopK allocates %.1f objects/query, budget %d", avg, budget)
+	}
+}

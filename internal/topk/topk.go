@@ -82,6 +82,13 @@ type Options struct {
 	// result is marked not converged when the cap is hit. Zero means a large
 	// default.
 	MaxRounds int
+	// ForceMap forces the map-based searcher even on CSR-capable views. It
+	// exists for the flat-vs-map benchmarks (cmd/benchrunner -fig online,
+	// BenchmarkOnline*): with it, the baseline keeps the CSR-streaming BCA
+	// fast path the map searcher always had, so the comparison isolates
+	// exactly what this option's name says — the map-based searcher state —
+	// and nothing else. Serving paths should never set it.
+	ForceMap bool
 }
 
 // DefaultOptions returns the configuration used in the paper's efficiency
@@ -133,6 +140,10 @@ type Result struct {
 	// FSeen, TSeen and RSeen are the final sizes of the f-, t- and
 	// r-neighborhoods (|Sf|, |St|, |S| = |Sf ∩ St|).
 	FSeen, TSeen, RSeen int
+	// Flat reports which execution path answered the query: true for the
+	// pooled scratch-state path (CSR-capable views), false for the map-based
+	// fallback.
+	Flat bool
 }
 
 // searcher carries the per-query state of Algorithm 1.
@@ -179,6 +190,14 @@ func TopK(ctx context.Context, view graph.View, q walk.Query, opt Options) (*Res
 		tOpt.TightenUnseenInRefine = false
 	default:
 		return nil, fmt.Errorf("topk: unknown scheme %d", int(opt.Scheme))
+	}
+	// Views that expose flat CSR adjacency take the pooled scratch-state
+	// path (near-zero allocation per query); wrapped views — masked,
+	// tracking, remote — keep the map-based implementation, which doubles as
+	// the correctness baseline the parity tests and benchmarks compare
+	// against.
+	if cv, ok := view.(graph.CSRView); ok && !opt.ForceMap {
+		return flatTopK(ctx, cv, q, opt, fOpt, tOpt)
 	}
 	fb, err := bounds.NewFBounds(view, q, fOpt)
 	if err != nil {
@@ -249,6 +268,12 @@ func (s *searcher) rUpper(v graph.NodeID) float64 {
 }
 
 func (s *searcher) combine(f, t float64) float64 {
+	return combineBounds(f, t, s.expF, s.expT)
+}
+
+// combineBounds combines one F-side and one T-side bound with the β
+// exponents (Eq. 15); shared by the map and scratch-state searchers.
+func combineBounds(f, t, expF, expT float64) float64 {
 	if f < 0 {
 		f = 0
 	}
@@ -256,14 +281,14 @@ func (s *searcher) combine(f, t float64) float64 {
 		t = 0
 	}
 	switch {
-	case s.expF == 1 && s.expT == 1:
+	case expF == 1 && expT == 1:
 		return f * t
-	case s.expT == 0:
-		return math.Pow(f, s.expF)
-	case s.expF == 0:
-		return math.Pow(t, s.expT)
+	case expT == 0:
+		return math.Pow(f, expF)
+	case expF == 0:
+		return math.Pow(t, expT)
 	default:
-		return math.Pow(f, s.expF) * math.Pow(t, s.expT)
+		return math.Pow(f, expF) * math.Pow(t, expT)
 	}
 }
 

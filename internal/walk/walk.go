@@ -126,6 +126,45 @@ func (q Query) Normalize() (Query, error) {
 	return out, nil
 }
 
+// NormalizeInto is the allocation-free Normalize used by the pooled online
+// hot path: it validates the query against a graph of numNodes nodes and
+// appends the normalized, duplicate-merged restart distribution to the
+// caller's reusable nodes/weights buffers (pass them resliced to length
+// zero). Unlike Normalize it also range-checks the query nodes and merges
+// duplicates (first occurrence keeps the position), so the result is a
+// deterministic sparse restart vector ready for flat-array iteration.
+func (q Query) NormalizeInto(numNodes int, nodes []graph.NodeID, weights []float64) ([]graph.NodeID, []float64, error) {
+	if len(q.Nodes) == 0 || len(q.Nodes) != len(q.Weights) {
+		return nodes, weights, fmt.Errorf("walk: query must have matching non-empty nodes and weights")
+	}
+	total := 0.0
+	for _, w := range q.Weights {
+		if w < 0 {
+			return nodes, weights, fmt.Errorf("walk: query weights must be non-negative")
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nodes, weights, fmt.Errorf("walk: query weights sum to zero")
+	}
+outer:
+	for i, v := range q.Nodes {
+		if int(v) < 0 || int(v) >= numNodes {
+			return nodes, weights, fmt.Errorf("walk: query node %d out of range [0,%d)", v, numNodes)
+		}
+		w := q.Weights[i] / total
+		for j, u := range nodes {
+			if u == v {
+				weights[j] += w
+				continue outer
+			}
+		}
+		nodes = append(nodes, v)
+		weights = append(weights, w)
+	}
+	return nodes, weights, nil
+}
+
 // Contains reports whether v is one of the query nodes.
 func (q Query) Contains(v graph.NodeID) bool {
 	for _, n := range q.Nodes {

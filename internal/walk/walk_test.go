@@ -430,3 +430,64 @@ func TestQuickRankInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestNormalizeInto pins the allocation-free normalizer of the online hot
+// path: same validation as Normalize plus range checking and duplicate
+// merging into caller-owned buffers.
+func TestNormalizeInto(t *testing.T) {
+	var nodes []graph.NodeID
+	var weights []float64
+
+	bad := []Query{
+		{},
+		{Nodes: []graph.NodeID{1}, Weights: []float64{1, 2}},
+		{Nodes: []graph.NodeID{1}, Weights: []float64{-1}},
+		{Nodes: []graph.NodeID{1}, Weights: []float64{0}},
+		{Nodes: []graph.NodeID{10}, Weights: []float64{1}}, // out of range
+		{Nodes: []graph.NodeID{-1}, Weights: []float64{1}},
+	}
+	for i, q := range bad {
+		if _, _, err := q.NormalizeInto(10, nodes[:0], weights[:0]); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+
+	q := Query{Nodes: []graph.NodeID{3, 5, 3}, Weights: []float64{1, 2, 1}}
+	nodes, weights, err := q.NormalizeInto(10, nodes[:0], weights[:0])
+	if err != nil {
+		t.Fatalf("NormalizeInto: %v", err)
+	}
+	if len(nodes) != 2 || nodes[0] != 3 || nodes[1] != 5 {
+		t.Fatalf("nodes = %v, want [3 5] (duplicates merged, first occurrence kept)", nodes)
+	}
+	if math.Abs(weights[0]-0.5) > 1e-15 || math.Abs(weights[1]-0.5) > 1e-15 {
+		t.Fatalf("weights = %v, want [0.5 0.5]", weights)
+	}
+
+	// The result must agree with Normalize on the merged distribution.
+	nq, err := q.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	merged := map[graph.NodeID]float64{}
+	for i, v := range nq.Nodes {
+		merged[v] += nq.Weights[i]
+	}
+	for i, v := range nodes {
+		if math.Abs(merged[v]-weights[i]) > 1e-15 {
+			t.Errorf("node %d: NormalizeInto %g, Normalize %g", v, weights[i], merged[v])
+		}
+	}
+
+	// Buffers are reused: a second call with ample capacity must not grow.
+	n2, w2, err := Query{Nodes: []graph.NodeID{1}, Weights: []float64{4}}.NormalizeInto(10, nodes[:0], weights[:0])
+	if err != nil {
+		t.Fatalf("reuse: %v", err)
+	}
+	if &n2[0] != &nodes[0] || &w2[0] != &weights[0] {
+		t.Errorf("NormalizeInto should reuse caller buffers")
+	}
+	if len(n2) != 1 || n2[0] != 1 || w2[0] != 1 {
+		t.Errorf("reuse result = %v/%v", n2, w2)
+	}
+}

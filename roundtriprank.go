@@ -155,6 +155,19 @@ func WithVectorCache(entries int) Option {
 	}
 }
 
+// WithOnlineMapBaseline forces the engine's online methods (TwoSBound and
+// the BoundScheme baselines) onto the map-based searcher even when the view
+// is CSR-capable, instead of the pooled flat scratch-state path. It exists
+// for the flat-vs-map benchmarks (cmd/benchrunner -fig online measures both
+// configurations through Engine.Rank) and as an operational escape hatch;
+// the map path allocates per query, so serving engines should not set it.
+func WithOnlineMapBaseline() Option {
+	return func(e *Engine) error {
+		e.onlineMapBaseline = true
+		return nil
+	}
+}
+
 // Ranker computes RoundTripRank(+) scores and rankings over one graph view.
 //
 // Deprecated: Ranker is the pre-Engine API. It freezes parameters at
