@@ -26,6 +26,14 @@
 // forced by hiding the CSR) — plus concurrent queries/sec through
 // Engine.Rank, and writes the results to -online-out (default
 // BENCH_PR5.json).
+//
+// -fig remote compares the online 2SBound path local vs remote: the same
+// queries through Engine.Rank against the in-process CSR and against a
+// 2-worker HTTP fleet via the row-serving path (TwoSBoundRemote), on a cold
+// and a warm row cache. It records rows fetched, row-fetch RPCs, the cache
+// hit rate and qps/p50 per pass, and writes the report to -remote-out
+// (default BENCH_PR6.json). It shares -online-scale and -eff-queries with
+// -fig online.
 package main
 
 import (
@@ -34,9 +42,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http/httptest"
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -48,6 +58,7 @@ import (
 	"roundtriprank/internal/baselines"
 	"roundtriprank/internal/core"
 	"roundtriprank/internal/datasets"
+	"roundtriprank/internal/distributed"
 	"roundtriprank/internal/eval"
 	"roundtriprank/internal/graph"
 	"roundtriprank/internal/tasks"
@@ -72,7 +83,7 @@ type runner struct {
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11a,11b,12,13, kernels, or all")
+		fig         = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11a,11b,12,13, kernels, online, remote, or all")
 		scale       = flag.Float64("scale", 0.5, "effectiveness dataset scale (1.0 = paper-subgraph scale)")
 		queries     = flag.Int("queries", 120, "test queries per task (paper: 1000)")
 		devQueries  = flag.Int("dev-queries", 60, "development queries per task for beta tuning (paper: 1000)")
@@ -81,7 +92,8 @@ func main() {
 		seed        = flag.Int64("seed", 42, "random seed for query sampling")
 		benchOut    = flag.String("bench-out", "BENCH_PR2.json", "output file of -fig kernels")
 		onlineOut   = flag.String("online-out", "BENCH_PR5.json", "output file of -fig online")
-		onlineScale = flag.Float64("online-scale", onlineBenchScale, "BibNet scale of -fig online (default matches go test -bench Online)")
+		onlineScale = flag.Float64("online-scale", onlineBenchScale, "BibNet scale of -fig online and -fig remote (default matches go test -bench Online)")
+		remoteOut   = flag.String("remote-out", "BENCH_PR6.json", "output file of -fig remote")
 	)
 	flag.Parse()
 
@@ -109,6 +121,7 @@ func main() {
 
 	run("kernels", func() error { return r.kernels(*benchOut) })
 	run("online", func() error { return r.online(*onlineOut, *onlineScale) })
+	run("remote", func() error { return r.remote(*remoteOut, *onlineScale) })
 	run("4", r.fig4)
 	run("5", r.fig5)
 	run("6", func() error { return r.illustrative("spatio temporal data") })
@@ -761,6 +774,176 @@ func concurrentRankQPS(ctx context.Context, engine *roundtriprank.Engine, querie
 		}
 		rounds *= 2
 	}
+}
+
+// remotePassResult is one pass of the remote-vs-local comparison: the same
+// query set through one engine path, with its latency distribution and (on
+// the remote path) its row-serving footprint.
+type remotePassResult struct {
+	Pass    string  `json:"pass"` // "local", "remote-cold" or "remote-warm"
+	Queries int     `json:"queries"`
+	QPS     float64 `json:"queries_per_sec"`
+	P50Us   int64   `json:"p50_us"`
+	// Row-serving footprint of the pass, zero on the local pass.
+	RowsFetched int64 `json:"rows_fetched,omitempty"`
+	RowRPCs     int64 `json:"row_rpcs,omitempty"`
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
+}
+
+// remoteReport is the schema of BENCH_PR6.json.
+type remoteReport struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	Dataset     string             `json:"dataset"`
+	Scale       float64            `json:"scale"`
+	Nodes       int                `json:"nodes"`
+	Edges       int                `json:"edges"`
+	K           int                `json:"k"`
+	Epsilon     float64            `json:"epsilon"`
+	Workers     int                `json:"workers"`
+	Passes      []remotePassResult `json:"passes"`
+	// WarmHitRate is cache hits / probes of the warm pass: the fraction of
+	// row reads the second identical query sweep answered without any RPC.
+	WarmHitRate float64 `json:"warm_cache_hit_rate"`
+	CachedRows  int     `json:"cached_rows"`
+	// SlowdownCold and SlowdownWarm are the remote p50 over the local p50.
+	SlowdownCold float64 `json:"remote_p50_over_local_cold"`
+	SlowdownWarm float64 `json:"remote_p50_over_local_warm"`
+}
+
+// remote compares the online 2SBound hot path local vs remote: one engine
+// ranking against the in-process CSR, one against a 2-worker HTTP fleet
+// through the row-serving path, over the same queries. The remote sweep runs
+// twice — cold row cache, then warm — and every remote response is checked
+// bit-identical to the local one before any number is reported.
+func (r *runner) remote(outPath string, scale float64) error {
+	net, err := datasets.GenerateBibNet(datasets.ScaledBibNetConfig(scale))
+	if err != nil {
+		return err
+	}
+	g := net.Graph
+	const workers = 2
+	ts := make([]roundtriprank.Transport, workers)
+	for i := 0; i < workers; i++ {
+		s, err := distributed.BuildStripe(g, i, workers)
+		if err != nil {
+			return err
+		}
+		srv := httptest.NewServer(distributed.NewWorker(s).Handler())
+		defer srv.Close()
+		ts[i] = roundtriprank.DialWorker(srv.URL)
+	}
+	local, err := roundtriprank.NewEngine(g)
+	if err != nil {
+		return err
+	}
+	remote, err := roundtriprank.NewEngine(g, roundtriprank.WithWorkers(ts...))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Remote benchmark BibNet: %d nodes, %d edges, %d HTTP workers\n",
+		g.NumNodes(), g.NumEdges(), workers)
+	queries := make([]graph.NodeID, 0, r.effQueries)
+	for i := 0; i < r.effQueries; i++ {
+		queries = append(queries, net.Papers[(i*7919)%len(net.Papers)])
+	}
+	const k, eps = 10, 0.01
+
+	pass := func(name string, e *roundtriprank.Engine, m roundtriprank.Method) (remotePassResult, []*roundtriprank.Response, error) {
+		res := remotePassResult{Pass: name, Queries: len(queries)}
+		lats := make([]time.Duration, 0, len(queries))
+		resps := make([]*roundtriprank.Response, 0, len(queries))
+		start := time.Now()
+		for _, q := range queries {
+			t0 := time.Now()
+			resp, err := e.Rank(r.ctx, roundtriprank.Request{
+				Query: walk.SingleNode(q), K: k, Epsilon: eps, Method: m,
+			})
+			if err != nil {
+				return res, nil, fmt.Errorf("%s pass, query %d: %w", name, q, err)
+			}
+			lats = append(lats, time.Since(t0))
+			resps = append(resps, resp)
+			if resp.Rows != nil {
+				res.RowsFetched += resp.Rows.Fetched
+				res.RowRPCs += resp.Rows.RPCs
+				res.CacheHits += resp.Rows.CacheHits
+				res.CacheMisses += resp.Rows.CacheMisses
+			}
+		}
+		res.QPS = float64(len(queries)) / time.Since(start).Seconds()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res.P50Us = lats[len(lats)/2].Microseconds()
+		return res, resps, nil
+	}
+
+	localPass, localResps, err := pass("local", local, roundtriprank.TwoSBound)
+	if err != nil {
+		return err
+	}
+	coldPass, coldResps, err := pass("remote-cold", remote, roundtriprank.TwoSBoundRemote)
+	if err != nil {
+		return err
+	}
+	warmPass, warmResps, err := pass("remote-warm", remote, roundtriprank.TwoSBoundRemote)
+	if err != nil {
+		return err
+	}
+	// The comparison is only meaningful if the remote path is exact: every
+	// response, both passes, must match the local one bit for bit.
+	for qi := range localResps {
+		for _, remoteResps := range [][]*roundtriprank.Response{coldResps, warmResps} {
+			want, got := localResps[qi], remoteResps[qi]
+			if len(got.Results) != len(want.Results) {
+				return fmt.Errorf("query %d: remote returned %d results, local %d", qi, len(got.Results), len(want.Results))
+			}
+			for i := range want.Results {
+				if got.Results[i] != want.Results[i] {
+					return fmt.Errorf("query %d rank %d: remote %+v, local %+v (not bit-identical)",
+						qi, i, got.Results[i], want.Results[i])
+				}
+			}
+		}
+	}
+
+	st := remote.RowServeStats()
+	report := remoteReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Dataset:     "bibnet",
+		Scale:       scale,
+		Nodes:       g.NumNodes(),
+		Edges:       g.NumEdges(),
+		K:           k,
+		Epsilon:     eps,
+		Workers:     workers,
+		Passes:      []remotePassResult{localPass, coldPass, warmPass},
+		CachedRows:  st.CachedRows,
+	}
+	if probes := warmPass.CacheHits + warmPass.CacheMisses; probes > 0 {
+		report.WarmHitRate = float64(warmPass.CacheHits) / float64(probes)
+	}
+	if localPass.P50Us > 0 {
+		report.SlowdownCold = float64(coldPass.P50Us) / float64(localPass.P50Us)
+		report.SlowdownWarm = float64(warmPass.P50Us) / float64(localPass.P50Us)
+	}
+	for _, p := range report.Passes {
+		fmt.Printf("  %-12s %4d queries  %8.1f q/s  p50 %7d µs  rows %6d  rpcs %5d  hits %6d  misses %6d\n",
+			p.Pass, p.Queries, p.QPS, p.P50Us, p.RowsFetched, p.RowRPCs, p.CacheHits, p.CacheMisses)
+	}
+	fmt.Printf("  warm cache hit rate %.3f, %d rows cached, remote/local p50: cold %.2fx warm %.2fx\n",
+		report.WarmHitRate, report.CachedRows, report.SlowdownCold, report.SlowdownWarm)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
 }
 
 func (r *runner) fig12and13() error {

@@ -23,7 +23,9 @@
 // With -workers, rtrankd also acts as the coordinator front end of a
 // gpserver cluster: the listed workers must serve the stripes of the same
 // graph, and requests may then select "method": "distributed" to fan the
-// exact solve out across them (see docs/API.md). A mutation then also
+// exact solve out across them, or "method": "2sbound-remote" to run the
+// online search against the fleet's rows through the row cache (see
+// docs/API.md). A mutation then also
 // reconciles the fleet before the new epoch serves, shipping only stripes
 // the commit changed (docs/OPERATIONS.md walks through the lifecycle).
 //
@@ -60,8 +62,8 @@ type rankRequest struct {
 	Query []string               `json:"query,omitempty"`
 	Nodes []roundtriprank.NodeID `json:"nodes,omitempty"`
 	K     int                    `json:"k"`
-	// Method is auto (default), exact, distributed (requires -workers),
-	// 2sbound, gs, gupta or sarkar.
+	// Method is auto (default), exact, distributed or 2sbound-remote (both
+	// require -workers), 2sbound, gs, gupta or sarkar.
 	Method string `json:"method,omitempty"`
 	// Type restricts results to the named node type (as registered on the
 	// graph, e.g. "venue"); empty keeps all types.
@@ -79,11 +81,21 @@ type rankResult struct {
 	Score float64              `json:"score"`
 }
 
+// rankRows mirrors roundtriprank.RowQueryStats on the wire: the row-serving
+// footprint of a 2sbound-remote query.
+type rankRows struct {
+	Fetched     int64 `json:"fetched"`
+	RPCs        int64 `json:"rpcs"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
 type rankResponse struct {
 	Results   []rankResult `json:"results"`
 	Method    string       `json:"method"`
 	Converged bool         `json:"converged"`
 	Rounds    int          `json:"rounds,omitempty"`
+	Rows      *rankRows    `json:"rows,omitempty"`
 	ElapsedMS float64      `json:"elapsed_ms"`
 }
 
@@ -166,6 +178,7 @@ func main() {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	rpcs, retries := s.engine.ClusterStats()
+	rs := s.engine.RowServeStats()
 	g := s.graph()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
@@ -174,6 +187,15 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"epoch":   g.Epoch(),
 		"workers": s.workers,
 		"cluster": map[string]any{"rpcs": rpcs, "retries": retries},
+		"rows": map[string]any{
+			"fetched":      rs.RowsFetched,
+			"rpcs":         rs.RowRPCs,
+			"retries":      rs.RowRetries,
+			"cache_hits":   rs.CacheHits,
+			"cache_misses": rs.CacheMisses,
+			"evictions":    rs.CacheEvictions,
+			"cached":       rs.CachedRows,
+		},
 	})
 }
 
@@ -387,6 +409,14 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 		Converged: resp.Converged,
 		Rounds:    resp.Rounds,
 		ElapsedMS: float64(resp.Elapsed.Microseconds()) / 1000.0,
+	}
+	if resp.Rows != nil {
+		out.Rows = &rankRows{
+			Fetched:     resp.Rows.Fetched,
+			RPCs:        resp.Rows.RPCs,
+			CacheHits:   resp.Rows.CacheHits,
+			CacheMisses: resp.Rows.CacheMisses,
+		}
 	}
 	// Labels come from the snapshot current *after* the ranking: it is at
 	// least as new as the one the query ran on, and labels are append-only

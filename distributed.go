@@ -149,14 +149,79 @@ func WithWorkers(workers ...Transport) Option {
 	}
 }
 
-// ClusterStats reports the worker RPC count of the current snapshot's
-// coordinator and how many of those were retries after transient failures.
-// All zeros before the first distributed query on the current epoch (each
-// epoch's coordinator connects lazily) or when no workers are configured.
-func (e *Engine) ClusterStats() (rpcs, retries int64) {
-	c := e.snap.Load().coord.Load()
-	if c == nil {
-		return 0, 0
+// WithRowCacheRows sets the capacity, in rows, of the engine's row cache —
+// the coordinator-side store the TwoSBoundRemote method serves repeated row
+// reads from (default rowserve.DefaultCacheRows = 65536). A cached row costs
+// roughly 12 bytes per stored edge plus ~100 bytes of bookkeeping; see
+// docs/TUNING.md for sizing. Only meaningful together with WithWorkers.
+func WithRowCacheRows(n int) Option {
+	return func(e *Engine) error {
+		if n <= 0 {
+			return fmt.Errorf("roundtriprank: WithRowCacheRows needs a positive capacity, got %d", n)
+		}
+		e.rowCacheRows = n
+		return nil
 	}
-	return c.Stats()
+}
+
+// ClusterStats reports the worker RPC count of the current snapshot's
+// coordinator and row-serving view combined, and how many of those were
+// retries after transient failures. All zeros before the first distributed
+// or remote-online query on the current epoch (each epoch connects lazily)
+// or when no workers are configured.
+func (e *Engine) ClusterStats() (rpcs, retries int64) {
+	snap := e.snap.Load()
+	if c := snap.coord.Load(); c != nil {
+		cr, ct := c.Stats()
+		rpcs += cr
+		retries += ct
+	}
+	if r := snap.rows.Load(); r != nil {
+		rr, rt, _ := r.Stats()
+		rpcs += rr
+		retries += rt
+	}
+	return rpcs, retries
+}
+
+// RowQueryStats is the row-serving footprint of one TwoSBoundRemote query,
+// reported in Response.Rows: together with the searcher's neighborhood sizes
+// it proves the O(touched) serving property — Fetched never exceeds the rows
+// the searcher touched, and a repeat of a fully cached query shows RPCs == 0.
+type RowQueryStats struct {
+	// Fetched is the number of rows pulled over the network.
+	Fetched int64
+	// RPCs is the number of row-fetch calls issued (including retries).
+	RPCs int64
+	// CacheHits and CacheMisses count the query's row-cache probes.
+	CacheHits, CacheMisses int64
+}
+
+// RowServeStats is the engine-wide view of the TwoSBoundRemote serving state:
+// cumulative fetch counters of the current epoch's row view and the shared
+// row cache's lifetime counters (the cache spans epochs).
+type RowServeStats struct {
+	// RowsFetched, RowRPCs and RowRetries count the current snapshot's
+	// row-serving view; like ClusterStats they reset to zero when an Apply
+	// rolls the engine to a new epoch (each epoch connects lazily).
+	RowsFetched, RowRPCs, RowRetries int64
+	// CacheHits, CacheMisses and CacheEvictions are lifetime counters of the
+	// engine's shared row cache.
+	CacheHits, CacheMisses, CacheEvictions int64
+	// CachedRows is the number of rows currently held.
+	CachedRows int
+}
+
+// RowServeStats reports the engine's row-serving counters. All zeros when no
+// workers are configured or before the first TwoSBoundRemote query.
+func (e *Engine) RowServeStats() RowServeStats {
+	var st RowServeStats
+	if r := e.snap.Load().rows.Load(); r != nil {
+		st.RowRPCs, st.RowRetries, st.RowsFetched = r.Stats()
+	}
+	if e.rowCache != nil {
+		st.CacheHits, st.CacheMisses, st.CacheEvictions = e.rowCache.Stats()
+		st.CachedRows = e.rowCache.Len()
+	}
+	return st
 }

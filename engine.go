@@ -14,6 +14,7 @@ import (
 	"roundtriprank/internal/core"
 	"roundtriprank/internal/distributed"
 	"roundtriprank/internal/graph"
+	"roundtriprank/internal/rowserve"
 	"roundtriprank/internal/topk"
 	"roundtriprank/internal/walk"
 )
@@ -41,6 +42,7 @@ const (
 	methodExact
 	methodOnline
 	methodDistributed
+	methodRemoteOnline
 )
 
 // Method selects how a Request is executed. The zero value is Auto.
@@ -69,6 +71,16 @@ var (
 	// the same top-K path the local exact solver uses. Scores are
 	// bit-identical to Exact.
 	Distributed = Method{kind: methodDistributed}
+	// TwoSBoundRemote runs the online 2SBound search against the engine's
+	// worker cluster (configured with WithWorkers) without a local copy of
+	// the graph: the searcher streams only the CSR rows it touches from the
+	// stripe workers through the engine's row cache (batched POST /v1/rows
+	// fetches, one per stripe per expansion wave). Every row arrives
+	// bit-exact from the stripe that owns it, so results are bit-identical
+	// to TwoSBound on a local view for any worker count. This is the paper's
+	// AP/GP serving architecture: the coordinator's working set is O(rows
+	// touched), never O(edges).
+	TwoSBoundRemote = Method{kind: methodRemoteOnline, scheme: Scheme2SBound}
 )
 
 // BoundScheme returns an online method using the given bound scheme, for
@@ -84,6 +96,8 @@ func (m Method) String() string {
 		return "exact"
 	case methodDistributed:
 		return "distributed"
+	case methodRemoteOnline:
+		return m.scheme.String() + "-remote"
 	default:
 		return m.scheme.String()
 	}
@@ -93,8 +107,9 @@ func (m Method) String() string {
 func (m Method) IsExact() bool { return m.kind == methodExact }
 
 // ParseMethod parses a method name (case-insensitive) as printed by
-// Method.String: "auto" (or empty), "exact", "distributed", "2sbound", or a
-// baseline bound scheme — "gs"/"g+s", "gupta", "sarkar".
+// Method.String: "auto" (or empty), "exact", "distributed", "2sbound",
+// "2sbound-remote" (or "remote"), or a baseline bound scheme — "gs"/"g+s",
+// "gupta", "sarkar".
 func ParseMethod(name string) (Method, error) {
 	switch strings.ToLower(name) {
 	case "", "auto":
@@ -105,6 +120,8 @@ func ParseMethod(name string) (Method, error) {
 		return Distributed, nil
 	case "2sbound":
 		return TwoSBound, nil
+	case "2sbound-remote", "remote":
+		return TwoSBoundRemote, nil
 	case "gs", "g+s":
 		return BoundScheme(SchemeGS), nil
 	case "gupta":
@@ -185,6 +202,11 @@ type Response struct {
 	// FSeen, TSeen and RSeen are the final neighborhood sizes |Sf|, |St| and
 	// |Sf ∩ St| of the online search (zero on the exact path).
 	FSeen, TSeen, RSeen int
+	// Rows is the row-serving footprint of a TwoSBoundRemote query — rows
+	// fetched over the network, row-fetch RPCs issued, row-cache hits and
+	// misses. Nil on every other path. A repeat of a fully cached query shows
+	// RPCs == 0.
+	Rows *RowQueryStats
 	// Elapsed is the wall-clock execution time.
 	Elapsed time.Duration
 }
@@ -213,6 +235,15 @@ type snapshot struct {
 	// query. Readers go through the atomic pointer and never take it.
 	connectMu sync.Mutex
 	coord     atomic.Pointer[distributed.Coordinator]
+
+	// rowMu and rows are the same lazy-connect discipline for the epoch's
+	// row-serving view (the TwoSBoundRemote method). The RemoteCSR is pinned
+	// to this snapshot's fleet epoch at connect time; it reads through the
+	// engine's shared row cache, whose content-fingerprint keys carry
+	// unchanged stripes' rows across an Apply rollover and strand the changed
+	// stripes' rows (see internal/rowserve).
+	rowMu sync.Mutex
+	rows  atomic.Pointer[rowserve.RemoteCSR]
 }
 
 // Engine executes ranking requests over one graph view. It is safe for
@@ -233,6 +264,12 @@ type Engine struct {
 	// distributed query of that epoch, so engine construction (and Apply)
 	// never block on the network.
 	workers []distributed.Transport
+	// rowCache is the engine-wide row cache of the TwoSBoundRemote method,
+	// shared by every epoch's RemoteCSR (created when workers are
+	// configured; sized by WithRowCacheRows). rowCacheRows only carries the
+	// option value until NewEngine builds the cache.
+	rowCache     *rowserve.Cache
+	rowCacheRows int
 
 	// applyMu serializes Apply: commits are rare and strictly ordered.
 	applyMu sync.Mutex
@@ -254,6 +291,12 @@ func NewEngine(view View, opts ...Option) (*Engine, error) {
 		if err := opt(e); err != nil {
 			return nil, err
 		}
+	}
+	// One row cache per engine, across every epoch's row-serving view; built
+	// after the options so WithWorkers and WithRowCacheRows compose in any
+	// order.
+	if len(e.workers) > 0 {
+		e.rowCache = rowserve.NewCache(e.rowCacheRows)
 	}
 	return e, nil
 }
@@ -349,12 +392,17 @@ func (e *Engine) plan(req Request) (*plan, error) {
 		return nil, err
 	}
 	method := req.Method
-	if method.kind == methodDistributed && len(e.workers) == 0 {
-		return nil, fmt.Errorf("roundtriprank: the Distributed method needs workers (configure with WithWorkers)")
+	if (method.kind == methodDistributed || method.kind == methodRemoteOnline) && len(e.workers) == 0 {
+		return nil, fmt.Errorf("roundtriprank: the %s method needs workers (configure with WithWorkers)", method)
 	}
 	if method.kind == methodAuto {
 		if _, local := snap.view.(*Graph); local && n <= e.exactLimit {
 			method = Exact
+		} else if len(e.workers) > 0 {
+			// Too big for a local exact solve and a striped fleet is
+			// configured: serve online against the fleet, touching only the
+			// query's neighborhood.
+			method = TwoSBoundRemote
 		} else {
 			method = TwoSBound
 		}
@@ -420,6 +468,8 @@ func (e *Engine) Rank(ctx context.Context, req Request) (*Response, error) {
 		resp, err = e.rankExact(ctx, p)
 	case methodDistributed:
 		resp, err = e.rankDistributed(ctx, p)
+	case methodRemoteOnline:
+		resp, err = e.rankRemote(ctx, p)
 	default:
 		resp, err = e.rankOnline(ctx, p)
 	}
@@ -539,6 +589,93 @@ func (e *Engine) rankDistributed(ctx context.Context, p *plan) (*Response, error
 	}
 	top := trimZeroScores(core.TopN(core.Combine(f, t, p.params.Beta), p.k, p.keep))
 	return &Response{Results: toResults(top), Method: Distributed, Converged: true}, nil
+}
+
+// rowView returns the row-serving view of the given snapshot, connecting to
+// the worker fleet and validating it against the snapshot on first use — the
+// same lazy, per-epoch discipline as coordinator(). A failed connect is not
+// cached. The view reads through the engine's shared row cache, so rows of
+// stripes an Apply left untouched stay warm across epochs.
+func (e *Engine) rowView(ctx context.Context, snap *snapshot) (*rowserve.RemoteCSR, error) {
+	if r := snap.rows.Load(); r != nil {
+		return r, nil
+	}
+	snap.rowMu.Lock()
+	defer snap.rowMu.Unlock()
+	if r := snap.rows.Load(); r != nil {
+		return r, nil
+	}
+	r, err := rowserve.Connect(ctx, e.workers, &rowserve.Options{Cache: e.rowCache})
+	if err != nil {
+		return nil, err
+	}
+	if r.NumNodes() != snap.view.NumNodes() {
+		return nil, fmt.Errorf("roundtriprank: workers serve a %d-node graph, the engine view has %d nodes",
+			r.NumNodes(), snap.view.NumNodes())
+	}
+	// Same safeguard as the exact-path coordinator: when the snapshot's view
+	// exposes CSR arrays, the fleet must have been striped from that exact
+	// graph (the fingerprint folds the epoch in, so a fleet still serving the
+	// previous epoch is rejected until redeployed).
+	if cv, ok := snap.view.(graph.CSRView); ok {
+		if local := graph.GraphFingerprint(cv); local != r.GraphFingerprint() {
+			return nil, fmt.Errorf("roundtriprank: workers were striped from a different graph (fingerprint %08x epoch %d, engine view has %08x epoch %d)",
+				r.GraphFingerprint(), r.Epoch(), local, snap.epoch)
+		}
+	}
+	snap.rows.Store(r)
+	return r, nil
+}
+
+// rankRemote executes an online-method plan against the worker fleet: the
+// pooled flat 2SBound searcher runs on the coordinator, streaming only the
+// rows it touches from the stripe workers through the row cache. Scores are
+// bit-identical to the local online path (rankOnline on the same snapshot);
+// the response additionally carries the query's row-serving footprint in
+// Rows. Fleet failures are wrapped in ClusterError, like rankDistributed.
+func (e *Engine) rankRemote(ctx context.Context, p *plan) (*Response, error) {
+	r, err := e.rowView(ctx, p.snap)
+	if err != nil {
+		return nil, &ClusterError{Err: err}
+	}
+	sess := r.Session(ctx)
+	res, err := topk.TopKRows(ctx, sess, p.query, topk.Options{
+		K:       p.k,
+		Epsilon: p.epsilon,
+		Alpha:   p.params.Walk.Alpha,
+		Beta:    p.params.Beta,
+		Scheme:  p.method.scheme,
+		Keep:    p.keep,
+	})
+	if err != nil {
+		// The caller's own cancellation is not backend trouble.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, &ClusterError{Err: err}
+	}
+	// Same normalization as rankOnline: square roots map the squared-scale
+	// lower bounds onto the exact path's f^(1−β)·t^β scale.
+	results := toResults(trimZeroScores(res.TopK))
+	for i := range results {
+		results[i].Score = math.Sqrt(results[i].Score)
+	}
+	st := sess.Stats()
+	return &Response{
+		Results:   results,
+		Method:    p.method,
+		Converged: res.Converged,
+		Rounds:    res.Rounds,
+		FSeen:     res.FSeen,
+		TSeen:     res.TSeen,
+		RSeen:     res.RSeen,
+		Rows: &RowQueryStats{
+			Fetched:     st.Fetched,
+			RPCs:        st.RPCs,
+			CacheHits:   st.CacheHits,
+			CacheMisses: st.CacheMisses,
+		},
+	}, nil
 }
 
 // rankOnline executes an online-method plan through topk.TopK, which picks
@@ -691,6 +828,8 @@ func (e *Engine) execPlan(ctx context.Context, p *plan, cache *vecCache) (*Respo
 		resp, err = e.rankExactShared(ctx, p, cache)
 	case methodDistributed:
 		resp, err = e.rankDistributed(ctx, p)
+	case methodRemoteOnline:
+		resp, err = e.rankRemote(ctx, p)
 	default:
 		resp, err = e.rankOnline(ctx, p)
 	}

@@ -32,8 +32,16 @@ import (
 //     dangling-node spread iterates in deterministic first-occurrence order
 //     rather than random map order.
 type Flat struct {
-	out   graph.CSR
-	alpha float64
+	out graph.CSR
+	// remote, when non-nil, replaces the CSR arrays with a row provider
+	// (typically a stripe-backed remote view, see InitRows); pre is its
+	// optional prefetch capability and prefetch the reusable frontier buffer
+	// handed to it. The local path keeps reading the CSR fields directly so
+	// the remote seam costs it one nil check per row access.
+	remote   graph.Rows
+	pre      graph.RowPrefetcher
+	prefetch []graph.NodeID
+	alpha    float64
 
 	restartNodes   []graph.NodeID
 	restartWeights []float64
@@ -54,17 +62,33 @@ type Flat struct {
 // Init starts (or restarts) a BCA computation for the given query with
 // teleport probability alpha in (0, 1), reusing the Flat's internal arrays.
 func (s *Flat) Init(view graph.CSRView, q walk.Query, alpha float64) error {
+	s.out = view.OutCSR()
+	s.remote, s.pre = nil, nil
+	return s.init(view.NumNodes(), q, alpha)
+}
+
+// InitRows starts a computation against a row provider instead of local CSR
+// arrays: adjacency is streamed row by row (OutRow), while degrees and
+// out-sums come from the provider's dense per-node metadata. If rows also
+// implements graph.RowPrefetcher, multi-node greedy waves announce their
+// frontier ahead of processing so a remote provider can coalesce the fetches.
+func (s *Flat) InitRows(rows graph.Rows, q walk.Query, alpha float64) error {
+	s.out = graph.CSR{}
+	s.remote = rows
+	s.pre, _ = rows.(graph.RowPrefetcher)
+	return s.init(rows.NumNodes(), q, alpha)
+}
+
+func (s *Flat) init(n int, q walk.Query, alpha float64) error {
 	if alpha <= 0 || alpha >= 1 {
 		return fmt.Errorf("bca: alpha must be in (0,1), got %g", alpha)
 	}
-	n := view.NumNodes()
 	var err error
 	s.restartNodes, s.restartWeights, err =
 		q.NormalizeInto(n, s.restartNodes[:0], s.restartWeights[:0])
 	if err != nil {
 		return fmt.Errorf("bca: %w", err)
 	}
-	s.out = view.OutCSR()
 	s.alpha = alpha
 	s.rho.Reset(n)
 	s.mu.Reset(n)
@@ -78,11 +102,38 @@ func (s *Flat) Init(view graph.CSRView, q walk.Query, alpha float64) error {
 	return nil
 }
 
-// Detach drops the engine's reference to the graph's CSR arrays so a pooled
-// instance does not pin a superseded snapshot in memory between queries. The
-// scratch arrays (which are the point of pooling) are kept; Init rebinds a
-// view.
-func (s *Flat) Detach() { s.out = graph.CSR{} }
+// Detach drops the engine's references to the graph's CSR arrays (or remote
+// row provider) so a pooled instance does not pin a superseded snapshot in
+// memory between queries. The scratch arrays (which are the point of pooling)
+// are kept; Init or InitRows rebinds a source.
+func (s *Flat) Detach() {
+	s.out = graph.CSR{}
+	s.remote, s.pre = nil, nil
+}
+
+// outDegree, outSum and outRow are the row-provider seam: one predictable
+// nil check keeps the local CSR fast path branch-free in effect while the
+// remote path routes through graph.Rows.
+func (s *Flat) outDegree(v graph.NodeID) int {
+	if s.remote != nil {
+		return s.remote.OutDegree(v)
+	}
+	return s.out.Degree(v)
+}
+
+func (s *Flat) outSum(v graph.NodeID) float64 {
+	if s.remote != nil {
+		return s.remote.OutSum(v)
+	}
+	return s.out.Sum[v]
+}
+
+func (s *Flat) outRow(v graph.NodeID) ([]graph.NodeID, []float64) {
+	if s.remote != nil {
+		return s.remote.OutRow(v)
+	}
+	return s.out.Row(v)
+}
 
 // Alpha returns the teleport probability of this computation.
 func (s *Flat) Alpha() float64 { return s.alpha }
@@ -121,6 +172,16 @@ func (s *Flat) SeenCount() int { return s.rho.Len() }
 // residual, which is also the size of both internal heaps.
 func (s *Flat) LiveResidualCount() int { return s.benefit.Len() }
 
+// ResidualTouchedCount returns the number of distinct nodes that ever held
+// residual during this query — the F-side share of the rows the searcher's
+// working set can reach (processing, prefetching and Stage-II refinement all
+// stay inside this set). The remote parity tests assert rows fetched never
+// exceeds it plus the T-side neighborhood.
+func (s *Flat) ResidualTouchedCount() int { return s.mu.Len() }
+
+// ResidualTouched reports whether v ever held residual during this query.
+func (s *Flat) ResidualTouched(v graph.NodeID) bool { return s.mu.Has(v) }
+
 // EachSeen calls fn for every node with a non-zero PPR estimate.
 func (s *Flat) EachSeen(fn func(v graph.NodeID, rho float64)) { s.rho.Each(fn) }
 
@@ -146,7 +207,7 @@ func (s *Flat) addResidual(v graph.NodeID, amount float64) {
 	}
 	nm := s.mu.Add(v, amount)
 	s.totalResidual += amount
-	deg := s.out.Degree(v)
+	deg := s.outDegree(v)
 	if deg < 1 {
 		deg = 1
 	}
@@ -169,14 +230,14 @@ func (s *Flat) Process(v graph.NodeID) {
 	s.processed++
 	s.rho.Add(v, s.alpha*residual)
 	spread := (1 - s.alpha) * residual
-	outSum := s.out.Sum[v]
+	outSum := s.outSum(v)
 	if outSum <= 0 {
 		for i, qv := range s.restartNodes {
 			s.addResidual(qv, spread*s.restartWeights[i])
 		}
 		return
 	}
-	cols, wts := s.out.Row(v)
+	cols, wts := s.outRow(v)
 	for i, to := range cols {
 		s.addResidual(to, spread*wts[i]/outSum)
 	}
@@ -186,6 +247,20 @@ func (s *Flat) Process(v graph.NodeID) {
 // mu(v)/|Out(v)|. Because the benefit heap is updated in place there are no
 // stale entries: the top of the heap is always the true best candidate.
 func (s *Flat) ProcessBest(m int) int {
+	if m > 1 && s.pre != nil {
+		// Announce the whole live-residual frontier before a multi-node
+		// greedy wave: the remote provider coalesces the misses into one RPC
+		// per stripe. Single-node waves (Run's convergence loop) skip the
+		// hint — re-announcing the frontier per processed node would scan it
+		// quadratically for no batching gain.
+		s.prefetch = s.prefetch[:0]
+		s.mu.Each(func(v graph.NodeID, res float64) {
+			if res > 0 {
+				s.prefetch = append(s.prefetch, v)
+			}
+		})
+		s.pre.Prefetch(s.prefetch)
+	}
 	done := 0
 	for done < m {
 		v, _, ok := s.benefit.Peek()

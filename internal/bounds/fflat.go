@@ -21,6 +21,9 @@ type FFlat struct {
 	opt FOptions
 	in  graph.CSR
 	out graph.CSR
+	// remote, when non-nil, replaces the CSR arrays with a row provider
+	// (InitRows); the Stage-II sweep then streams cached in-rows from it.
+	remote graph.Rows
 
 	engine  bca.Flat
 	restart scratch.Floats
@@ -38,17 +41,36 @@ func (fb *FFlat) Init(view graph.CSRView, q walk.Query, opt FOptions) error {
 	if err := fb.engine.Init(view, q, opt.Alpha); err != nil {
 		return fmt.Errorf("bounds: %w", err)
 	}
-	n := view.NumNodes()
-	fb.opt = opt
 	fb.in = view.InCSR()
 	fb.out = view.OutCSR()
+	fb.remote = nil
+	fb.reset(view.NumNodes(), opt)
+	return nil
+}
+
+// InitRows starts a computation against a row provider instead of local CSR
+// arrays; see bca.Flat.InitRows. The Stage-II sweep only revisits rows the
+// BCA engine already processed, so on a caching provider Refine never causes
+// a fetch of its own.
+func (fb *FFlat) InitRows(rows graph.Rows, q walk.Query, opt FOptions) error {
+	opt = opt.normalized()
+	if err := fb.engine.InitRows(rows, q, opt.Alpha); err != nil {
+		return fmt.Errorf("bounds: %w", err)
+	}
+	fb.in, fb.out = graph.CSR{}, graph.CSR{}
+	fb.remote = rows
+	fb.reset(rows.NumNodes(), opt)
+	return nil
+}
+
+func (fb *FFlat) reset(n int, opt FOptions) {
+	fb.opt = opt
 	fb.restart.Reset(n)
 	fb.engine.EachRestart(fb.restart.Set)
 	fb.b.Reset(n)
 	fb.unseen = 1
 	fb.expansions = 0
 	fb.sweep = fb.sweep[:0]
-	return nil
 }
 
 // Detach drops the tracker's references to the graph's CSR arrays so a
@@ -56,8 +78,30 @@ func (fb *FFlat) Init(view graph.CSRView, q walk.Query, opt FOptions) error {
 // rebinds a view.
 func (fb *FFlat) Detach() {
 	fb.in, fb.out = graph.CSR{}, graph.CSR{}
+	fb.remote = nil
 	fb.engine.Detach()
 }
+
+func (fb *FFlat) inRow(v graph.NodeID) ([]graph.NodeID, []float64) {
+	if fb.remote != nil {
+		return fb.remote.InRow(v)
+	}
+	return fb.in.Row(v)
+}
+
+func (fb *FFlat) outSum(v graph.NodeID) float64 {
+	if fb.remote != nil {
+		return fb.remote.OutSum(v)
+	}
+	return fb.out.Sum[v]
+}
+
+// ResidualTouchedCount forwards the BCA engine's count of rows its working
+// set can reach; ResidualTouched the membership test. See bca.Flat.
+func (fb *FFlat) ResidualTouchedCount() int { return fb.engine.ResidualTouchedCount() }
+
+// ResidualTouched reports whether the BCA engine ever held residual at v.
+func (fb *FFlat) ResidualTouched(v graph.NodeID) bool { return fb.engine.ResidualTouched(v) }
 
 // Expansions returns the number of Stage-I expansions performed so far.
 func (fb *FFlat) Expansions() int { return fb.expansions }
@@ -159,9 +203,9 @@ func (fb *FFlat) Refine() {
 		for _, v := range fb.sweep {
 			restart := fb.restart.Get(v)
 			sumLo, sumUp := 0.0, 0.0
-			cols, wts := fb.in.Row(v)
+			cols, wts := fb.inRow(v)
 			for i, from := range cols {
-				outSum := fb.out.Sum[from]
+				outSum := fb.outSum(from)
 				if outSum <= 0 {
 					continue
 				}

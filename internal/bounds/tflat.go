@@ -20,6 +20,12 @@ type TFlat struct {
 	opt TOptions
 	in  graph.CSR
 	out graph.CSR
+	// remote, when non-nil, replaces the CSR arrays with a row provider
+	// (InitRows); pre is its optional prefetch capability and wave the
+	// reusable buffer of rows each expansion announces to it.
+	remote graph.Rows
+	pre    graph.RowPrefetcher
+	wave   []graph.NodeID
 
 	restart      scratch.Floats
 	restartNodes []graph.NodeID
@@ -44,11 +50,28 @@ type TFlat struct {
 // Init starts (or restarts) a T-Rank bounds computation for the query,
 // reusing the tracker's internal arrays.
 func (tb *TFlat) Init(view graph.CSRView, q walk.Query, opt TOptions) error {
+	tb.in = view.InCSR()
+	tb.out = view.OutCSR()
+	tb.remote, tb.pre = nil, nil
+	return tb.init(view.NumNodes(), q, opt)
+}
+
+// InitRows starts a computation against a row provider instead of local CSR
+// arrays; see bca.Flat.InitRows. Expansions announce each wave (the picked
+// border rows, then the newcomer rows they pull in) to the provider's
+// prefetcher before streaming them.
+func (tb *TFlat) InitRows(rows graph.Rows, q walk.Query, opt TOptions) error {
+	tb.in, tb.out = graph.CSR{}, graph.CSR{}
+	tb.remote = rows
+	tb.pre, _ = rows.(graph.RowPrefetcher)
+	return tb.init(rows.NumNodes(), q, opt)
+}
+
+func (tb *TFlat) init(n int, q walk.Query, opt TOptions) error {
 	opt = opt.normalized()
 	if opt.Alpha <= 0 || opt.Alpha >= 1 {
 		return fmt.Errorf("bounds: alpha must be in (0,1), got %g", opt.Alpha)
 	}
-	n := view.NumNodes()
 	var err error
 	tb.restartNodes, tb.restartW, err =
 		q.NormalizeInto(n, tb.restartNodes[:0], tb.restartW[:0])
@@ -56,8 +79,9 @@ func (tb *TFlat) Init(view graph.CSRView, q walk.Query, opt TOptions) error {
 		return fmt.Errorf("bounds: %w", err)
 	}
 	tb.opt = opt
-	tb.in = view.InCSR()
-	tb.out = view.OutCSR()
+	if tb.pre != nil {
+		tb.pre.Prefetch(tb.restartNodes)
+	}
 	tb.restart.Reset(n)
 	tb.b.Reset(n)
 	tb.outsideIn.Reset(n)
@@ -80,7 +104,7 @@ func (tb *TFlat) Init(view graph.CSRView, q walk.Query, opt TOptions) error {
 
 func (tb *TFlat) countOutsideIn(v graph.NodeID) int {
 	count := 0
-	cols, _ := tb.in.Row(v)
+	cols, _ := tb.inRow(v)
 	for _, from := range cols {
 		if !tb.b.Seen(from) {
 			count++
@@ -94,6 +118,28 @@ func (tb *TFlat) countOutsideIn(v graph.NodeID) int {
 // rebinds a view.
 func (tb *TFlat) Detach() {
 	tb.in, tb.out = graph.CSR{}, graph.CSR{}
+	tb.remote, tb.pre = nil, nil
+}
+
+func (tb *TFlat) inRow(v graph.NodeID) ([]graph.NodeID, []float64) {
+	if tb.remote != nil {
+		return tb.remote.InRow(v)
+	}
+	return tb.in.Row(v)
+}
+
+func (tb *TFlat) outRow(v graph.NodeID) ([]graph.NodeID, []float64) {
+	if tb.remote != nil {
+		return tb.remote.OutRow(v)
+	}
+	return tb.out.Row(v)
+}
+
+func (tb *TFlat) outSum(v graph.NodeID) float64 {
+	if tb.remote != nil {
+		return tb.remote.OutSum(v)
+	}
+	return tb.out.Sum[v]
 }
 
 // Expansions returns the number of Stage-I expansions performed (including
@@ -175,10 +221,27 @@ func (tb *TFlat) Expand() int {
 	if len(tb.pickN) == 0 {
 		return 0
 	}
+	if tb.pre != nil {
+		// Announce the wave in two coalesced batches: the picked border rows,
+		// then the newcomer rows those picks will pull in. The pre-pass below
+		// only reads membership, so the mutation loop that follows runs
+		// unchanged — same order, same bounds, bit-identical to local.
+		tb.pre.Prefetch(tb.pickN)
+		tb.wave = tb.wave[:0]
+		for _, u := range tb.pickN {
+			cols, _ := tb.inRow(u)
+			for _, from := range cols {
+				if !tb.b.Seen(from) {
+					tb.wave = append(tb.wave, from)
+				}
+			}
+		}
+		tb.pre.Prefetch(tb.wave)
+	}
 	added := 0
 	prevUnseen := tb.unseen
 	for _, u := range tb.pickN {
-		cols, _ := tb.in.Row(u)
+		cols, _ := tb.inRow(u)
 		for _, from := range cols {
 			if tb.b.Seen(from) {
 				continue
@@ -189,7 +252,7 @@ func (tb *TFlat) Expand() int {
 			tb.outsideIn.Set(from, tb.countOutsideIn(from))
 			// Every seen out-neighbor of the newcomer loses one outside
 			// in-neighbor (the newcomer already counted its own membership).
-			outCols, _ := tb.out.Row(from)
+			outCols, _ := tb.outRow(from)
 			for _, to := range outCols {
 				if to != from && tb.b.Seen(to) {
 					tb.outsideIn.Add(to, -1)
@@ -261,10 +324,10 @@ func (tb *TFlat) applyRecursion() float64 {
 	maxChange := 0.0
 	for _, v := range tb.sweep {
 		restart := tb.restart.Get(v)
-		outSum := tb.out.Sum[v]
+		outSum := tb.outSum(v)
 		sumLo, sumUp := 0.0, 0.0
 		if outSum > 0 {
-			cols, wts := tb.out.Row(v)
+			cols, wts := tb.outRow(v)
 			for i, to := range cols {
 				m := wts[i] / outSum
 				if lo, up, seen := tb.b.Get(to); seen {

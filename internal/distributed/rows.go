@@ -1,0 +1,368 @@
+// Row-fetch RPC: the worker-side half of the online-distributed serving path
+// (internal/rowserve). Where /v1/multiply ships whole iteration vectors for
+// the offline exact solver, /v1/rows ships individual CSR rows on demand —
+// the paper's AP/GP interaction — so a coordinator can run the online top-K
+// searcher while holding only the rows it touches.
+package distributed
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+
+	"roundtriprank/internal/graph"
+)
+
+// RowData is one node's served adjacency plus its out-weight sum, the unit of
+// the row-fetch RPC. Slices returned by in-process calls alias the stripe's
+// CSR arrays (stripes are immutable, so sharing is safe); treat them as
+// read-only.
+type RowData struct {
+	Node   graph.NodeID
+	OutSum float64
+	OutTo  []graph.NodeID
+	OutW   []float64
+	InFrom []graph.NodeID
+	InW    []float64
+}
+
+// RowBatch is the row-fetch response: the requested rows in request order,
+// stamped with the identity of the stripe snapshot that served them. Callers
+// pin a graph fingerprint per call and additionally validate Epoch/Content
+// against what they recorded at connect time, so a redeploy between RPCs
+// fails loudly instead of mixing snapshots within one query.
+type RowBatch struct {
+	Epoch   uint64
+	Content uint32
+	Rows    []RowData
+}
+
+// RowFetcher is implemented by transports whose worker serves the row-fetch
+// RPC. Like Multiply, FetchRows is a pure function of its inputs and safe to
+// retry; OutDegrees is the row-granular analogue of OutSums (the out-degrees
+// of the worker's owned rows, in local row order) and is fetched once at
+// connect time to build the dense per-node metadata the searcher reads
+// without row fetches.
+type RowFetcher interface {
+	FetchRows(ctx context.Context, graphSum uint32, nodes []graph.NodeID) (RowBatch, error)
+	OutDegrees(ctx context.Context) ([]int32, error)
+}
+
+// MaxRowFetchNodes caps the node count of one row-fetch request; one
+// expansion wave's misses for one stripe stay far below it.
+const MaxRowFetchNodes = 1 << 20
+
+// FetchRows implements the worker side of RowFetcher.FetchRows, serving every
+// requested row from one consistent stripe snapshot. graphSum pins the source
+// graph like Multiply's; a node not owned by the stripe is a caller bug and
+// fails the batch. The returned slices alias the stripe's arrays.
+func (w *Worker) FetchRows(graphSum uint32, nodes []graph.NodeID) (RowBatch, error) {
+	s := w.Stripe()
+	if s == nil {
+		return RowBatch{}, errNoStripe
+	}
+	if s.graphSum != graphSum {
+		return RowBatch{}, fmt.Errorf("%w (stripe has %08x, caller expects %08x)", ErrStripeReplaced, s.graphSum, graphSum)
+	}
+	if len(nodes) > MaxRowFetchNodes {
+		return RowBatch{}, fmt.Errorf("distributed: row fetch asks for %d rows, cap is %d", len(nodes), MaxRowFetchNodes)
+	}
+	batch := RowBatch{Epoch: s.epoch, Content: s.content, Rows: make([]RowData, 0, len(nodes))}
+	for _, v := range nodes {
+		adj, ok := s.adjacency(v)
+		if !ok {
+			return RowBatch{}, fmt.Errorf("distributed: node %d is not owned by stripe %d of %d", v, s.Index, s.Count)
+		}
+		batch.Rows = append(batch.Rows, RowData{
+			Node:   v,
+			OutSum: s.out.Sum[int(v)/s.Count],
+			OutTo:  adj.OutTo, OutW: adj.OutW,
+			InFrom: adj.InFrom, InW: adj.InW,
+		})
+	}
+	return batch, nil
+}
+
+// OutDegrees implements the worker side of RowFetcher.OutDegrees: the
+// out-degree of every owned node, indexed by local row.
+func (w *Worker) OutDegrees() ([]int32, error) {
+	s := w.Stripe()
+	if s == nil {
+		return nil, errNoStripe
+	}
+	out := make([]int32, s.rows)
+	for r := 0; r < s.rows; r++ {
+		out[r] = int32(s.out.RowPtr[r+1] - s.out.RowPtr[r])
+	}
+	return out, nil
+}
+
+// Row-fetch wire format (all little-endian). Request body: the node IDs as a
+// raw int32 array, count implied by length. Response body:
+//
+//	epoch   uint64
+//	content uint32
+//	count   uint32
+//	count × {
+//	    node   int32
+//	    outSum float64
+//	    outDeg uint32
+//	    inDeg  uint32
+//	    outDeg × int32    out-edge targets
+//	    outDeg × float64  out-edge weights
+//	    inDeg  × int32    in-edge sources
+//	    inDeg  × float64  in-edge weights
+//	}
+//
+// The out-degrees response is a raw int32 array over owned rows, like the
+// outsums vector but 4 bytes per entry.
+
+func appendNodeIDs(buf []byte, nodes []graph.NodeID) []byte {
+	for _, v := range nodes {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+func appendRowBatch(buf []byte, b RowBatch) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, b.Epoch)
+	buf = binary.LittleEndian.AppendUint32(buf, b.Content)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Rows)))
+	for _, row := range b.Rows {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(row.Node))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(row.OutSum))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(row.OutTo)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(row.InFrom)))
+		buf = appendNodeIDs(buf, row.OutTo)
+		buf = AppendVector(buf, row.OutW)
+		buf = appendNodeIDs(buf, row.InFrom)
+		buf = AppendVector(buf, row.InW)
+	}
+	return buf
+}
+
+// rowBatchSize returns the exact wire size of a batch, for Content-Length and
+// one-shot buffer sizing.
+func rowBatchSize(b RowBatch) int {
+	n := 16
+	for _, row := range b.Rows {
+		n += 20 + 12*(len(row.OutTo)+len(row.InFrom))
+	}
+	return n
+}
+
+// rowDecoder is a bounds-checked cursor over a response buffer; the first
+// failed read latches err and turns every later read into a no-op.
+type rowDecoder struct {
+	raw []byte
+	off int
+	err error
+}
+
+func (d *rowDecoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.raw)-d.off < n {
+		d.err = fmt.Errorf("distributed: row batch truncated at byte %d of %d", d.off, len(d.raw))
+		return false
+	}
+	return true
+}
+
+func (d *rowDecoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.raw[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *rowDecoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.raw[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *rowDecoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *rowDecoder) nodeIDs(n int) []graph.NodeID {
+	if !d.need(4 * n) {
+		return nil
+	}
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(binary.LittleEndian.Uint32(d.raw[d.off+4*i:]))
+	}
+	d.off += 4 * n
+	return out
+}
+
+func (d *rowDecoder) f64s(n int) []float64 {
+	if !d.need(8 * n) {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.raw[d.off+8*i:]))
+	}
+	d.off += 8 * n
+	return out
+}
+
+func decodeRowBatch(raw []byte) (RowBatch, error) {
+	d := rowDecoder{raw: raw}
+	batch := RowBatch{Epoch: d.u64(), Content: d.u32()}
+	count := int(d.u32())
+	if d.err == nil && count*20 > len(raw)-d.off {
+		d.err = fmt.Errorf("distributed: row batch declares %d rows, body too short", count)
+	}
+	if d.err == nil {
+		batch.Rows = make([]RowData, 0, count)
+	}
+	for i := 0; i < count && d.err == nil; i++ {
+		row := RowData{Node: graph.NodeID(d.u32()), OutSum: d.f64()}
+		outDeg, inDeg := int(d.u32()), int(d.u32())
+		row.OutTo = d.nodeIDs(outDeg)
+		row.OutW = d.f64s(outDeg)
+		row.InFrom = d.nodeIDs(inDeg)
+		row.InW = d.f64s(inDeg)
+		batch.Rows = append(batch.Rows, row)
+	}
+	if d.err != nil {
+		return RowBatch{}, d.err
+	}
+	if d.off != len(raw) {
+		return RowBatch{}, fmt.Errorf("distributed: row batch has %d trailing bytes", len(raw)-d.off)
+	}
+	return batch, nil
+}
+
+// handleRows serves POST /v1/rows: a batched row fetch against the installed
+// stripe. The optional graph parameter pins the stripe's source graph like
+// /v1/multiply's; ad-hoc callers that omit it accept whatever is installed.
+func (w *Worker) handleRows(rw http.ResponseWriter, r *http.Request) {
+	s := w.Stripe()
+	if s == nil {
+		workerError(rw, http.StatusConflict, "%v", errNoStripe)
+		return
+	}
+	graphSum := s.graphSum
+	if gp := r.URL.Query().Get("graph"); gp != "" {
+		v, err := strconv.ParseUint(gp, 10, 32)
+		if err != nil {
+			workerError(rw, http.StatusBadRequest, "distributed: invalid graph fingerprint %q", gp)
+			return
+		}
+		graphSum = uint32(v)
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, MaxRowFetchNodes*4+1))
+	if err != nil {
+		workerError(rw, http.StatusBadRequest, "distributed: read rows request: %v", err)
+		return
+	}
+	if len(raw)%4 != 0 {
+		workerError(rw, http.StatusBadRequest, "distributed: rows request is %d bytes, not an int32 array", len(raw))
+		return
+	}
+	nodes := make([]graph.NodeID, len(raw)/4)
+	for i := range nodes {
+		nodes[i] = graph.NodeID(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	batch, err := w.FetchRows(graphSum, nodes)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrStripeReplaced) {
+			status = http.StatusConflict
+		}
+		workerError(rw, status, "%v", err)
+		return
+	}
+	body := appendRowBatch(make([]byte, 0, rowBatchSize(batch)), batch)
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	_, _ = rw.Write(body)
+}
+
+// handleOutDegs serves GET /v1/outdegs: the out-degrees of the owned rows as
+// a raw little-endian int32 array.
+func (w *Worker) handleOutDegs(rw http.ResponseWriter, r *http.Request) {
+	degs, err := w.OutDegrees()
+	if err != nil {
+		workerError(rw, http.StatusConflict, "%v", err)
+		return
+	}
+	buf := make([]byte, 0, len(degs)*4)
+	for _, d := range degs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	_, _ = rw.Write(buf)
+}
+
+// FetchRows implements RowFetcher for the in-process transport.
+func (l *Loopback) FetchRows(ctx context.Context, graphSum uint32, nodes []graph.NodeID) (RowBatch, error) {
+	if err := ctx.Err(); err != nil {
+		return RowBatch{}, err
+	}
+	return l.w.FetchRows(graphSum, nodes)
+}
+
+// OutDegrees implements RowFetcher for the in-process transport.
+func (l *Loopback) OutDegrees(ctx context.Context) ([]int32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.w.OutDegrees()
+}
+
+// FetchRows implements RowFetcher over the gpserver wire protocol.
+func (t *HTTPTransport) FetchRows(ctx context.Context, graphSum uint32, nodes []graph.NodeID) (RowBatch, error) {
+	req := appendNodeIDs(make([]byte, 0, len(nodes)*4), nodes)
+	path := fmt.Sprintf("/v1/rows?graph=%d", graphSum)
+	body, err := t.do(ctx, http.MethodPost, path, req, "application/octet-stream")
+	if err != nil {
+		return RowBatch{}, err
+	}
+	defer body.Close()
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return RowBatch{}, &TransientError{Err: fmt.Errorf("distributed: %s: read rows response: %w", t.base, err)}
+	}
+	batch, err := decodeRowBatch(raw)
+	if err != nil {
+		return RowBatch{}, fmt.Errorf("distributed: %s: %w", t.base, err)
+	}
+	return batch, nil
+}
+
+// OutDegrees implements RowFetcher over the gpserver wire protocol.
+func (t *HTTPTransport) OutDegrees(ctx context.Context) ([]int32, error) {
+	body, err := t.do(ctx, http.MethodGet, "/v1/outdegs", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return nil, &TransientError{Err: fmt.Errorf("distributed: %s: read outdegs response: %w", t.base, err)}
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("distributed: %s: outdegs response is %d bytes, not an int32 array", t.base, len(raw))
+	}
+	out := make([]int32, len(raw)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return out, nil
+}

@@ -142,7 +142,10 @@ const MaxStripeUploadBytes = 4 << 30
 //	GET  /healthz          — liveness and stripe summary (JSON)
 //	GET  /v1/info          — WorkerInfo (JSON); 409 when no stripe is installed
 //	GET  /v1/outsums       — owned rows' out-weight sums (binary vector)
+//	GET  /v1/outdegs       — owned rows' out-degrees (binary int32 array)
 //	POST /v1/multiply      — ?dir=in|out, body and response binary vectors
+//	POST /v1/rows          — batched row fetch for the online serving path
+//	                         (binary, see rows.go for the wire format)
 //	POST /v1/stripe        — install a stripe (binary stripe codec body)
 //	POST /v1/stripe/retag  — ?graph=F&epoch=E&content=C rebind an unchanged
 //	                         stripe to a new epoch; 409 on content mismatch
@@ -154,7 +157,9 @@ func (w *Worker) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", w.handleHealthz)
 	mux.HandleFunc("GET /v1/info", w.handleInfo)
 	mux.HandleFunc("GET /v1/outsums", w.handleOutSums)
+	mux.HandleFunc("GET /v1/outdegs", w.handleOutDegs)
 	mux.HandleFunc("POST /v1/multiply", w.handleMultiply)
+	mux.HandleFunc("POST /v1/rows", w.handleRows)
 	mux.HandleFunc("POST /v1/stripe", w.handleInstallStripe)
 	mux.HandleFunc("POST /v1/stripe/retag", w.handleRetagStripe)
 	return mux

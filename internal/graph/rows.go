@@ -1,0 +1,49 @@
+package graph
+
+// Rows is the row-streaming access pattern of the online top-K searcher: the
+// exact set of reads bca.Flat and bounds.FFlat/TFlat perform against a graph,
+// expressed per row instead of as whole CSR arrays. A local CSRView satisfies
+// it trivially; the point of the interface is the remote implementation
+// (internal/rowserve.Session), which serves OutRow/InRow from a row cache
+// filled by batched worker RPCs while OutSum/OutDegree come from small dense
+// per-node arrays assembled once at connect time. That split mirrors the
+// paper's AP/GP architecture: the searcher's working set is O(rows touched),
+// never the full adjacency.
+//
+// Implementations may panic with *RowFetchError when a row cannot be
+// materialized (the searcher has no error channel on its row reads);
+// topk.TopKRows converts that panic back into an error.
+type Rows interface {
+	// NumNodes returns the number of nodes; node IDs are in [0, NumNodes).
+	NumNodes() int
+	// OutDegree returns the number of out-edges of v.
+	OutDegree(v NodeID) int
+	// OutSum returns the total out-weight of v.
+	OutSum(v NodeID) float64
+	// OutRow returns the out-edge targets and weights of v. The slices are
+	// read-only and valid at least until the next call on the provider.
+	OutRow(v NodeID) (cols []NodeID, weights []float64)
+	// InRow returns the in-edge sources and weights of v, same contract.
+	InRow(v NodeID) (cols []NodeID, weights []float64)
+}
+
+// RowPrefetcher is optionally implemented by a Rows provider that can
+// materialize many rows in one round trip. The searcher hands it the frontier
+// of each expansion wave before streaming the rows one by one, so a remote
+// provider coalesces the wave's misses into one RPC per stripe. Prefetch is
+// advisory: duplicates and already-cached nodes are fine, and the provider
+// may satisfy the hint partially.
+type RowPrefetcher interface {
+	Prefetch(nodes []NodeID)
+}
+
+// RowFetchError carries a row-fetch failure across the searcher's panic
+// boundary: remote Rows implementations panic with *RowFetchError after
+// exhausting retries, and topk.TopKRows recovers it into an ordinary error
+// (anything else keeps propagating). Err retains the transport
+// classification, so errors.As / distributed.IsTransient still work on it.
+type RowFetchError struct{ Err error }
+
+func (e *RowFetchError) Error() string { return e.Err.Error() }
+
+func (e *RowFetchError) Unwrap() error { return e.Err }

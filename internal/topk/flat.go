@@ -57,6 +57,31 @@ func flatTopK(ctx context.Context, view graph.CSRView, q walk.Query, opt Options
 	return s.run(ctx)
 }
 
+// flatTopKRows is flatTopK against a row provider instead of a CSR view: the
+// same pooled searcher, the same round loop, with both bound trackers bound
+// through InitRows. Row-fetch failures arrive as *graph.RowFetchError panics;
+// they unwind through the deferred release here (the searcher goes back to
+// the pool detached) and are recovered by TopKRows.
+func flatTopKRows(ctx context.Context, rows graph.Rows, q walk.Query, opt Options, fOpt bounds.FOptions, tOpt bounds.TOptions) (*Result, error) {
+	s := flatPool.Get().(*flatSearcher)
+	defer func() {
+		s.opt = Options{}
+		s.fb.Detach()
+		s.tb.Detach()
+		flatPool.Put(s)
+	}()
+	if err := s.fb.InitRows(rows, q, fOpt); err != nil {
+		return nil, err
+	}
+	if err := s.tb.InitRows(rows, q, tOpt); err != nil {
+		return nil, err
+	}
+	s.opt = opt
+	s.expF = 2 * (1 - opt.Beta)
+	s.expT = 2 * opt.Beta
+	return s.run(ctx)
+}
+
 // run is Algorithm 1's round loop, mirroring searcher.run.
 func (s *flatSearcher) run(ctx context.Context) (*Result, error) {
 	res := &Result{Flat: true}
@@ -92,7 +117,21 @@ func (s *flatSearcher) run(ctx context.Context) (*Result, error) {
 	res.FSeen = s.fb.SeenCount()
 	res.TSeen = s.tb.SeenCount()
 	res.RSeen = s.intersectionSize()
+	res.Touched = s.touchedRows()
 	return res, nil
+}
+
+// touchedRows counts the distinct rows the query's working set could reach:
+// the F side's residual-touched set (processing, frontier prefetches and the
+// Stage-II sweep all stay inside it) unioned with the t-neighborhood.
+func (s *flatSearcher) touchedRows() int {
+	n := s.fb.ResidualTouchedCount()
+	for _, v := range s.tb.SeenList() {
+		if !s.fb.ResidualTouched(v) {
+			n++
+		}
+	}
+	return n
 }
 
 func (s *flatSearcher) rLower(v graph.NodeID) float64 {

@@ -144,6 +144,12 @@ type Result struct {
 	// pooled scratch-state path (CSR-capable views), false for the map-based
 	// fallback.
 	Flat bool
+	// Touched is the number of distinct rows the searcher's working set could
+	// reach: every node that ever held BCA residual plus every t-neighborhood
+	// member outside that set. On the scratch-state path only (zero on the
+	// map fallback). It upper-bounds the rows a remote row provider fetches
+	// for the query — the O(touched) property the row-serving layer asserts.
+	Touched int
 }
 
 // searcher carries the per-query state of Algorithm 1.
@@ -165,31 +171,9 @@ func TopK(ctx context.Context, view graph.View, q walk.Query, opt Options) (*Res
 	if err != nil {
 		return nil, err
 	}
-	fOpt := bounds.DefaultFOptions(opt.Alpha)
-	tOpt := bounds.DefaultTOptions(opt.Alpha)
-	if opt.FExpansion > 0 {
-		fOpt.M = opt.FExpansion
-	}
-	if opt.TExpansion > 0 {
-		tOpt.M = opt.TExpansion
-	}
-	// Scheme selection. The weaker baseline schemes keep the refinement loop
-	// (so that every scheme still converges to a correct answer) but swap in
-	// the looser bound rules the paper attributes to the prior works: Gupta's
-	// first-arrival unseen bound for F-Rank, and expansion-time-only unseen
-	// tightening (Sarkar-style) for T-Rank. Looser bounds force more
-	// expansions and therefore longer query times (Fig. 11a).
-	switch opt.Scheme {
-	case Scheme2SBound:
-	case SchemeGS:
-		fOpt.ImprovedBound = false
-		tOpt.TightenUnseenInRefine = false
-	case SchemeGupta:
-		fOpt.ImprovedBound = false
-	case SchemeSarkar:
-		tOpt.TightenUnseenInRefine = false
-	default:
-		return nil, fmt.Errorf("topk: unknown scheme %d", int(opt.Scheme))
+	fOpt, tOpt, err := boundOptions(opt)
+	if err != nil {
+		return nil, err
 	}
 	// Views that expose flat CSR adjacency take the pooled scratch-state
 	// path (near-zero allocation per query); wrapped views — masked,
@@ -216,6 +200,69 @@ func TopK(ctx context.Context, view graph.View, q walk.Query, opt Options) (*Res
 		expT: 2 * opt.Beta,
 	}
 	return s.run(ctx)
+}
+
+// boundOptions derives both sides' bound options from the query options:
+// expansion-width overrides plus the scheme selection. The weaker baseline
+// schemes keep the refinement loop (so that every scheme still converges to a
+// correct answer) but swap in the looser bound rules the paper attributes to
+// the prior works: Gupta's first-arrival unseen bound for F-Rank, and
+// expansion-time-only unseen tightening (Sarkar-style) for T-Rank. Looser
+// bounds force more expansions and therefore longer query times (Fig. 11a).
+func boundOptions(opt Options) (bounds.FOptions, bounds.TOptions, error) {
+	fOpt := bounds.DefaultFOptions(opt.Alpha)
+	tOpt := bounds.DefaultTOptions(opt.Alpha)
+	if opt.FExpansion > 0 {
+		fOpt.M = opt.FExpansion
+	}
+	if opt.TExpansion > 0 {
+		tOpt.M = opt.TExpansion
+	}
+	switch opt.Scheme {
+	case Scheme2SBound:
+	case SchemeGS:
+		fOpt.ImprovedBound = false
+		tOpt.TightenUnseenInRefine = false
+	case SchemeGupta:
+		fOpt.ImprovedBound = false
+	case SchemeSarkar:
+		tOpt.TightenUnseenInRefine = false
+	default:
+		return fOpt, tOpt, fmt.Errorf("topk: unknown scheme %d", int(opt.Scheme))
+	}
+	return fOpt, tOpt, nil
+}
+
+// TopKRows runs the online top-K algorithm against a row provider — the
+// remote-backed serving path, where adjacency streams in row by row from
+// stripe workers (internal/rowserve) instead of living in coordinator memory.
+// It always uses the pooled scratch-state searcher; the provider's row reads
+// signal failure by panicking with *graph.RowFetchError, which this function
+// converts back into an ordinary error (any other panic propagates).
+//
+// The searcher's arithmetic and expansion order are identical to the local
+// flat path, so for the same graph content the returned ranking and scores
+// are bit-identical to TopK over a CSR view.
+func TopKRows(ctx context.Context, rows graph.Rows, q walk.Query, opt Options) (res *Result, err error) {
+	ctx = walk.OrBackground(ctx)
+	opt, err = opt.normalized()
+	if err != nil {
+		return nil, err
+	}
+	fOpt, tOpt, err := boundOptions(opt)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			fe, ok := r.(*graph.RowFetchError)
+			if !ok {
+				panic(r)
+			}
+			res, err = nil, fe.Err
+		}
+	}()
+	return flatTopKRows(ctx, rows, q, opt, fOpt, tOpt)
 }
 
 func (s *searcher) run(ctx context.Context) (*Result, error) {

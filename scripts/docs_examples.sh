@@ -99,6 +99,35 @@ expect "gpserver /v1/info epoch" '"epoch":0' "$info"
 content=$(printf '%s' "$info" | grep -oE '"content":[0-9]+' | head -1 | cut -d: -f2)
 [ -n "$content" ] || fail "no content fingerprint in /v1/info: $info"
 
+if command -v python3 >/dev/null 2>&1; then
+    out=$(curl -s "localhost:$GP_PORT/v1/outdegs" |
+        python3 -c 'import struct,sys; b=sys.stdin.buffer.read();
+v=struct.unpack("<%di"%(len(b)//4), b)
+print(len(v), "rows; degree of node 0:", v[0])')
+    expect "API.md outdegs fixture" '1072 rows; degree of node 0: 45' "$out"
+
+    # The documented /v1/rows example: fetch nodes 0 and 2, decode the
+    # header and the first row. (Runs before the retag example below, which
+    # rebinds the stripe's identity.)
+    out=$(python3 -c 'import struct,sys; sys.stdout.buffer.write(struct.pack("<2i", 0, 2))' |
+        curl -s --data-binary @- -H 'Content-Type: application/octet-stream' \
+            "localhost:$GP_PORT/v1/rows" |
+        python3 -c 'import struct,sys; b=sys.stdin.buffer.read();
+epoch,content,count=struct.unpack_from("<QII", b)
+node,outsum,outdeg,indeg=struct.unpack_from("<idII", b, 16)
+print("epoch",epoch,"content",content,"rows",count,
+      "| first row: node",node,"outSum",round(outsum,4),"out",outdeg,"in",indeg)')
+    expect "API.md rows fixture" \
+        'epoch 0 content 3730835707 rows 2 | first row: node 0 outSum 45.0 out 45 in 45' "$out"
+else
+    echo "  skip: python3 not available, binary rows/outdegs examples not replayed"
+fi
+
+out=$(curl -s -o /dev/null -w '%{http_code}' --data-binary 'xyz' \
+    "localhost:$GP_PORT/v1/rows")
+[ "$out" = "400" ] || fail "misaligned rows request answered $out, want 400"
+echo "  ok: misaligned rows request rejected with 400"
+
 out=$(curl -s -X POST "localhost:$GP_PORT/v1/stripe/retag?graph=123456&epoch=1&content=$content")
 expect "retag adopts identity" '"graph":123456' "$out"
 expect "retag adopts epoch" '"epoch":1' "$out"
