@@ -34,6 +34,15 @@
 // hit rate and qps/p50 per pass, and writes the report to -remote-out
 // (default BENCH_PR6.json). It shares -online-scale and -eff-queries with
 // -fig online.
+//
+// -fig overload drives the real rtrankd serving stack (internal/serve plus
+// the cliutil middleware) past its admission limit: one pass with the gate
+// off, one with a small -overload-inflight cap under many concurrent HTTP
+// clients. It verifies every shed response is a 429 bearing Retry-After,
+// checks the gate keeps the admitted tail latency bounded, scrapes the
+// stack's own /metrics for the shed counter, and writes the report to
+// -overload-out (default BENCH_PR7.json). It shares -online-scale and
+// -eff-queries with -fig online.
 package main
 
 import (
@@ -94,6 +103,8 @@ func main() {
 		onlineOut   = flag.String("online-out", "BENCH_PR5.json", "output file of -fig online")
 		onlineScale = flag.Float64("online-scale", onlineBenchScale, "BibNet scale of -fig online and -fig remote (default matches go test -bench Online)")
 		remoteOut   = flag.String("remote-out", "BENCH_PR6.json", "output file of -fig remote")
+		overloadOut = flag.String("overload-out", "BENCH_PR7.json", "output file of -fig overload")
+		overloadCap = flag.Int("overload-inflight", 2, "admission limit of the gated -fig overload pass")
 	)
 	flag.Parse()
 
@@ -122,6 +133,7 @@ func main() {
 	run("kernels", func() error { return r.kernels(*benchOut) })
 	run("online", func() error { return r.online(*onlineOut, *onlineScale) })
 	run("remote", func() error { return r.remote(*remoteOut, *onlineScale) })
+	run("overload", func() error { return r.overload(*overloadOut, *onlineScale, *overloadCap) })
 	run("4", r.fig4)
 	run("5", r.fig5)
 	run("6", func() error { return r.illustrative("spatio temporal data") })

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"roundtriprank"
+	"roundtriprank/internal/cliutil"
+	"roundtriprank/internal/datasets"
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/serve"
+)
+
+// overloadPassResult is one pass of the overload scenario: the same client
+// swarm against one serving stack, gated or not.
+type overloadPassResult struct {
+	Pass        string `json:"pass"` // "unlimited" or "limited"
+	MaxInFlight int    `json:"max_in_flight"`
+	Clients     int    `json:"clients"`
+	Requests    int    `json:"requests"`
+	Admitted    int    `json:"admitted"`
+	Shed        int    `json:"shed"`
+	// ShedRate is shed/requests: the fraction of offered load the gate
+	// rejected with 429 + Retry-After.
+	ShedRate float64 `json:"shed_rate"`
+	// QPS counts admitted (200) responses only.
+	QPS float64 `json:"admitted_qps"`
+	// P50Us/P99Us are latency quantiles of admitted responses: the number
+	// the gate exists to keep bounded while load exceeds capacity.
+	P50Us int64 `json:"admitted_p50_us"`
+	P99Us int64 `json:"admitted_p99_us"`
+}
+
+// overloadReport is the schema of BENCH_PR7.json.
+type overloadReport struct {
+	GeneratedAt string               `json:"generated_at"`
+	GoMaxProcs  int                  `json:"gomaxprocs"`
+	Dataset     string               `json:"dataset"`
+	Scale       float64              `json:"scale"`
+	Nodes       int                  `json:"nodes"`
+	Edges       int                  `json:"edges"`
+	K           int                  `json:"k"`
+	Passes      []overloadPassResult `json:"passes"`
+	// P99LimitedOverUnlimited compares the admitted tail under the gate to
+	// the ungated tail at the same offered load; under saturation the gated
+	// stack should hold a lower (bounded) admitted p99.
+	P99LimitedOverUnlimited float64 `json:"admitted_p99_limited_over_unlimited"`
+	// MetricsSamples are the shed-relevant lines scraped from the gated
+	// stack's own /metrics after the pass, proving the exposition carries
+	// the counters the docs promise.
+	MetricsSamples []string `json:"metrics_samples"`
+}
+
+// overload drives the production serving stack past its admission limit and
+// records how it degrades: shed rate and admitted-tail latency with the gate
+// on, versus queueing with the gate off, at the same offered load.
+func (r *runner) overload(outPath string, scale float64, limit int) error {
+	if limit < 1 {
+		return fmt.Errorf("-overload-inflight must be at least 1, got %d", limit)
+	}
+	net, err := datasets.GenerateBibNet(datasets.ScaledBibNetConfig(scale))
+	if err != nil {
+		return err
+	}
+	g := net.Graph
+	clients := 8 * runtime.GOMAXPROCS(0)
+	if clients < 16 {
+		clients = 16
+	}
+	perClient := r.effQueries
+	if perClient < 3 {
+		perClient = 3
+	}
+	const k = 50
+	fmt.Printf("Overload BibNet: %d nodes, %d edges, %d clients x %d requests, gate limit %d\n",
+		g.NumNodes(), g.NumEdges(), clients, perClient, limit)
+
+	// Every request ranks a distinct query node, so no cross-query state
+	// amortizes the work: each admitted request costs a full online search.
+	queries := make([]graph.NodeID, 0, clients*perClient)
+	for i := 0; i < clients*perClient; i++ {
+		queries = append(queries, net.Papers[(i*7919)%len(net.Papers)])
+	}
+
+	report := overloadReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Dataset:     "bibnet",
+		Scale:       scale,
+		Nodes:       g.NumNodes(),
+		Edges:       g.NumEdges(),
+		K:           k,
+	}
+
+	for _, pass := range []struct {
+		name  string
+		limit int
+	}{{"unlimited", 0}, {"limited", limit}} {
+		res, samples, err := r.overloadPass(g, queries, pass.name, pass.limit, clients, perClient, k)
+		if err != nil {
+			return err
+		}
+		report.Passes = append(report.Passes, res)
+		if pass.limit > 0 {
+			report.MetricsSamples = samples
+		}
+		fmt.Printf("  %-10s %5d requests  %5d admitted  %5d shed (%.1f%%)  %8.1f q/s  p50 %7d µs  p99 %7d µs\n",
+			res.Pass, res.Requests, res.Admitted, res.Shed, 100*res.ShedRate, res.QPS, res.P50Us, res.P99Us)
+	}
+
+	limited := report.Passes[1]
+	if limited.Shed == 0 {
+		return fmt.Errorf("gated pass shed nothing: %d clients never exceeded limit %d", clients, limit)
+	}
+	if unlimitedP99 := report.Passes[0].P99Us; unlimitedP99 > 0 {
+		report.P99LimitedOverUnlimited = float64(limited.P99Us) / float64(unlimitedP99)
+	}
+	fmt.Printf("  admitted p99 limited/unlimited: %.2fx\n", report.P99LimitedOverUnlimited)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// overloadPass boots one full serving stack (engine + serve handlers +
+// middleware) and fires the client swarm at POST /rank. Every 429 must carry
+// Retry-After; every other response must be 200. Returns the pass result
+// and, for gated passes, the shed-related /metrics lines.
+func (r *runner) overloadPass(g *graph.Graph, queries []graph.NodeID, name string, limit, clients, perClient, k int) (overloadPassResult, []string, error) {
+	res := overloadPassResult{Pass: name, MaxInFlight: limit, Clients: clients}
+
+	metrics := serve.NewMetrics()
+	engine, err := roundtriprank.NewEngine(g, roundtriprank.WithQueryStatsHook(metrics.RecordQuery))
+	if err != nil {
+		return res, nil, err
+	}
+	s := serve.New(engine, metrics, serve.Config{})
+	srv := httptest.NewServer(cliutil.WrapHTTP(s.Handler(), metrics.Registry(), cliutil.HTTPOptions{
+		Routes:      serve.Routes(),
+		Exempt:      serve.ExemptRoutes(),
+		MaxInFlight: limit,
+	}))
+	defer srv.Close()
+	// The swarm needs one connection per concurrent client or the transport
+	// itself becomes the bottleneck.
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		// "epsilon": 0 demands the exact top-K guarantee, so every query
+		// does enough refinement work to actually contend for the server —
+		// a swarm of sub-millisecond requests would drain faster than it
+		// can pile up against the admission gate.
+		bodies[i] = []byte(fmt.Sprintf(`{"nodes":[%d],"k":%d,"method":"2sbound","epsilon":0}`, q, k))
+	}
+
+	type clientTally struct {
+		lats []time.Duration
+		shed int
+		err  error
+	}
+	tallies := make([]clientTally, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			t := &tallies[c]
+			for i := 0; i < perClient; i++ {
+				body := bodies[(c*perClient+i)%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(srv.URL+"/rank", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.err = err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					t.lats = append(t.lats, time.Since(t0))
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						t.err = fmt.Errorf("429 response without Retry-After")
+						return
+					}
+					t.shed++
+				default:
+					t.err = fmt.Errorf("unexpected status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lats []time.Duration
+	for c := range tallies {
+		if tallies[c].err != nil {
+			return res, nil, fmt.Errorf("%s pass, client %d: %w", name, c, tallies[c].err)
+		}
+		lats = append(lats, tallies[c].lats...)
+		res.Shed += tallies[c].shed
+	}
+	res.Requests = clients * perClient
+	res.Admitted = len(lats)
+	res.ShedRate = float64(res.Shed) / float64(res.Requests)
+	res.QPS = float64(res.Admitted) / elapsed.Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		res.P50Us = lats[len(lats)/2].Microseconds()
+		res.P99Us = lats[len(lats)*99/100].Microseconds()
+	}
+
+	var samples []string
+	if limit > 0 {
+		resp, err := client.Get(srv.URL + "/metrics")
+		if err != nil {
+			return res, nil, fmt.Errorf("scrape /metrics: %w", err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return res, nil, err
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(line, "rtrank_http_requests_shed_total") ||
+				strings.HasPrefix(line, `rtrank_http_requests_total{path="/rank"`) ||
+				strings.HasPrefix(line, `rtrank_engine_query_latency_seconds{method="2sbound"`) {
+				samples = append(samples, line)
+			}
+		}
+		want := fmt.Sprintf("rtrank_http_requests_shed_total %d", res.Shed)
+		if !strings.Contains(string(raw), want) {
+			return res, nil, fmt.Errorf("/metrics shed counter disagrees with the client tally: want %q", want)
+		}
+	}
+	return res, samples, nil
+}

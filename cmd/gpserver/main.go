@@ -28,8 +28,11 @@
 //	gpserver -dataset bibnet -scale 1.0 -stripe 2 -of 3 -listen :7003 &
 //
 // Requests are served with read/write timeouts, and SIGINT/SIGTERM trigger a
-// graceful drain before exit. The -legacy-gob flag additionally serves the
-// AP/GP adjacency protocol over TCP for the online-search path.
+// graceful drain before exit. GET /metrics serves the worker's Prometheus
+// exposition (request counts and latency by route, stripe/epoch gauges); an
+// optional -max-inflight gate sheds excess load with 429 + Retry-After. The
+// -legacy-gob flag additionally serves the AP/GP adjacency protocol over TCP
+// for the online-search path.
 package main
 
 import (
@@ -38,6 +41,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"time"
 
 	"os/signal"
@@ -46,7 +50,15 @@ import (
 	"roundtriprank/internal/cliutil"
 	"roundtriprank/internal/distributed"
 	"roundtriprank/internal/graph"
+	"roundtriprank/internal/obs"
 )
+
+// workerRoutes are the wire-protocol paths the middleware may label; other
+// paths collapse into path="other".
+var workerRoutes = []string{
+	"/healthz", "/metrics", "/v1/info", "/v1/outsums", "/v1/outdegs",
+	"/v1/multiply", "/v1/rows", "/v1/stripe", "/v1/stripe/retag",
+}
 
 func main() {
 	var (
@@ -60,6 +72,7 @@ func main() {
 		legacyGob  = flag.String("legacy-gob", "", "optional TCP listen address for the legacy AP/GP gob adjacency protocol")
 		writeTmo   = flag.Duration("write-timeout", 5*time.Minute, "HTTP response write timeout (must cover the slowest multiply)")
 		readTmo    = flag.Duration("read-timeout", time.Minute, "HTTP request read timeout (must cover a stripe upload)")
+		maxInflt   = flag.Int("max-inflight", 0, "admitted concurrent requests before shedding with 429 (0, the default, disables the gate: a worker's load is its coordinator's concurrency)")
 	)
 	flag.Parse()
 
@@ -90,14 +103,51 @@ func main() {
 		log.Printf("legacy AP/GP adjacency protocol on %s", gp.Addr())
 	}
 
+	reg := obs.NewRegistry("gpserver")
+	registerWorkerGauges(reg, worker)
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("/", worker.Handler())
+	handler := cliutil.WrapHTTP(mux, reg, cliutil.HTTPOptions{
+		Routes:      workerRoutes,
+		Exempt:      []string{"/healthz", "/metrics"},
+		MaxInFlight: *maxInflt,
+	})
+
 	cfg := cliutil.HTTPServerConfig{ReadTimeout: *readTmo, WriteTimeout: *writeTmo}
-	err = cliutil.ListenAndServe(ctx, *listen, worker.Handler(), cfg, func(a net.Addr) {
+	err = cliutil.ListenAndServe(ctx, *listen, handler, cfg, func(a net.Addr) {
 		log.Printf("worker wire protocol on %s", a)
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("shut down")
+}
+
+// registerWorkerGauges exposes the served stripe's identity on /metrics:
+// epoch (the lag signal an rtrankd front end alerts on), stripe index/count
+// and row/edge sizes. All read Worker.Info at scrape time, so a stripe
+// swap or retag shows up on the next scrape; an empty worker reports zeros.
+func registerWorkerGauges(reg *obs.Registry, worker *distributed.Worker) {
+	info := func(f func(distributed.WorkerInfo) float64) func() float64 {
+		return func() float64 {
+			wi, err := worker.Info()
+			if err != nil {
+				return 0
+			}
+			return f(wi)
+		}
+	}
+	reg.Gauge("stripe_epoch", "Epoch of the served stripe (0 when empty).", "",
+		info(func(wi distributed.WorkerInfo) float64 { return float64(wi.Epoch) }))
+	reg.Gauge("stripe_index", "Index of the served stripe within its deployment.", "",
+		info(func(wi distributed.WorkerInfo) float64 { return float64(wi.Index) }))
+	reg.Gauge("stripe_count", "Total stripes in the deployment the served stripe belongs to.", "",
+		info(func(wi distributed.WorkerInfo) float64 { return float64(wi.Count) }))
+	reg.Gauge("stripe_rows", "Rows owned by the served stripe.", "",
+		info(func(wi distributed.WorkerInfo) float64 { return float64(wi.Rows) }))
+	reg.Gauge("stripe_out_edges", "Out-edges stored by the served stripe.", "",
+		info(func(wi distributed.WorkerInfo) float64 { return float64(wi.OutEdges) }))
 }
 
 // loadStripe resolves the stripe-source flags; it returns nil when the worker

@@ -3,6 +3,7 @@
 //
 //	POST /rank      — execute one ranking request (JSON in, JSON out)
 //	GET  /healthz   — liveness plus graph stats
+//	GET  /metrics   — Prometheus text exposition (see docs/OPERATIONS.md)
 //	GET  /v1/epoch  — the serving snapshot: epoch, fingerprint, sizes
 //	POST /v1/edges  — batched graph mutation: stage a delta, commit a new
 //	                  epoch, swap the engine (and redeploy worker stripes)
@@ -29,23 +30,25 @@
 // reconciles the fleet before the new epoch serves, shipping only stripes
 // the commit changed (docs/OPERATIONS.md walks through the lifecycle).
 //
-// Every request runs under the HTTP request context, so a disconnecting
-// client cancels its in-flight computation; per-request alpha/beta/epsilon
-// override the engine defaults. The server enforces read/write timeouts and
-// shuts down gracefully on SIGINT/SIGTERM, draining in-flight queries.
+// The server applies bounded-in-flight admission control (-max-inflight;
+// excess load is shed with 429 + Retry-After), a per-request deadline
+// (-request-timeout), and read/write timeouts; it shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight queries. Queries run under the HTTP
+// request context, so a disconnecting client cancels its in-flight
+// computation; mutations detach onto a server-scoped context so a commit
+// finishes coherently regardless of the caller. The serving logic itself
+// lives in internal/serve; this command only parses flags and wires the
+// stack together.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"os/signal"
@@ -53,84 +56,21 @@ import (
 
 	"roundtriprank"
 	"roundtriprank/internal/cliutil"
+	"roundtriprank/internal/serve"
 )
-
-// rankRequest is the JSON body of POST /rank.
-type rankRequest struct {
-	// Query lists query node labels; Nodes lists raw node IDs. At least one
-	// of the two must be non-empty; they are combined when both are given.
-	Query []string               `json:"query,omitempty"`
-	Nodes []roundtriprank.NodeID `json:"nodes,omitempty"`
-	K     int                    `json:"k"`
-	// Method is auto (default), exact, distributed or 2sbound-remote (both
-	// require -workers), 2sbound, gs, gupta or sarkar.
-	Method string `json:"method,omitempty"`
-	// Type restricts results to the named node type (as registered on the
-	// graph, e.g. "venue"); empty keeps all types.
-	Type string `json:"type,omitempty"`
-	// KeepQuery keeps the query nodes in the results (default: excluded).
-	KeepQuery bool     `json:"keep_query,omitempty"`
-	Alpha     float64  `json:"alpha,omitempty"`
-	Beta      *float64 `json:"beta,omitempty"`
-	Epsilon   float64  `json:"epsilon,omitempty"`
-}
-
-type rankResult struct {
-	Node  roundtriprank.NodeID `json:"node"`
-	Label string               `json:"label"`
-	Score float64              `json:"score"`
-}
-
-// rankRows mirrors roundtriprank.RowQueryStats on the wire: the row-serving
-// footprint of a 2sbound-remote query.
-type rankRows struct {
-	Fetched     int64 `json:"fetched"`
-	RPCs        int64 `json:"rpcs"`
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
-}
-
-type rankResponse struct {
-	Results   []rankResult `json:"results"`
-	Method    string       `json:"method"`
-	Converged bool         `json:"converged"`
-	Rounds    int          `json:"rounds,omitempty"`
-	Rows      *rankRows    `json:"rows,omitempty"`
-	ElapsedMS float64      `json:"elapsed_ms"`
-}
-
-// maxRequestBytes caps the /rank request body; a ranking request is a few
-// labels and scalars, so 1 MiB is generous.
-const maxRequestBytes = 1 << 20
-
-// maxMutationBytes caps the /v1/edges request body. An ingestion batch is
-// bounded JSON, not a graph upload; bulk loads go through -graph files.
-const maxMutationBytes = 64 << 20
-
-type server struct {
-	engine  *roundtriprank.Engine
-	workers int
-
-	// mutateMu serializes /v1/edges: each batch stages its delta against the
-	// snapshot it resolved labels on, so two concurrent batches must not
-	// interleave between staging and Apply.
-	mutateMu sync.Mutex
-}
-
-// graph returns the currently served snapshot. Label resolution and result
-// labeling go through it; the engine itself pins a snapshot per query.
-func (s *server) graph() *roundtriprank.Graph {
-	return s.engine.View().(*roundtriprank.Graph)
-}
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "path to a gob-encoded graph (exclusive with -dataset)")
-		dataset   = flag.String("dataset", "", "synthetic dataset to generate: bibnet or qlog")
-		scale     = flag.Float64("scale", 0.3, "scale factor for synthetic datasets")
-		listen    = flag.String("listen", "127.0.0.1:8080", "listen address")
-		workers   = flag.String("workers", "", "comma-separated gpserver base URLs serving this graph's stripes; enables \"method\": \"distributed\"")
-		writeTmo  = flag.Duration("write-timeout", 5*time.Minute, "HTTP response write timeout (must cover the slowest query)")
+		graphPath   = flag.String("graph", "", "path to a gob-encoded graph (exclusive with -dataset)")
+		dataset     = flag.String("dataset", "", "synthetic dataset to generate: bibnet or qlog")
+		scale       = flag.Float64("scale", 0.3, "scale factor for synthetic datasets")
+		listen      = flag.String("listen", "127.0.0.1:8080", "listen address")
+		workers     = flag.String("workers", "", "comma-separated gpserver base URLs serving this graph's stripes; enables \"method\": \"distributed\"")
+		writeTmo    = flag.Duration("write-timeout", 5*time.Minute, "HTTP response write timeout (must cover the slowest query)")
+		maxInflight = flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0), "admitted concurrent requests before shedding with 429 (0 disables the gate)")
+		requestTmo  = flag.Duration("request-timeout", 0, "per-request deadline for admitted requests (0 leaves only the write timeout)")
+		mutationTmo = flag.Duration("mutation-timeout", serve.DefaultMutationTimeout, "server-side bound on one mutation commit + fleet redeploy")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint written on shed (429) responses")
 	)
 	flag.Parse()
 
@@ -141,7 +81,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var opts []roundtriprank.Option
+	metrics := serve.NewMetrics()
+	opts := []roundtriprank.Option{roundtriprank.WithQueryStatsHook(metrics.RecordQuery)}
 	var transports []roundtriprank.Transport
 	if *workers != "" {
 		for _, u := range strings.Split(*workers, ",") {
@@ -157,326 +98,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{engine: engine, workers: len(transports)}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/rank", s.handleRank)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/epoch", s.handleEpoch)
-	mux.HandleFunc("POST /v1/edges", s.handleEdges)
+	s := serve.New(engine, metrics, serve.Config{
+		Workers:         len(transports),
+		MutationTimeout: *mutationTmo,
+		BaseContext:     ctx,
+	})
+	var handler http.Handler = cliutil.WrapHTTP(s.Handler(), metrics.Registry(), cliutil.HTTPOptions{
+		Routes:         serve.Routes(),
+		Exempt:         serve.ExemptRoutes(),
+		MaxInFlight:    *maxInflight,
+		RetryAfter:     *retryAfter,
+		RequestTimeout: *requestTmo,
+	})
 
 	cfg := cliutil.HTTPServerConfig{WriteTimeout: *writeTmo}
-	err = cliutil.ListenAndServe(ctx, *listen, mux, cfg, func(a net.Addr) {
-		log.Printf("rtrankd serving %d nodes, %d edges on %s (%d stripe workers)",
-			g.NumNodes(), g.NumEdges(), a, len(transports))
+	err = cliutil.ListenAndServe(ctx, *listen, handler, cfg, func(a net.Addr) {
+		log.Printf("rtrankd serving %d nodes, %d edges on %s (%d stripe workers, max %d in flight)",
+			g.NumNodes(), g.NumEdges(), a, len(transports), *maxInflight)
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("shut down")
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	rpcs, retries := s.engine.ClusterStats()
-	rs := s.engine.RowServeStats()
-	g := s.graph()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"nodes":   g.NumNodes(),
-		"edges":   g.NumEdges(),
-		"epoch":   g.Epoch(),
-		"workers": s.workers,
-		"cluster": map[string]any{"rpcs": rpcs, "retries": retries},
-		"rows": map[string]any{
-			"fetched":      rs.RowsFetched,
-			"rpcs":         rs.RowRPCs,
-			"retries":      rs.RowRetries,
-			"cache_hits":   rs.CacheHits,
-			"cache_misses": rs.CacheMisses,
-			"evictions":    rs.CacheEvictions,
-			"cached":       rs.CachedRows,
-		},
-	})
-}
-
-// handleEpoch reports the serving snapshot, so operators and deploy scripts
-// can watch an epoch rollover land.
-func (s *server) handleEpoch(w http.ResponseWriter, r *http.Request) {
-	g := s.graph()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"epoch":       g.Epoch(),
-		"fingerprint": fmt.Sprintf("%08x", roundtriprank.GraphFingerprint(g)),
-		"nodes":       g.NumNodes(),
-		"edges":       g.NumEdges(),
-	})
-}
-
-// nodeSpec names a node to add: a label plus an optional registered type name.
-type nodeSpec struct {
-	Type  string `json:"type,omitempty"`
-	Label string `json:"label"`
-}
-
-// edgeSpec names one edge op by endpoint labels. Weight defaults to 1 on set
-// and is ignored on remove; Undirected applies the op in both directions.
-type edgeSpec struct {
-	From       string  `json:"from"`
-	To         string  `json:"to"`
-	Weight     float64 `json:"weight,omitempty"`
-	Undirected bool    `json:"undirected,omitempty"`
-}
-
-// mutateRequest is the JSON body of POST /v1/edges: one atomic ingestion
-// batch, applied as a single commit (all ops land in one new epoch, or none).
-type mutateRequest struct {
-	AddNodes    []nodeSpec `json:"add_nodes,omitempty"`
-	Set         []edgeSpec `json:"set,omitempty"`
-	Remove      []edgeSpec `json:"remove,omitempty"`
-	RemoveNodes []string   `json:"remove_nodes,omitempty"`
-}
-
-type mutateResponse struct {
-	Epoch           uint64  `json:"epoch"`
-	Nodes           int     `json:"nodes"`
-	Edges           int     `json:"edges"`
-	AddedNodes      int     `json:"added_nodes"`
-	SetEdges        int     `json:"set_edges"`
-	RemovedEdges    int     `json:"removed_edges"`
-	RemovedNodes    int     `json:"removed_nodes"`
-	StripesShipped  int     `json:"stripes_shipped"`
-	StripesRetagged int     `json:"stripes_retagged"`
-	ElapsedMS       float64 `json:"elapsed_ms"`
-}
-
-// handleEdges stages one mutation batch as a Delta and applies it: the engine
-// commits a fresh snapshot one epoch later and swaps to it atomically, after
-// reconciling any configured worker fleet. In-flight queries are unaffected
-// (they finish on their epoch).
-func (s *server) handleEdges(w http.ResponseWriter, r *http.Request) {
-	var in mutateRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxMutationBytes)).Decode(&in); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
-		return
-	}
-	if len(in.AddNodes) == 0 && len(in.Set) == 0 && len(in.Remove) == 0 && len(in.RemoveNodes) == 0 {
-		httpError(w, http.StatusBadRequest, "empty mutation: provide add_nodes, set, remove or remove_nodes")
-		return
-	}
-	start := time.Now()
-	s.mutateMu.Lock()
-	defer s.mutateMu.Unlock()
-	d, err := s.buildDelta(in)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	res, err := s.engine.Apply(r.Context(), d)
-	if err != nil {
-		var ce *roundtriprank.ClusterError
-		if errors.As(err, &ce) {
-			httpError(w, http.StatusBadGateway, "%v", err)
-			return
-		}
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	an, se, re, rn := d.Ops()
-	writeJSON(w, http.StatusOK, mutateResponse{
-		Epoch:           res.Epoch,
-		Nodes:           res.Graph.NumNodes(),
-		Edges:           res.Graph.NumEdges(),
-		AddedNodes:      an,
-		SetEdges:        se,
-		RemovedEdges:    re,
-		RemovedNodes:    rn,
-		StripesShipped:  res.StripesShipped,
-		StripesRetagged: res.StripesRetagged,
-		ElapsedMS:       float64(time.Since(start).Microseconds()) / 1000.0,
-	})
-}
-
-// buildDelta translates a wire mutation batch into a staged Delta against the
-// current snapshot. Caller holds mutateMu.
-func (s *server) buildDelta(in mutateRequest) (*roundtriprank.Delta, error) {
-	g := s.graph()
-	d := roundtriprank.NewDelta(g)
-	for _, ns := range in.AddNodes {
-		if ns.Label == "" {
-			return nil, fmt.Errorf("add_nodes entry is missing a label")
-		}
-		var t roundtriprank.NodeType
-		if ns.Type != "" {
-			var err error
-			if t, err = cliutil.TypeByName(g, ns.Type); err != nil {
-				return nil, err
-			}
-		}
-		d.AddNode(t, ns.Label)
-	}
-	node := func(label string) (roundtriprank.NodeID, error) {
-		v := d.NodeByLabel(label)
-		if v == roundtriprank.NoNode {
-			return v, fmt.Errorf("node %q not found (add it via add_nodes first)", label)
-		}
-		return v, nil
-	}
-	for _, es := range in.Set {
-		from, err := node(es.From)
-		if err != nil {
-			return nil, err
-		}
-		to, err := node(es.To)
-		if err != nil {
-			return nil, err
-		}
-		w := es.Weight
-		if w == 0 {
-			w = 1
-		}
-		if es.Undirected {
-			err = d.SetUndirectedEdge(from, to, w)
-		} else {
-			err = d.SetEdge(from, to, w)
-		}
-		if err != nil {
-			return nil, err
-		}
-	}
-	for _, es := range in.Remove {
-		from, err := node(es.From)
-		if err != nil {
-			return nil, err
-		}
-		to, err := node(es.To)
-		if err != nil {
-			return nil, err
-		}
-		if es.Undirected {
-			err = d.RemoveUndirectedEdge(from, to)
-		} else {
-			err = d.RemoveEdge(from, to)
-		}
-		if err != nil {
-			return nil, err
-		}
-	}
-	for _, label := range in.RemoveNodes {
-		v, err := node(label)
-		if err != nil {
-			return nil, err
-		}
-		if err := d.RemoveNode(v); err != nil {
-			return nil, err
-		}
-	}
-	return d, nil
-}
-
-func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST a JSON request to /rank")
-		return
-	}
-	var in rankRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&in); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
-		return
-	}
-	req, err := s.buildRequest(s.graph(), in)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	resp, err := s.engine.Rank(r.Context(), req)
-	if err != nil {
-		if r.Context().Err() != nil {
-			// Client went away; nothing useful to write.
-			return
-		}
-		// Cluster trouble is a backend condition, not a caller mistake:
-		// answer 502 so clients and load balancers treat it as retryable.
-		var ce *roundtriprank.ClusterError
-		if errors.As(err, &ce) {
-			httpError(w, http.StatusBadGateway, "%v", err)
-			return
-		}
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	out := rankResponse{
-		Results:   make([]rankResult, len(resp.Results)),
-		Method:    resp.Method.String(),
-		Converged: resp.Converged,
-		Rounds:    resp.Rounds,
-		ElapsedMS: float64(resp.Elapsed.Microseconds()) / 1000.0,
-	}
-	if resp.Rows != nil {
-		out.Rows = &rankRows{
-			Fetched:     resp.Rows.Fetched,
-			RPCs:        resp.Rows.RPCs,
-			CacheHits:   resp.Rows.CacheHits,
-			CacheMisses: resp.Rows.CacheMisses,
-		}
-	}
-	// Labels come from the snapshot current *after* the ranking: it is at
-	// least as new as the one the query ran on, and labels are append-only
-	// across epochs, so every result ID resolves even if a mutation landed
-	// mid-query.
-	g := s.graph()
-	for i, res := range resp.Results {
-		out.Results[i] = rankResult{Node: res.Node, Label: g.Label(res.Node), Score: res.Score}
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// buildRequest translates the wire request into an Engine request, resolving
-// labels against the given snapshot.
-func (s *server) buildRequest(g *roundtriprank.Graph, in rankRequest) (roundtriprank.Request, error) {
-	var nodes []roundtriprank.NodeID
-	for _, label := range in.Query {
-		v := g.NodeByLabel(label)
-		if v == roundtriprank.NoNode {
-			return roundtriprank.Request{}, fmt.Errorf("query node %q not found", label)
-		}
-		nodes = append(nodes, v)
-	}
-	nodes = append(nodes, in.Nodes...)
-	if len(nodes) == 0 {
-		return roundtriprank.Request{}, fmt.Errorf("empty query: provide \"query\" labels or \"nodes\" IDs")
-	}
-	method, err := roundtriprank.ParseMethod(in.Method)
-	if err != nil {
-		return roundtriprank.Request{}, err
-	}
-	filter := &roundtriprank.Filter{ExcludeQuery: !in.KeepQuery}
-	if in.Type != "" {
-		t, err := cliutil.TypeByName(g, in.Type)
-		if err != nil {
-			return roundtriprank.Request{}, err
-		}
-		filter.Types = []roundtriprank.NodeType{t}
-	}
-	k := in.K
-	if k == 0 {
-		k = 10
-	}
-	return roundtriprank.Request{
-		Query:   roundtriprank.MultiNode(nodes...),
-		K:       k,
-		Method:  method,
-		Filter:  filter,
-		Alpha:   in.Alpha,
-		Beta:    in.Beta,
-		Epsilon: in.Epsilon,
-	}, nil
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

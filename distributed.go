@@ -184,6 +184,25 @@ func (e *Engine) ClusterStats() (rpcs, retries int64) {
 	return rpcs, retries
 }
 
+// FleetEpoch reports the epoch the worker fleet is currently serving, as
+// seen by the snapshot's coordinator or row-serving view, whichever is
+// connected. connected is false when no distributed or remote-online query
+// has run on the current epoch yet (each epoch connects to the fleet
+// lazily) or when the engine has no workers; the local epoch (Epoch) minus
+// a connected fleet epoch is the "epoch lag" surfaced on /metrics —
+// non-zero lag means queries are still pinned to stripes the fleet has
+// since rolled past.
+func (e *Engine) FleetEpoch() (epoch uint64, connected bool) {
+	snap := e.snap.Load()
+	if c := snap.coord.Load(); c != nil {
+		return c.Epoch(), true
+	}
+	if r := snap.rows.Load(); r != nil {
+		return r.Epoch(), true
+	}
+	return 0, false
+}
+
 // RowQueryStats is the row-serving footprint of one TwoSBoundRemote query,
 // reported in Response.Rows: together with the searcher's neighborhood sizes
 // it proves the O(touched) serving property — Fetched never exceeds the rows

@@ -129,7 +129,58 @@ func ParseMethod(name string) (Method, error) {
 	case "sarkar":
 		return BoundScheme(SchemeSarkar), nil
 	default:
-		return Method{}, fmt.Errorf("roundtriprank: unknown method %q", name)
+		return Method{}, invalidf("roundtriprank: unknown method %q", name)
+	}
+}
+
+// ValidationError wraps a request-validation failure: the caller's Request
+// (or Delta) was malformed — a non-positive K, an out-of-range parameter, a
+// query node the view does not have, a stale mutation. It distinguishes
+// caller mistakes from internal faults, so servers can answer 4xx instead
+// of 5xx; unwrap with errors.As. Its counterpart for backend trouble is
+// ClusterError.
+type ValidationError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying validation failure.
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// invalidf builds a ValidationError from a format string.
+func invalidf(format string, args ...any) error {
+	return &ValidationError{Err: fmt.Errorf(format, args...)}
+}
+
+// QueryStat describes one executed ranking plan, delivered to the
+// WithQueryStatsHook callback when the execution finishes: the resolved
+// method (Auto already planned), the wall-clock execution time, and the
+// outcome. Requests that fail validation never reach the hook — they have
+// no resolved method; a serving layer counts those at its own boundary.
+type QueryStat struct {
+	// Method is the execution method actually used.
+	Method Method
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+	// Err is nil on success; context.Canceled / DeadlineExceeded indicate a
+	// cancelled query, a ClusterError backend trouble.
+	Err error
+}
+
+// WithQueryStatsHook installs a callback invoked after every executed Rank
+// (and RankBatch) plan with its method, duration and outcome — the feed for
+// a serving layer's per-method latency histograms and outcome counters. The
+// hook runs synchronously on the query goroutine, so it must be fast and
+// must not block; it may be invoked concurrently.
+func WithQueryStatsHook(fn func(QueryStat)) Option {
+	return func(e *Engine) error {
+		if fn == nil {
+			return fmt.Errorf("roundtriprank: WithQueryStatsHook needs a non-nil callback")
+		}
+		e.statsHook = fn
+		return nil
 	}
 }
 
@@ -258,6 +309,8 @@ type Engine struct {
 	// onlineMapBaseline forces the online methods onto the map-based
 	// searcher (WithOnlineMapBaseline); serving engines leave it false.
 	onlineMapBaseline bool
+	// statsHook, when set, observes every executed plan (WithQueryStatsHook).
+	statsHook func(QueryStat)
 
 	// workers are the stripe transports of the Distributed method; each
 	// snapshot's coordinator over them is built lazily on the first
@@ -350,39 +403,41 @@ type plan struct {
 }
 
 // plan validates the request and resolves defaults and the Auto method.
+// Every validation failure is wrapped in ValidationError, so callers can
+// distinguish caller mistakes from execution faults.
 func (e *Engine) plan(req Request) (*plan, error) {
 	if req.K <= 0 {
-		return nil, fmt.Errorf("roundtriprank: K must be positive, got %d", req.K)
+		return nil, invalidf("roundtriprank: K must be positive, got %d", req.K)
 	}
 	nq, err := req.Query.Normalize()
 	if err != nil {
-		return nil, fmt.Errorf("roundtriprank: invalid query: %w", err)
+		return nil, &ValidationError{Err: fmt.Errorf("roundtriprank: invalid query: %w", err)}
 	}
 	snap := e.snap.Load()
 	n := snap.view.NumNodes()
 	for _, v := range nq.Nodes {
 		if int(v) < 0 || int(v) >= n {
-			return nil, fmt.Errorf("roundtriprank: query node %d out of range [0,%d)", v, n)
+			return nil, invalidf("roundtriprank: query node %d out of range [0,%d)", v, n)
 		}
 	}
 	p := e.params
 	if req.Alpha != 0 {
 		if req.Alpha <= 0 || req.Alpha >= 1 {
-			return nil, fmt.Errorf("roundtriprank: alpha must be in (0,1), got %g", req.Alpha)
+			return nil, invalidf("roundtriprank: alpha must be in (0,1), got %g", req.Alpha)
 		}
 		p.Walk.Alpha = req.Alpha
 	}
 	if req.Beta != nil {
 		if *req.Beta < 0 || *req.Beta > 1 {
-			return nil, fmt.Errorf("roundtriprank: beta must be in [0,1], got %g", *req.Beta)
+			return nil, invalidf("roundtriprank: beta must be in [0,1], got %g", *req.Beta)
 		}
 		p.Beta = *req.Beta
 	}
 	if req.Epsilon < 0 {
-		return nil, fmt.Errorf("roundtriprank: epsilon must be non-negative, got %g", req.Epsilon)
+		return nil, invalidf("roundtriprank: epsilon must be non-negative, got %g", req.Epsilon)
 	}
 	if req.Tolerance < 0 {
-		return nil, fmt.Errorf("roundtriprank: tolerance must be non-negative, got %g", req.Tolerance)
+		return nil, invalidf("roundtriprank: tolerance must be non-negative, got %g", req.Tolerance)
 	}
 	if req.Tolerance > 0 {
 		p.Walk.Tol = req.Tolerance
@@ -393,7 +448,7 @@ func (e *Engine) plan(req Request) (*plan, error) {
 	}
 	method := req.Method
 	if (method.kind == methodDistributed || method.kind == methodRemoteOnline) && len(e.workers) == 0 {
-		return nil, fmt.Errorf("roundtriprank: the %s method needs workers (configure with WithWorkers)", method)
+		return nil, invalidf("roundtriprank: the %s method needs workers (configure with WithWorkers)", method)
 	}
 	if method.kind == methodAuto {
 		if _, local := snap.view.(*Graph); local && n <= e.exactLimit {
@@ -420,7 +475,7 @@ func (f *Filter) compile(view View, nq walk.Query) (func(NodeID) bool, error) {
 		var ok bool
 		typed, ok = view.(TypedView)
 		if !ok {
-			return nil, fmt.Errorf("roundtriprank: filtering by node type requires a typed graph view")
+			return nil, invalidf("roundtriprank: filtering by node type requires a typed graph view")
 		}
 	}
 	excluded := make(map[NodeID]bool, len(f.Exclude)+len(nq.Nodes))
@@ -473,11 +528,20 @@ func (e *Engine) Rank(ctx context.Context, req Request) (*Response, error) {
 	default:
 		resp, err = e.rankOnline(ctx, p)
 	}
+	e.recordStat(p, start, err)
 	if err != nil {
 		return nil, err
 	}
 	resp.Elapsed = time.Since(start)
 	return resp, nil
+}
+
+// recordStat delivers one executed plan to the stats hook, if installed.
+func (e *Engine) recordStat(p *plan, start time.Time, err error) {
+	if e.statsHook == nil {
+		return
+	}
+	e.statsHook(QueryStat{Method: p.method, Elapsed: time.Since(start), Err: err})
 }
 
 func (e *Engine) rankExact(ctx context.Context, p *plan) (*Response, error) {
@@ -907,7 +971,9 @@ func (e *Engine) Apply(ctx context.Context, d *Delta) (*ApplyResult, error) {
 	}
 	ng, err := graph.Commit(base, d)
 	if err != nil {
-		return nil, err
+		// Commit failures are caller faults: a stale Delta, an unknown node, a
+		// malformed edge. Mark them so HTTP layers can answer 4xx, not 5xx.
+		return nil, &ValidationError{Err: err}
 	}
 	res := &ApplyResult{Graph: ng, Epoch: ng.Epoch()}
 	if len(e.workers) > 0 {

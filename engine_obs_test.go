@@ -1,0 +1,130 @@
+package roundtriprank
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"roundtriprank/internal/testgraphs"
+)
+
+// TestValidationErrorClassification pins which engine failures surface as
+// *ValidationError (caller faults an HTTP layer should map to 400) and which
+// do not. The serve package's status mapping relies on this split.
+func TestValidationErrorClassification(t *testing.T) {
+	toy := testgraphs.NewToy()
+	engine, err := NewEngine(toy.Graph)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	ctx := context.Background()
+
+	bad := []struct {
+		name string
+		req  Request
+	}{
+		{"zero K", Request{Query: SingleNode(toy.T1), K: 0}},
+		{"node out of range", Request{Query: SingleNode(NodeID(1 << 30)), K: 5}},
+		{"alpha out of range", Request{Query: SingleNode(toy.T1), K: 5, Alpha: 1.5}},
+		{"negative epsilon", Request{Query: SingleNode(toy.T1), K: 5, Epsilon: -0.1}},
+		{"beta out of range", Request{Query: SingleNode(toy.T1), K: 5, Beta: Float64(2)}},
+		{"distributed without workers", Request{Query: SingleNode(toy.T1), K: 5, Method: Distributed}},
+		{"empty query", Request{Query: Query{}, K: 5}},
+	}
+	for _, c := range bad {
+		_, err := engine.Rank(ctx, c.req)
+		var ve *ValidationError
+		if !errors.As(err, &ve) {
+			t.Errorf("%s: Rank error = %v (%T), want *ValidationError", c.name, err, err)
+		}
+	}
+
+	if _, err := ParseMethod("no-such-method"); err != nil {
+		var ve *ValidationError
+		if !errors.As(err, &ve) {
+			t.Errorf("ParseMethod error = %v (%T), want *ValidationError", err, err)
+		}
+	} else {
+		t.Error("ParseMethod accepted an unknown method")
+	}
+
+	// A cancelled context is not the caller's request being malformed.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	_, err = engine.Rank(cancelled, Request{Query: SingleNode(toy.T1), K: 5, Method: Exact})
+	var ve *ValidationError
+	if errors.As(err, &ve) {
+		t.Errorf("cancelled Rank classified as ValidationError: %v", err)
+	}
+
+	// Apply with a stale delta is a caller fault too.
+	g := engine.View().(*Graph)
+	d := NewDelta(g)
+	if err := d.SetEdge(toy.T1, toy.T2, 1); err != nil {
+		t.Fatalf("SetEdge: %v", err)
+	}
+	if _, err := engine.Apply(ctx, d); err != nil {
+		t.Fatalf("first Apply: %v", err)
+	}
+	if _, err := engine.Apply(ctx, d); !errors.As(err, &ve) {
+		t.Errorf("stale-delta Apply error = %v (%T), want *ValidationError", err, err)
+	}
+}
+
+// TestQueryStatsHook checks the WithQueryStatsHook callback fires once per
+// executed query with the resolved method, a positive duration, and the
+// query's error (nil on success).
+func TestQueryStatsHook(t *testing.T) {
+	toy := testgraphs.NewToy()
+	var stats []QueryStat
+	engine, err := NewEngine(toy.Graph, WithQueryStatsHook(func(s QueryStat) {
+		stats = append(stats, s)
+	}))
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	ctx := context.Background()
+
+	if _, err := engine.Rank(ctx, Request{Query: SingleNode(toy.T1), K: 3, Method: Exact}); err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("hook fired %d times, want 1", len(stats))
+	}
+	if stats[0].Method != Exact {
+		t.Errorf("hook method = %v, want %v", stats[0].Method, Exact)
+	}
+	if stats[0].Elapsed <= 0 || stats[0].Elapsed > time.Minute {
+		t.Errorf("hook elapsed = %v, want positive and sane", stats[0].Elapsed)
+	}
+	if stats[0].Err != nil {
+		t.Errorf("hook err = %v, want nil", stats[0].Err)
+	}
+
+	// Validation failures never reach execution, so the hook must not fire.
+	if _, err := engine.Rank(ctx, Request{Query: SingleNode(toy.T1), K: 0}); err == nil {
+		t.Fatal("zero-K Rank succeeded")
+	}
+	if len(stats) != 1 {
+		t.Fatalf("hook fired on a rejected plan (%d records)", len(stats))
+	}
+
+	// A cancelled execution reports its error through the hook.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	_, rankErr := engine.Rank(cancelled, Request{Query: SingleNode(toy.T2), K: 3, Method: Exact})
+	if rankErr == nil {
+		t.Fatal("Rank with cancelled context succeeded")
+	}
+	if len(stats) != 2 {
+		t.Fatalf("hook fired %d times after cancelled query, want 2", len(stats))
+	}
+	if !errors.Is(stats[1].Err, context.Canceled) {
+		t.Errorf("hook err = %v, want context.Canceled", stats[1].Err)
+	}
+
+	if _, err := NewEngine(toy.Graph, WithQueryStatsHook(nil)); err == nil {
+		t.Error("NewEngine accepted a nil stats hook")
+	}
+}

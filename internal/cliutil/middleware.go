@@ -1,0 +1,193 @@
+package cliutil
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roundtriprank/internal/obs"
+)
+
+// HTTPOptions configures the serving middleware WrapHTTP installs in front
+// of a daemon's mux: instrumentation, bounded-in-flight admission control,
+// and per-request deadlines. The zero value instruments only.
+type HTTPOptions struct {
+	// Routes are the path labels instrumentation may emit. Requests whose
+	// URL path is not listed are counted under path="other" so an attacker
+	// probing random URLs cannot grow the metric cardinality. Empty means
+	// every path labels itself (only safe behind a strict mux).
+	Routes []string
+	// Exempt paths bypass the admission gate and the request deadline while
+	// staying instrumented. Health checks and /metrics belong here: an
+	// operator must be able to scrape a saturated server.
+	Exempt []string
+	// MaxInFlight caps concurrently admitted (non-exempt) requests; excess
+	// load is shed with 429 Too Many Requests and a Retry-After hint.
+	// 0 disables the gate. See docs/TUNING.md for sizing.
+	MaxInFlight int
+	// RetryAfter is the hint written on shed responses (default 1s,
+	// rounded up to whole seconds as the header requires).
+	RetryAfter time.Duration
+	// RequestTimeout bounds each admitted request's context. 0 leaves the
+	// server-level write timeout as the only bound.
+	RequestTimeout time.Duration
+}
+
+// WrapHTTP wraps next with the shared serving middleware, outermost first:
+// instrumentation (so shed requests are counted and timed too), then the
+// admission gate, then the per-request deadline. reg may be nil to disable
+// instrumentation; the gate and deadline still apply.
+//
+// With a non-nil reg it registers http_requests_total{path,code},
+// http_request_duration_seconds{path} histograms, the http_in_flight gauge
+// and the http_requests_shed_total counter.
+func WrapHTTP(next http.Handler, reg *obs.Registry, opts HTTPOptions) http.Handler {
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	m := &httpWrapper{
+		next:     next,
+		reg:      reg,
+		opts:     opts,
+		routes:   map[string]bool{},
+		exempt:   map[string]bool{},
+		shed:     &obs.Counter{},
+		counters: map[string]*obs.Counter{},
+		hists:    map[string]*obs.Histogram{},
+	}
+	for _, p := range opts.Routes {
+		m.routes[p] = true
+	}
+	for _, p := range opts.Exempt {
+		m.exempt[p] = true
+	}
+	if reg != nil {
+		reg.Gauge("http_in_flight", "Requests currently past the admission gate.", "",
+			func() float64 { return float64(m.inflight.Load()) })
+		m.shed = reg.Counter("http_requests_shed_total",
+			"Requests rejected with 429 by the in-flight admission gate.", "")
+	}
+	return m
+}
+
+// httpWrapper is the middleware chain built by WrapHTTP.
+type httpWrapper struct {
+	next   http.Handler
+	reg    *obs.Registry
+	opts   HTTPOptions
+	routes map[string]bool
+	exempt map[string]bool
+
+	inflight atomic.Int64
+	shed     *obs.Counter
+
+	mu       sync.Mutex
+	counters map[string]*obs.Counter   // keyed path|code
+	hists    map[string]*obs.Histogram // keyed path
+}
+
+func (m *httpWrapper) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	label := r.URL.Path
+	if len(m.routes) > 0 && !m.routes[label] {
+		label = "other"
+	}
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	if m.reg != nil {
+		defer func() {
+			m.counter(label, sw.code).Inc()
+			m.hist(label).Observe(time.Since(start))
+		}()
+	}
+
+	if m.exempt[r.URL.Path] {
+		m.next.ServeHTTP(sw, r)
+		return
+	}
+
+	n := m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+	if m.opts.MaxInFlight > 0 && int64(m.opts.MaxInFlight) < n {
+		m.shedOne(sw)
+		return
+	}
+
+	if m.opts.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), m.opts.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	m.next.ServeHTTP(sw, r)
+}
+
+// shedOne writes the 429 + Retry-After rejection.
+func (m *httpWrapper) shedOne(w http.ResponseWriter) {
+	m.shed.Inc()
+	secs := int(math.Ceil(m.opts.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	fmt.Fprintf(w, "{\"error\":\"server is at its in-flight limit (%d), retry after %ds\"}\n",
+		m.opts.MaxInFlight, secs)
+}
+
+// counter returns (creating on first use) the requests_total child for one
+// route and status code. The set of codes a route emits is small and fixed,
+// so the families stay bounded.
+func (m *httpWrapper) counter(path string, code int) *obs.Counter {
+	key := path + "|" + strconv.Itoa(code)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[key]
+	if c == nil {
+		c = m.reg.Counter("http_requests_total", "HTTP requests served, by route and status code.",
+			fmt.Sprintf(`path=%q,code="%d"`, path, code))
+		m.counters[key] = c
+	}
+	return c
+}
+
+// hist returns (creating on first use) the latency histogram for one route.
+func (m *httpWrapper) hist(path string) *obs.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.hists[path]
+	if h == nil {
+		h = m.reg.Histogram("http_request_duration_seconds",
+			"HTTP request latency, by route; includes shed requests.",
+			fmt.Sprintf(`path=%q`, path))
+		m.hists[path] = h
+	}
+	return h
+}
+
+// statusWriter records the response status for instrumentation. Unwrap keeps
+// http.ResponseController features (flush, deadlines) reachable.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

@@ -1,0 +1,249 @@
+package cliutil
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"roundtriprank/internal/obs"
+)
+
+// TestAdmissionGateSheds pins the deterministic shed path: with a limit of 2
+// and two requests parked inside the handler, the third is rejected with
+// 429, a Retry-After hint, and a JSON body — and the shed counter and
+// per-code request counters record all three.
+func TestAdmissionGateSheds(t *testing.T) {
+	reg := obs.NewRegistry("test")
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	blocking := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	h := WrapHTTP(blocking, reg, HTTPOptions{
+		Routes:      []string{"/rank"},
+		MaxInFlight: 2,
+		RetryAfter:  1500 * time.Millisecond, // must round up to 2s
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/rank")
+			if err != nil {
+				t.Errorf("admitted request: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("admitted request status = %d", resp.StatusCode)
+			}
+		}()
+	}
+	<-entered
+	<-entered
+
+	resp, err := http.Get(srv.URL + "/rank")
+	if err != nil {
+		t.Fatalf("shed request: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	close(release)
+	wg.Wait()
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"test_http_requests_shed_total 1",
+		`test_http_requests_total{path="/rank",code="200"} 2`,
+		`test_http_requests_total{path="/rank",code="429"} 1`,
+		"test_http_in_flight 0",
+		`test_http_request_duration_seconds_count{path="/rank"} 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestExemptPathsBypassGate checks exempt paths are served even when the
+// gate is saturated — /metrics must be scrapeable from an overloaded server.
+func TestExemptPathsBypassGate(t *testing.T) {
+	reg := obs.NewRegistry("test")
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	h := WrapHTTP(mux, reg, HTTPOptions{
+		Routes:      []string{"/slow", "/healthz"},
+		Exempt:      []string{"/healthz"},
+		MaxInFlight: 1,
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Get(srv.URL + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("exempt request: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("exempt request status = %d while gate saturated, want 200", resp.StatusCode)
+	}
+	close(release)
+	<-done
+}
+
+// TestRequestTimeoutDeadline checks the middleware attaches a per-request
+// deadline that actually fires.
+func TestRequestTimeoutDeadline(t *testing.T) {
+	sawDeadline := make(chan error, 1)
+	h := WrapHTTP(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, ok := r.Context().Deadline()
+		if !ok {
+			sawDeadline <- fmt.Errorf("no deadline on request context")
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			sawDeadline <- r.Context().Err()
+		case <-time.After(5 * time.Second):
+			sawDeadline <- fmt.Errorf("deadline never fired")
+		}
+	}), nil, HTTPOptions{RequestTimeout: 30 * time.Millisecond})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	resp.Body.Close()
+	if err := <-sawDeadline; err != context.DeadlineExceeded {
+		t.Errorf("handler context error = %v, want deadline exceeded", err)
+	}
+}
+
+// TestUnknownRouteCollapsesLabel checks unlisted paths are counted under
+// path="other" so probing cannot grow metric cardinality.
+func TestUnknownRouteCollapsesLabel(t *testing.T) {
+	reg := obs.NewRegistry("test")
+	h := WrapHTTP(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	}), reg, HTTPOptions{Routes: []string{"/rank"}})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/probe/" + strconv.Itoa(i))
+		if err != nil {
+			t.Fatalf("request: %v", err)
+		}
+		resp.Body.Close()
+	}
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if want := `test_http_requests_total{path="other",code="404"} 3`; !strings.Contains(sb.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, sb.String())
+	}
+	if strings.Contains(sb.String(), "probe") {
+		t.Errorf("probed path leaked into metric labels:\n%s", sb.String())
+	}
+}
+
+// TestGateConcurrency hammers a limited gate from many goroutines — the
+// -race check for the admission path — and verifies accounting adds up.
+func TestGateConcurrency(t *testing.T) {
+	reg := obs.NewRegistry("test")
+	h := WrapHTTP(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(time.Millisecond)
+	}), reg, HTTPOptions{Routes: []string{"/x"}, MaxInFlight: 4})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	const n = 64
+	codes := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/x")
+			if err != nil {
+				t.Errorf("request: %v", err)
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	ok, shed := 0, 0
+	for c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("unexpected status %d", c)
+		}
+	}
+	if ok+shed != n {
+		t.Errorf("accounted %d responses, want %d", ok+shed, n)
+	}
+	if ok == 0 {
+		t.Error("every request was shed; the gate should admit up to its limit")
+	}
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if want := fmt.Sprintf(`test_http_request_duration_seconds_count{path="/x"} %d`, n); !strings.Contains(sb.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, sb.String())
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of finite histogram buckets. Bucket i holds
+// observations with duration ≤ 2^i microseconds, so the finite range spans
+// 1µs .. 2^25µs ≈ 33.6s in factor-of-two steps; anything slower lands in
+// the +Inf overflow slot. That resolution (±2x) is what a log2 histogram
+// trades for lock-free constant-space recording, and it is plenty for
+// latency alerting.
+const NumBuckets = 26
+
+// Histogram is a log2-bucketed latency histogram. Observe is a few atomic
+// adds — no locks, no allocation — so it is safe on the per-request hot
+// path; readers (exposition, Quantile) see a slightly torn but monotonic
+// view, which Prometheus scrape semantics tolerate.
+type Histogram struct {
+	buckets  [NumBuckets]atomic.Int64 // counts per finite bucket (non-cumulative)
+	overflow atomic.Int64             // observations beyond the last finite bound
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// bucketBound returns the inclusive upper bound of finite bucket i.
+func bucketBound(i int) time.Duration {
+	return time.Duration(1<<uint(i)) * time.Microsecond
+}
+
+// bucketFor returns the finite bucket index for d, or NumBuckets when d
+// exceeds the last finite bound.
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 1 {
+		return 0
+	}
+	// ceil(log2(us)): the smallest i with us <= 2^i.
+	i := bits.Len64(uint64(us - 1))
+	if i >= NumBuckets {
+		return NumBuckets
+	}
+	return i
+}
+
+// Observe records one duration (negative durations are clamped to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if i := bucketFor(d); i < NumBuckets {
+		h.buckets[i].Add(1)
+	} else {
+		h.overflow.Add(1)
+	}
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNanos.Load()) }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of the observed
+// distribution: the upper bound of the bucket holding the q·count-th
+// observation. The estimate is exact to within the bucket's factor-of-two
+// width; with no observations it returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketBound(i)
+		}
+	}
+	// Overflow: report the last finite bound (the histogram cannot resolve
+	// beyond it).
+	return bucketBound(NumBuckets - 1)
+}
+
+// write renders the histogram as Prometheus `_bucket`/`_sum`/`_count`
+// series under the given family name and label fragment.
+func (h *Histogram) write(b *strings.Builder, name, labels string) {
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		cum += h.buckets[i].Load()
+		le := strconv.FormatFloat(bucketBound(i).Seconds(), 'g', -1, 64)
+		writeSample(b, name+"_bucket", joinLabels(labels, `le="`+le+`"`), float64(cum))
+	}
+	cum += h.overflow.Load()
+	writeSample(b, name+"_bucket", joinLabels(labels, `le="+Inf"`), float64(cum))
+	writeSample(b, name+"_sum", labels, h.Sum().Seconds())
+	writeSample(b, name+"_count", labels, float64(h.count.Load()))
+}

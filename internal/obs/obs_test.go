@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketFor(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{5 * time.Microsecond, 3},
+		{1024 * time.Microsecond, 10},
+		{time.Second, 20},
+		{30 * time.Second, 25},
+		{40 * time.Second, NumBuckets}, // beyond the last finite bound
+		{time.Hour, NumBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every finite bucket bound must map into its own bucket (inclusive
+	// upper bound), and one nanosecond above it into the next.
+	for i := 0; i < NumBuckets; i++ {
+		if got := bucketFor(bucketBound(i)); got != i {
+			t.Errorf("bucketFor(bound %d) = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 90 fast observations, 10 slow ones: p50 must land in the fast
+	// bucket's bound, p99 in the slow one's.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond) // bucket bound 128µs
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond) // bucket bound 131.072ms
+	}
+	if got, want := h.Quantile(0.5), 128*time.Microsecond; got != want {
+		t.Errorf("p50 = %v, want %v", got, want)
+	}
+	if got, want := h.Quantile(0.99), 131072*time.Microsecond; got != want {
+		t.Errorf("p99 = %v, want %v", got, want)
+	}
+	if got := h.Count(); got != 100 {
+		t.Errorf("count = %d, want 100", got)
+	}
+	if got, want := h.Sum(), 90*100*time.Microsecond+10*80*time.Millisecond; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramOverflowQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Hour)
+	if got, want := h.Quantile(0.5), bucketBound(NumBuckets-1); got != want {
+		t.Errorf("overflow quantile = %v, want %v", got, want)
+	}
+}
+
+// sampleLine matches one Prometheus sample, e.g. `ns_name{a="b"} 12`.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \+Inf$`)
+
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry("test")
+	c := r.Counter("http_requests_total", "Requests served.", `path="/rank",code="200"`)
+	c.Add(3)
+	r.Counter("http_requests_total", "Requests served.", `path="/rank",code="429"`).Inc()
+	r.Gauge("in_flight", "Currently executing requests.", "", func() float64 { return 2 })
+	r.CounterFunc("cache_hits_total", "Cache hits.", "", func() float64 { return 7 })
+	h := r.Histogram("latency_seconds", "Request latency.", `path="/rank"`)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(5 * time.Second)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+
+	for _, want := range []string{
+		`test_http_requests_total{path="/rank",code="200"} 3`,
+		`test_http_requests_total{path="/rank",code="429"} 1`,
+		"# TYPE test_http_requests_total counter",
+		"# TYPE test_in_flight gauge",
+		"test_in_flight 2",
+		"test_cache_hits_total 7",
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{path="/rank",le="+Inf"} 2`,
+		`test_latency_seconds_count{path="/rank"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	// Every non-comment line must be a well-formed sample, HELP/TYPE lines
+	// must precede their family exactly once, and histogram buckets must be
+	// cumulative (monotonically non-decreasing in le order).
+	var lastCum float64 = -1
+	helpSeen := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			helpSeen[strings.Fields(line)[2]]++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("malformed sample line: %q", line)
+		}
+		if strings.HasPrefix(line, "test_latency_seconds_bucket") {
+			v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+			if err != nil {
+				t.Fatalf("bucket value in %q: %v", line, err)
+			}
+			if v < lastCum {
+				t.Errorf("bucket counts not cumulative at %q (prev %g)", line, lastCum)
+			}
+			lastCum = v
+		}
+	}
+	for name, n := range helpSeen {
+		if n != 1 {
+			t.Errorf("HELP for %s appears %d times, want 1", name, n)
+		}
+	}
+}
+
+// TestConcurrentObserve exercises the write path from many goroutines while
+// a reader scrapes — meaningful under -race.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry("test")
+	h := r.Histogram("latency_seconds", "h", "")
+	c := r.Counter("ops_total", "c", "")
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*i) * time.Microsecond)
+				c.Inc()
+				if i%100 == 0 {
+					_ = h.Quantile(0.99)
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if _, err := r.WriteTo(&sb); err != nil {
+				t.Errorf("WriteTo: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+
+	"roundtriprank"
+	"roundtriprank/internal/obs"
+	"roundtriprank/internal/topk"
+)
+
+// Metrics is rtrankd's metric surface: the obs.Registry behind GET /metrics,
+// the engine-level gauges (epoch, caches, cluster, scratch pool), and the
+// per-method query histograms fed by the engine's stats hook.
+//
+// Construction is two-phase because the hook and the engine need each other:
+// create Metrics first, pass RecordQuery to the engine via
+// roundtriprank.WithQueryStatsHook, then let serve.New bind the engine's
+// gauges.
+type Metrics struct {
+	reg *obs.Registry
+
+	mu       sync.Mutex
+	byMethod map[string]*methodMetrics
+	bound    bool
+}
+
+// methodMetrics is one ranking method's query instrumentation.
+type methodMetrics struct {
+	hist     *obs.Histogram
+	outcomes map[string]*obs.Counter
+}
+
+// NewMetrics returns a Metrics over a fresh "rtrank"-namespaced registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		reg:      obs.NewRegistry("rtrank"),
+		byMethod: map[string]*methodMetrics{},
+	}
+}
+
+// Registry exposes the underlying registry, e.g. for the shared cliutil HTTP
+// middleware to register its http_* families on.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// RecordQuery is the engine stats hook: it counts the query under its
+// resolved method and outcome and feeds the method's latency histogram.
+// Outcomes are "ok", "canceled" (the caller's context ended the query —
+// disconnect or deadline) and "error".
+func (m *Metrics) RecordQuery(s roundtriprank.QueryStat) {
+	// Lowercased to match the wire spelling ("2sbound", not "2SBound"); the
+	// parser is case-insensitive, so the label round-trips into requests.
+	mm := m.forMethod(strings.ToLower(s.Method.String()))
+	outcome := "ok"
+	switch {
+	case s.Err == nil:
+	case errors.Is(s.Err, context.Canceled), errors.Is(s.Err, context.DeadlineExceeded):
+		outcome = "canceled"
+	default:
+		outcome = "error"
+	}
+	mm.outcomes[outcome].Inc()
+	mm.hist.Observe(s.Elapsed)
+}
+
+// forMethod returns (creating on first use) one method's instrumentation.
+// The method set is tiny and fixed, so families stay bounded.
+func (m *Metrics) forMethod(method string) *methodMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mm := m.byMethod[method]
+	if mm != nil {
+		return mm
+	}
+	labels := `method="` + method + `"`
+	mm = &methodMetrics{
+		hist: m.reg.Histogram("engine_query_duration_seconds",
+			"Ranking query latency, by resolved method.", labels),
+		outcomes: map[string]*obs.Counter{},
+	}
+	for _, outcome := range []string{"ok", "canceled", "error"} {
+		mm.outcomes[outcome] = m.reg.Counter("engine_queries_total",
+			"Ranking queries executed, by resolved method and outcome.",
+			labels+`,outcome="`+outcome+`"`)
+	}
+	for _, q := range []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}} {
+		h := mm.hist
+		m.reg.Gauge("engine_query_latency_seconds",
+			"Ranking query latency quantile estimates (log2-bucket resolution).",
+			labels+`,quantile="`+q.label+`"`,
+			func(qq float64) func() float64 {
+				return func() float64 { return h.Quantile(qq).Seconds() }
+			}(q.q))
+	}
+	m.byMethod[method] = mm
+	return mm
+}
+
+// bindEngine registers the gauges and counter mirrors that read the engine's
+// own cumulative stats at scrape time: epoch and fleet lag, vector- and
+// row-cache traffic, cluster RPCs, and scratch-pool occupancy. Idempotent
+// per Metrics (the second bind is ignored so tests can reuse a server).
+func (m *Metrics) bindEngine(e *roundtriprank.Engine) {
+	m.mu.Lock()
+	if m.bound {
+		m.mu.Unlock()
+		return
+	}
+	m.bound = true
+	m.mu.Unlock()
+
+	m.reg.Gauge("epoch", "Epoch of the serving snapshot.", "",
+		func() float64 { return float64(e.Epoch()) })
+	m.reg.Gauge("fleet_connected", "1 when the current epoch has connected to its worker fleet.", "",
+		func() float64 {
+			if _, ok := e.FleetEpoch(); ok {
+				return 1
+			}
+			return 0
+		})
+	m.reg.Gauge("fleet_epoch_lag", "Serving epoch minus the worker fleet's epoch; non-zero while a rollover is reconciling.", "",
+		func() float64 {
+			fleet, ok := e.FleetEpoch()
+			if !ok {
+				return 0
+			}
+			return float64(e.Epoch()) - float64(fleet)
+		})
+
+	m.reg.CounterFunc("vector_cache_hits_total", "Vector cache hits.", "",
+		func() float64 { h, _, _ := e.CacheStats(); return float64(h) })
+	m.reg.CounterFunc("vector_cache_misses_total", "Vector cache misses.", "",
+		func() float64 { _, mi, _ := e.CacheStats(); return float64(mi) })
+	m.reg.Gauge("vector_cache_entries", "Vectors currently cached.", "",
+		func() float64 { _, _, n := e.CacheStats(); return float64(n) })
+
+	m.reg.CounterFunc("row_cache_hits_total", "Row cache hits (2sbound-remote).", "",
+		func() float64 { return float64(e.RowServeStats().CacheHits) })
+	m.reg.CounterFunc("row_cache_misses_total", "Row cache misses (2sbound-remote).", "",
+		func() float64 { return float64(e.RowServeStats().CacheMisses) })
+	m.reg.CounterFunc("row_cache_evictions_total", "Row cache evictions.", "",
+		func() float64 { return float64(e.RowServeStats().CacheEvictions) })
+	m.reg.Gauge("row_cache_rows", "Rows currently cached.", "",
+		func() float64 { return float64(e.RowServeStats().CachedRows) })
+	m.reg.CounterFunc("rows_fetched_total", "Rows fetched from workers by the current epoch's row view.", "",
+		func() float64 { return float64(e.RowServeStats().RowsFetched) })
+	m.reg.CounterFunc("row_rpcs_total", "Row-fetch RPCs issued by the current epoch's row view.", "",
+		func() float64 { return float64(e.RowServeStats().RowRPCs) })
+	m.reg.CounterFunc("row_retries_total", "Row-fetch RPC retries by the current epoch's row view.", "",
+		func() float64 { return float64(e.RowServeStats().RowRetries) })
+
+	m.reg.CounterFunc("cluster_rpcs_total", "Worker RPCs issued by the current epoch's coordinator and row view.", "",
+		func() float64 { r, _ := e.ClusterStats(); return float64(r) })
+	m.reg.CounterFunc("cluster_retries_total", "Worker RPC retries by the current epoch's coordinator and row view.", "",
+		func() float64 { _, r := e.ClusterStats(); return float64(r) })
+
+	m.reg.Gauge("scratch_pool_in_use", "Pooled online-query scratch objects currently checked out.", "",
+		func() float64 { n, _ := topk.PoolStats(); return float64(n) })
+	m.reg.Gauge("scratch_pool_peak", "High-water mark of concurrently checked-out scratch objects.", "",
+		func() float64 { _, p := topk.PoolStats(); return float64(p) })
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"roundtriprank/internal/bounds"
 	"roundtriprank/internal/core"
@@ -31,10 +32,38 @@ type flatSearcher struct {
 // simultaneously executing online query.
 var flatPool = sync.Pool{New: func() any { return new(flatSearcher) }}
 
+// poolInUse and poolPeak track scratch-pool occupancy: how many flatSearcher
+// objects are checked out right now, and the high-water mark since process
+// start. Peak approximates the pool's steady-state size (the Pool itself
+// offers no visibility), which is what operators need to bound the scratch
+// footprint — see docs/TUNING.md.
+var poolInUse, poolPeak atomic.Int64
+
+// PoolStats reports the scratch pool's current and peak checkout counts.
+func PoolStats() (inUse, peak int64) { return poolInUse.Load(), poolPeak.Load() }
+
+// getSearcher checks a pooled searcher out, maintaining the occupancy gauges.
+func getSearcher() *flatSearcher {
+	n := poolInUse.Add(1)
+	for {
+		p := poolPeak.Load()
+		if n <= p || poolPeak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	return flatPool.Get().(*flatSearcher)
+}
+
+// putSearcher returns a detached searcher to the pool.
+func putSearcher(s *flatSearcher) {
+	flatPool.Put(s)
+	poolInUse.Add(-1)
+}
+
 // flatTopK answers one online top-K query on the scratch-state path. The
 // caller has already normalized opt and derived the scheme's bound options.
 func flatTopK(ctx context.Context, view graph.CSRView, q walk.Query, opt Options, fOpt bounds.FOptions, tOpt bounds.TOptions) (*Result, error) {
-	s := flatPool.Get().(*flatSearcher)
+	s := getSearcher()
 	// Release drops the searcher's references to the snapshot's CSR arrays
 	// and the caller's Keep closure before the object idles in the pool:
 	// after an epoch swap, a pooled searcher must not pin the superseded
@@ -43,7 +72,7 @@ func flatTopK(ctx context.Context, view graph.CSRView, q walk.Query, opt Options
 		s.opt = Options{}
 		s.fb.Detach()
 		s.tb.Detach()
-		flatPool.Put(s)
+		putSearcher(s)
 	}()
 	if err := s.fb.Init(view, q, fOpt); err != nil {
 		return nil, err
@@ -63,12 +92,12 @@ func flatTopK(ctx context.Context, view graph.CSRView, q walk.Query, opt Options
 // they unwind through the deferred release here (the searcher goes back to
 // the pool detached) and are recovered by TopKRows.
 func flatTopKRows(ctx context.Context, rows graph.Rows, q walk.Query, opt Options, fOpt bounds.FOptions, tOpt bounds.TOptions) (*Result, error) {
-	s := flatPool.Get().(*flatSearcher)
+	s := getSearcher()
 	defer func() {
 		s.opt = Options{}
 		s.fb.Detach()
 		s.tb.Detach()
-		flatPool.Put(s)
+		putSearcher(s)
 	}()
 	if err := s.fb.InitRows(rows, q, fOpt); err != nil {
 		return nil, err

@@ -86,6 +86,19 @@ out=$(curl -s -o /dev/null -w '%{http_code}' "localhost:$RT_PORT/v1/edges" -d '{
 [ "$out" = "400" ] || fail "empty mutation answered $out, want 400"
 echo "  ok: empty mutation rejected with 400"
 
+# The /metrics exposition documented in docs/OPERATIONS.md: the epoch gauge
+# reflects the mutation above, HTTP traffic is counted by route and code
+# (including the 400 we just provoked), and the engine families carry the
+# queries this script ran.
+out=$(curl -s "localhost:$RT_PORT/metrics")
+expect "rtrankd /metrics epoch gauge" 'rtrank_epoch 1' "$out"
+expect "rtrankd /metrics rank traffic" 'rtrank_http_requests_total{path="/rank",code="200"} 2' "$out"
+expect "rtrankd /metrics rejected mutation counted" 'rtrank_http_requests_total{path="/v1/edges",code="400"} 1' "$out"
+expect "rtrankd /metrics query outcomes" 'rtrank_engine_queries_total{method="exact",outcome="ok"}' "$out"
+expect "rtrankd /metrics latency quantile" 'rtrank_engine_query_latency_seconds{method="exact",quantile="0.99"}' "$out"
+expect "rtrankd /metrics shed counter exposed" 'rtrank_http_requests_shed_total 0' "$out"
+expect "rtrankd /metrics fleet lag gauge" 'rtrank_fleet_epoch_lag 0' "$out"
+
 echo "docs_examples: gpserver examples (docs/API.md)"
 out=$(curl -s "localhost:$GP_PORT/healthz")
 expect "gpserver /healthz" '"status":"ok"' "$out"
@@ -98,6 +111,11 @@ expect "gpserver /v1/info nodes" '"nodes":2143' "$info"
 expect "gpserver /v1/info epoch" '"epoch":0' "$info"
 content=$(printf '%s' "$info" | grep -oE '"content":[0-9]+' | head -1 | cut -d: -f2)
 [ -n "$content" ] || fail "no content fingerprint in /v1/info: $info"
+
+out=$(curl -s "localhost:$GP_PORT/metrics")
+expect "gpserver /metrics stripe rows" 'gpserver_stripe_rows 1072' "$out"
+expect "gpserver /metrics stripe epoch" 'gpserver_stripe_epoch 0' "$out"
+expect "gpserver /metrics route traffic" 'gpserver_http_requests_total{path="/v1/info",code="200"}' "$out"
 
 if command -v python3 >/dev/null 2>&1; then
     out=$(curl -s "localhost:$GP_PORT/v1/outdegs" |
@@ -131,6 +149,11 @@ echo "  ok: misaligned rows request rejected with 400"
 out=$(curl -s -X POST "localhost:$GP_PORT/v1/stripe/retag?graph=123456&epoch=1&content=$content")
 expect "retag adopts identity" '"graph":123456' "$out"
 expect "retag adopts epoch" '"epoch":1' "$out"
+
+# Stripe gauges read the worker's state at scrape time, so the retag above
+# is already visible on the very next scrape.
+out=$(curl -s "localhost:$GP_PORT/metrics")
+expect "gpserver /metrics epoch after retag" 'gpserver_stripe_epoch 1' "$out"
 
 out=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
     "localhost:$GP_PORT/v1/stripe/retag?graph=1&epoch=2&content=999")
