@@ -1,0 +1,421 @@
+package roundtriprank
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"roundtriprank/internal/chaos"
+	"roundtriprank/internal/distributed"
+	"roundtriprank/internal/fleet"
+)
+
+// Chaos parity suite: the acceptance gate of fleet self-organization. With
+// R=2 replication, killing any single worker — before or in the middle of a
+// query — must leave Distributed and TwoSBoundRemote answers bit-identical
+// to the local solvers at eps=0; recovery must complete within the pinned
+// liveness bound and ship only the dead member's stripes; a rejoining member
+// whose retained payload still fingerprint-matches costs zero re-ships; and
+// every injected fault schedule is seed-deterministic, so the whole suite
+// replays under -race.
+
+// chaosFleetCluster boots n empty chaos-restartable HTTP workers, registers
+// them with a fresh R=2 fleet manager, and reconciles g onto them.
+func chaosFleetCluster(t testing.TB, g *Graph, n int, topts fleet.Options) (*Fleet, []*chaos.HTTPWorker) {
+	t.Helper()
+	m, err := NewFleet(FleetOptions{Stripes: n, Replication: 2, Table: topts})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	workers := make([]*chaos.HTTPWorker, n)
+	for i := range workers {
+		hw, err := chaos.StartHTTPWorker(distributed.NewWorker(nil))
+		if err != nil {
+			t.Fatalf("StartHTTPWorker: %v", err)
+		}
+		t.Cleanup(hw.Close)
+		workers[i] = hw
+		m.Table().Register(fmt.Sprintf("w%d", i), hw.URL())
+	}
+	if _, err := m.Reconcile(context.Background(), g); err != nil {
+		t.Fatalf("Reconcile: %v", err)
+	}
+	return m, workers
+}
+
+// restartWorker restarts hw, retrying briefly in case the OS has not released
+// the port yet. A port stolen by another process is an environment flake, not
+// a product bug, so the caller skips.
+func restartWorker(t *testing.T, hw *chaos.HTTPWorker) {
+	t.Helper()
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		if err = hw.Restart(); err == nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Skipf("could not restart worker on its port: %v", err)
+}
+
+// TestChaosKillAnyWorkerParity kills each worker of an R=2 fleet in turn and
+// pins, on every test graph, that Distributed and TwoSBoundRemote stay
+// bit-identical to the local Exact and TwoSBound paths while the fleet
+// serves with the member down.
+func TestChaosKillAnyWorkerParity(t *testing.T) {
+	ctx := context.Background()
+	for _, pg := range parityGraphs() {
+		const n = 3
+		m, workers := chaosFleetCluster(t, pg.graph, n, fleet.Options{})
+		// Local baselines never touch the fleet, so one engine serves them all.
+		base, err := NewEngine(pg.graph, WithFleet(m))
+		if err != nil {
+			t.Fatalf("%s: NewEngine: %v", pg.name, err)
+		}
+		q := pg.queries[0]
+		exact, err := base.Rank(ctx, Request{Query: SingleNode(q), K: 10, Epsilon: 0, Method: Exact})
+		if err != nil {
+			t.Fatalf("%s: exact baseline: %v", pg.name, err)
+		}
+		// The 2SBound comparison needs a K below the first exact-tie boundary
+		// (the top-K set is otherwise not well defined at eps=0, and the bound
+		// grinds for seconds trying to separate ties) — same gapK discipline as
+		// the remote parity suite.
+		full, err := base.Rank(ctx, Request{Query: SingleNode(q), K: pg.graph.NumNodes(), Epsilon: 0, Method: Exact})
+		if err != nil {
+			t.Fatalf("%s: full exact ranking: %v", pg.name, err)
+		}
+		k := gapK(full.Results, 10)
+		var local *Response
+		if k >= 1 {
+			local, err = base.Rank(ctx, Request{Query: SingleNode(q), K: k, Epsilon: 0, Method: TwoSBound})
+			if err != nil {
+				t.Fatalf("%s: local 2sbound baseline: %v", pg.name, err)
+			}
+		}
+
+		kills := 0
+		for victim, hw := range workers {
+			t.Run(fmt.Sprintf("%s/kill-w%d", pg.name, victim), func(t *testing.T) {
+				hw.Kill()
+				defer restartWorker(t, hw)
+				kills++
+				// A fresh engine keeps the remote row cache cold, so the query
+				// below actually crosses the network with the member down.
+				engine, err := NewEngine(pg.graph, WithFleet(m))
+				if err != nil {
+					t.Fatalf("NewEngine: %v", err)
+				}
+				dist, err := engine.Rank(ctx, Request{Query: SingleNode(q), K: 10, Epsilon: 0, Method: Distributed})
+				if err != nil {
+					t.Fatalf("distributed query with w%d dead: %v", victim, err)
+				}
+				requireBitIdentical(t, "distributed-vs-exact", dist, exact)
+				if k >= 1 {
+					remote, err := engine.Rank(ctx, Request{Query: SingleNode(q), K: k, Epsilon: 0, Method: TwoSBoundRemote})
+					if err != nil {
+						t.Fatalf("remote query with w%d dead: %v", victim, err)
+					}
+					requireBitIdentical(t, "remote-vs-local", remote, local)
+				}
+			})
+		}
+		// Every member was dead at some point while every stripe was queried,
+		// so each group must have routed around its preferred replica at least
+		// once. (Guarded on kills so -run filtering of subtests stays green.)
+		if h := base.ClusterHealth(); kills == n && h.Failovers == 0 {
+			t.Errorf("%s: no failovers recorded while killing every member in turn", pg.name)
+		} else if h.Replication != 2 || h.MembersAlive != n {
+			t.Errorf("%s: health census off: %+v", pg.name, h)
+		}
+	}
+}
+
+// loopbackChaosFleet builds an R=2 fleet over in-process multi-stripe workers
+// whose transports are chaos-wrapped, keyed per (member, stripe) so the
+// schedule stays deterministic regardless of cross-stripe goroutine
+// interleaving. It returns the per-member transport lists for kill control.
+func loopbackChaosFleet(t testing.TB, g *Graph, n int, sched *chaos.Schedule) (*Fleet, map[string][]*chaos.Transport) {
+	t.Helper()
+	members := make(map[string]*distributed.Worker, n)
+	for i := 0; i < n; i++ {
+		members[fmt.Sprintf("w%d", i)] = distributed.NewWorker(nil)
+	}
+	var mu sync.Mutex
+	byMember := make(map[string][]*chaos.Transport)
+	dial := func(addr string, stripe int) distributed.Transport {
+		id := strings.TrimPrefix(addr, "loop://")
+		ct := sched.Wrap(distributed.NewLoopbackAt(members[id], stripe), fmt.Sprintf("%s/s%d", id, stripe))
+		mu.Lock()
+		byMember[id] = append(byMember[id], ct)
+		mu.Unlock()
+		return ct
+	}
+	m, err := NewFleet(FleetOptions{Stripes: n, Replication: 2, Dial: dial})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	for id := range members {
+		m.Table().Register(id, "loop://"+id)
+	}
+	// The schedule's faults hit deploy RPCs too; retrying the reconcile is
+	// itself deterministic (each attempt advances the schedule the same way).
+	var rerr error
+	for attempt := 0; attempt < 20; attempt++ {
+		if _, rerr = m.Reconcile(context.Background(), g); rerr == nil {
+			break
+		}
+	}
+	if rerr != nil {
+		t.Fatalf("Reconcile: %v", rerr)
+	}
+	return m, byMember
+}
+
+// TestChaosMidQueryKillParity arms deterministic mid-query kills: each member
+// in turn dies after serving k more RPCs — for several k, so the death lands
+// at different points inside the query's RPC stream — and both networked
+// methods must fail over mid-flight and still answer bit-identically.
+func TestChaosMidQueryKillParity(t *testing.T) {
+	ctx := context.Background()
+	pg := parityGraphs()[2] // cycle: every query's walk crosses all stripes
+	const n = 3
+	m, byMember := loopbackChaosFleet(t, pg.graph, n, chaos.NewSchedule(chaos.Config{Seed: 11}))
+	base, err := NewEngine(pg.graph, WithFleet(m))
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	q := pg.queries[0]
+	exact, err := base.Rank(ctx, Request{Query: SingleNode(q), K: 10, Epsilon: 0, Method: Exact})
+	if err != nil {
+		t.Fatalf("exact baseline: %v", err)
+	}
+	full, err := base.Rank(ctx, Request{Query: SingleNode(q), K: pg.graph.NumNodes(), Epsilon: 0, Method: Exact})
+	if err != nil {
+		t.Fatalf("full exact ranking: %v", err)
+	}
+	k := gapK(full.Results, 10)
+	var local *Response
+	if k >= 1 {
+		local, err = base.Rank(ctx, Request{Query: SingleNode(q), K: k, Epsilon: 0, Method: TwoSBound})
+		if err != nil {
+			t.Fatalf("local baseline: %v", err)
+		}
+	}
+
+	for victim := 0; victim < n; victim++ {
+		id := fmt.Sprintf("w%d", victim)
+		for _, after := range []int{0, 1, 3, 7} {
+			t.Run(fmt.Sprintf("kill-%s-after-%d", id, after), func(t *testing.T) {
+				for _, tr := range byMember[id] {
+					tr.KillAfter(after)
+				}
+				defer func() {
+					for _, tr := range byMember[id] {
+						tr.Revive()
+					}
+				}()
+				engine, err := NewEngine(pg.graph, WithFleet(m))
+				if err != nil {
+					t.Fatalf("NewEngine: %v", err)
+				}
+				dist, err := engine.Rank(ctx, Request{Query: SingleNode(q), K: 10, Epsilon: 0, Method: Distributed})
+				if err != nil {
+					t.Fatalf("distributed query with %s dying mid-stream: %v", id, err)
+				}
+				requireBitIdentical(t, "mid-query-distributed", dist, exact)
+				if k >= 1 {
+					remote, err := engine.Rank(ctx, Request{Query: SingleNode(q), K: k, Epsilon: 0, Method: TwoSBoundRemote})
+					if err != nil {
+						t.Fatalf("remote query with %s dying mid-stream: %v", id, err)
+					}
+					requireBitIdentical(t, "mid-query-remote", remote, local)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosRecoveryAndRejoin walks the full incident arc under the pinned
+// liveness bound (SuspectMisses=1, DeadMisses=2): a killed member is routed
+// around immediately, turns suspect on the second tick and dead on the third,
+// the recovery reconcile ships exactly the stripes the member held and
+// nothing else, and the member's restart + re-registration converges with
+// zero re-ships because its retained payload still fingerprint-matches.
+func TestChaosRecoveryAndRejoin(t *testing.T) {
+	ctx := context.Background()
+	pg := parityGraphs()[0]
+	m, workers := chaosFleetCluster(t, pg.graph, 3, fleet.Options{SuspectMisses: 1, DeadMisses: 2})
+	engine, err := NewEngine(pg.graph, WithFleet(m))
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	q := pg.queries[0]
+	exact, err := engine.Rank(ctx, Request{Query: SingleNode(q), K: 5, Epsilon: 0, Method: Exact})
+	if err != nil {
+		t.Fatalf("exact baseline: %v", err)
+	}
+	distReq := Request{Query: SingleNode(q), K: 5, Epsilon: 0, Method: Distributed}
+
+	// The victim is stripe 0's preferred replica (rendezvous placement is a
+	// pure function of the member set, so this is computable up front): a
+	// Distributed query multiplies against every stripe, so killing it
+	// guarantees at least one recorded failover.
+	victim := fleet.Place(m.Stripes(), m.Replication(), []string{"w0", "w1", "w2"})[0][0]
+	victimIdx := int(victim[1] - '0')
+	heldByVictim := 0
+	for _, group := range m.Placement() {
+		for _, id := range group {
+			if id == victim {
+				heldByVictim++
+			}
+		}
+	}
+
+	// Phase 1 — failover: the instant after the kill, before any liveness
+	// machinery has noticed, queries already succeed via the replicas.
+	workers[victimIdx].Kill()
+	during, err := engine.Rank(ctx, distReq)
+	if err != nil {
+		t.Fatalf("query during outage: %v", err)
+	}
+	requireBitIdentical(t, "during-outage", during, exact)
+	if h := engine.ClusterHealth(); h.Failovers == 0 {
+		t.Errorf("outage absorbed without a recorded failover: %+v", h)
+	}
+
+	// Phase 2 — detection, pinned to the tick bound: alive on the first tick
+	// (it consumes the registration's seen-mark), suspect on the second, dead
+	// on the third. No wall clock anywhere.
+	wantStates := []fleet.State{fleet.StateAlive, fleet.StateSuspect, fleet.StateDead}
+	for tick, want := range wantStates {
+		for i := range workers {
+			if i != victimIdx {
+				m.Table().Heartbeat(fmt.Sprintf("w%d", i))
+			}
+		}
+		m.Table().Tick()
+		mem, ok := m.Table().Lookup(victim)
+		if !ok || mem.State != want {
+			t.Fatalf("tick %d: %s state %v, want %v", tick+1, victim, mem.State, want)
+		}
+	}
+
+	// Phase 3 — recovery reconcile: the survivors absorb exactly the dead
+	// member's placements; nothing already in place moves.
+	st, err := m.Reconcile(ctx, pg.graph)
+	if err != nil {
+		t.Fatalf("recovery reconcile: %v", err)
+	}
+	if st.Shipped != heldByVictim {
+		t.Errorf("recovery shipped %d stripes, want exactly the dead member's %d", st.Shipped, heldByVictim)
+	}
+	if st.Retagged != 0 {
+		t.Errorf("recovery retagged %d stripes; content never changed", st.Retagged)
+	}
+	for i, group := range m.Placement() {
+		for _, id := range group {
+			if id == victim {
+				t.Errorf("stripe %d still placed on the dead member", i)
+			}
+		}
+	}
+	steady, err := engine.Rank(ctx, distReq)
+	if err != nil {
+		t.Fatalf("query after recovery: %v", err)
+	}
+	requireBitIdentical(t, "post-recovery", steady, exact)
+
+	// Phase 4 — rejoin: the worker restarts with its stripe payload intact
+	// (an on-disk stripe cache surviving a process restart). Fingerprint
+	// validation makes the rejoin free: zero ships, and the members that
+	// covered for it drop the extra copies.
+	restartWorker(t, workers[victimIdx])
+	m.Table().Register(victim, workers[victimIdx].URL())
+	st, err = m.Reconcile(ctx, pg.graph)
+	if err != nil {
+		t.Fatalf("rejoin reconcile: %v", err)
+	}
+	if st.Shipped != 0 {
+		t.Errorf("rejoin shipped %d stripes; retained payload should cost zero", st.Shipped)
+	}
+	if st.Removed != heldByVictim {
+		t.Errorf("rejoin removed %d covering copies, want %d", st.Removed, heldByVictim)
+	}
+	back := 0
+	for _, group := range m.Placement() {
+		for _, id := range group {
+			if id == victim {
+				back++
+			}
+		}
+	}
+	if back != heldByVictim {
+		t.Errorf("rejoined member serves %d stripes, held %d before the outage", back, heldByVictim)
+	}
+	after, err := engine.Rank(ctx, distReq)
+	if err != nil {
+		t.Fatalf("query after rejoin: %v", err)
+	}
+	requireBitIdentical(t, "post-rejoin", after, exact)
+}
+
+// TestChaosSeededScheduleIsDeterministic replays an identical fault schedule
+// twice — random transient failures injected under every multiply — and pins
+// that both runs answer bit-identically AND inject the identical per-target
+// fault counts. This is the property that makes every other chaos test
+// replayable under -race: goroutine interleavings may differ, the schedule
+// may not.
+func TestChaosSeededScheduleIsDeterministic(t *testing.T) {
+	ctx := context.Background()
+	pg := parityGraphs()[1] // line graph
+
+	type runResult struct {
+		answers string
+		faults  map[string]int64
+	}
+	run := func() runResult {
+		sched := chaos.NewSchedule(chaos.Config{Seed: 5, FailRate: 0.1})
+		m, byMember := loopbackChaosFleet(t, pg.graph, 3, sched)
+		engine, err := NewEngine(pg.graph, WithFleet(m))
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		var answers strings.Builder
+		for round := 0; round < 3; round++ {
+			for _, q := range pg.queries {
+				resp, err := engine.Rank(ctx, Request{Query: SingleNode(q), K: 5, Epsilon: 0, Method: Distributed})
+				if err != nil {
+					t.Fatalf("round %d q%d: %v", round, q, err)
+				}
+				fmt.Fprintf(&answers, "%d/%d:%+v\n", round, q, resp.Results)
+			}
+		}
+		faults := make(map[string]int64)
+		for id, trs := range byMember {
+			for _, tr := range trs {
+				f, s := tr.InjectedFaults()
+				faults[id] += f + s
+			}
+		}
+		return runResult{answers.String(), faults}
+	}
+
+	a, b := run(), run()
+	if a.answers != b.answers {
+		t.Errorf("same seed, different answers:\nrun1:\n%s\nrun2:\n%s", a.answers, b.answers)
+	}
+	total := int64(0)
+	for id, n := range a.faults {
+		if b.faults[id] != n {
+			t.Errorf("member %s: run1 injected %d faults, run2 %d", id, n, b.faults[id])
+		}
+		total += n
+	}
+	if total == 0 {
+		t.Errorf("schedule injected no faults; the determinism claim is vacuous")
+	}
+}

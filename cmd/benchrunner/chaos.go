@@ -1,0 +1,358 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"roundtriprank"
+	"roundtriprank/internal/chaos"
+	"roundtriprank/internal/datasets"
+	"roundtriprank/internal/distributed"
+	"roundtriprank/internal/fleet"
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/walk"
+)
+
+// chaosPassResult is one query sweep through the fleet under one fault
+// condition, with the failovers it cost.
+type chaosPassResult struct {
+	Pass    string  `json:"pass"` // "healthy", "one-dead", "post-recovery"
+	Queries int     `json:"queries"`
+	QPS     float64 `json:"queries_per_sec"`
+	P50Us   int64   `json:"p50_us"`
+	P99Us   int64   `json:"p99_us"`
+	// Failovers is how many calls of this pass succeeded only by routing
+	// around a failed replica.
+	Failovers int64 `json:"failovers"`
+}
+
+// chaosRecoveryResult traces the incident arc from kill to steady state.
+type chaosRecoveryResult struct {
+	// FirstQueryAfterKillUs is the latency of the first query issued the
+	// instant after the kill — the failover detection + retry cost a live
+	// query pays before any membership machinery has noticed.
+	FirstQueryAfterKillUs int64 `json:"first_query_after_kill_us"`
+	// FailoversOnKill is how many replica groups that first query had to route
+	// around the corpse for; afterwards the survivors are promoted to
+	// preferred and later queries pay nothing (see the one-dead pass).
+	FailoversOnKill int64 `json:"failovers_on_kill"`
+	// TicksToSuspect / TicksToDead are the liveness bound actually observed.
+	TicksToSuspect int `json:"ticks_to_suspect"`
+	TicksToDead    int `json:"ticks_to_dead"`
+	// ReconcileUs is the recovery reconcile's wall time; StripesShipped what
+	// it had to move (== the dead member's placements).
+	ReconcileUs         int64 `json:"reconcile_us"`
+	StripesShipped      int   `json:"stripes_shipped"`
+	StripesHeldByVictim int   `json:"stripes_held_by_victim"`
+	// RejoinShipped must be zero: the restarted member's retained payload
+	// fingerprint-matches. RejoinRemoved counts the covering copies dropped.
+	RejoinShipped     int   `json:"rejoin_shipped"`
+	RejoinRemoved     int   `json:"rejoin_removed"`
+	RejoinReconcileUs int64 `json:"rejoin_reconcile_us"`
+}
+
+// chaosChurnResult is a query sweep with a kill and a restart landing in the
+// middle of it.
+type chaosChurnResult struct {
+	Queries   int     `json:"queries"`
+	QPS       float64 `json:"queries_per_sec"`
+	P50Us     int64   `json:"p50_us"`
+	P99Us     int64   `json:"p99_us"`
+	Errors    int     `json:"errors"`
+	Failovers int64   `json:"failovers"`
+}
+
+// chaosReport is the schema of BENCH_PR8.json.
+type chaosReport struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	Dataset     string  `json:"dataset"`
+	Scale       float64 `json:"scale"`
+	Nodes       int     `json:"nodes"`
+	Edges       int     `json:"edges"`
+	Workers     int     `json:"workers"`
+	Replication int     `json:"replication"`
+	K           int     `json:"k"`
+
+	Passes   []chaosPassResult   `json:"passes"`
+	Recovery chaosRecoveryResult `json:"recovery"`
+	Churn    chaosChurnResult    `json:"churn"`
+	// FailoverP50Overhead is the one-dead p50 over the healthy p50: what
+	// serving through the replicas of a dead member costs per query.
+	FailoverP50Overhead float64 `json:"one_dead_p50_over_healthy"`
+}
+
+// chaosFig measures the fleet's behavior under worker churn: query throughput
+// and tail latency healthy vs with a member dead vs after recovery, the
+// tick-bounded detection and delta-proportional recovery reconcile, the free
+// fingerprint-validated rejoin, and a sweep with a kill and restart landing
+// mid-stream. Every response under fault is checked bit-identical to the
+// in-process exact solver before any number is reported; queries go through
+// the Distributed method, whose per-round fan-out touches every stripe, so a
+// dead member cannot hide behind a cache.
+func (r *runner) chaosFig(outPath string, scale float64) error {
+	net, err := datasets.GenerateBibNet(datasets.ScaledBibNetConfig(scale))
+	if err != nil {
+		return err
+	}
+	g := net.Graph
+	const nWorkers, replication, k = 3, 2, 10
+
+	m, err := roundtriprank.NewFleet(roundtriprank.FleetOptions{
+		Stripes: nWorkers, Replication: replication,
+		Table: fleet.Options{SuspectMisses: 1, DeadMisses: 2},
+	})
+	if err != nil {
+		return err
+	}
+	ids := make([]string, nWorkers)
+	workers := make([]*chaos.HTTPWorker, nWorkers)
+	for i := range workers {
+		hw, err := chaos.StartHTTPWorker(distributed.NewWorker(nil))
+		if err != nil {
+			return err
+		}
+		defer hw.Close()
+		workers[i] = hw
+		ids[i] = fmt.Sprintf("w%d", i)
+		m.Table().Register(ids[i], hw.URL())
+	}
+	if _, err := m.Reconcile(r.ctx, g); err != nil {
+		return err
+	}
+	engine, err := roundtriprank.NewEngine(g, roundtriprank.WithFleet(m))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Chaos benchmark BibNet: %d nodes, %d edges, %d workers, R=%d\n",
+		g.NumNodes(), g.NumEdges(), nWorkers, replication)
+
+	queries := make([]graph.NodeID, 0, r.effQueries)
+	for i := 0; i < r.effQueries; i++ {
+		queries = append(queries, net.Papers[(i*7919)%len(net.Papers)])
+	}
+	rankOne := func(q graph.NodeID, method roundtriprank.Method) (*roundtriprank.Response, error) {
+		return engine.Rank(r.ctx, roundtriprank.Request{
+			Query: walk.SingleNode(q), K: k, Method: method,
+		})
+	}
+	// The exact in-process answers every fault pass is checked against.
+	want := make([]*roundtriprank.Response, len(queries))
+	for i, q := range queries {
+		if want[i], err = rankOne(q, roundtriprank.Exact); err != nil {
+			return err
+		}
+	}
+	verify := func(pass string, i int, got *roundtriprank.Response) error {
+		if len(got.Results) != len(want[i].Results) {
+			return fmt.Errorf("%s pass, query %d: %d results, exact has %d", pass, i, len(got.Results), len(want[i].Results))
+		}
+		for j := range want[i].Results {
+			if got.Results[j] != want[i].Results[j] {
+				return fmt.Errorf("%s pass, query %d rank %d: %+v, exact %+v (not bit-identical)",
+					pass, i, j, got.Results[j], want[i].Results[j])
+			}
+		}
+		return nil
+	}
+	percentile := func(lats []time.Duration, p float64) int64 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		idx := int(p * float64(len(lats)-1))
+		return lats[idx].Microseconds()
+	}
+	runPass := func(name string) (chaosPassResult, error) {
+		res := chaosPassResult{Pass: name, Queries: len(queries)}
+		before := engine.ClusterHealth().Failovers
+		lats := make([]time.Duration, 0, len(queries))
+		start := time.Now()
+		for i, q := range queries {
+			t0 := time.Now()
+			resp, err := rankOne(q, roundtriprank.Distributed)
+			if err != nil {
+				return res, fmt.Errorf("%s pass, query %d: %w", name, i, err)
+			}
+			lats = append(lats, time.Since(t0))
+			if err := verify(name, i, resp); err != nil {
+				return res, err
+			}
+		}
+		res.QPS = float64(len(queries)) / time.Since(start).Seconds()
+		res.P50Us, res.P99Us = percentile(lats, 0.5), percentile(lats, 0.99)
+		res.Failovers = engine.ClusterHealth().Failovers - before
+		return res, nil
+	}
+
+	report := chaosReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Dataset:     "bibnet",
+		Scale:       scale,
+		Nodes:       g.NumNodes(),
+		Edges:       g.NumEdges(),
+		Workers:     nWorkers,
+		Replication: replication,
+		K:           k,
+	}
+
+	healthy, err := runPass("healthy")
+	if err != nil {
+		return err
+	}
+
+	// Kill stripe 0's preferred replica (rendezvous placement is a pure
+	// function of the member set, so it is computable up front) and time the
+	// first query through the fresh corpse — the failover cost a live query
+	// actually pays.
+	victim := fleet.Place(nWorkers, replication, ids)[0][0]
+	victimIdx := -1
+	heldByVictim := 0
+	for i, id := range ids {
+		if id == victim {
+			victimIdx = i
+		}
+	}
+	for _, group := range m.Placement() {
+		for _, id := range group {
+			if id == victim {
+				heldByVictim++
+			}
+		}
+	}
+	workers[victimIdx].Kill()
+	failoversBefore := engine.ClusterHealth().Failovers
+	t0 := time.Now()
+	resp, err := rankOne(queries[0], roundtriprank.Distributed)
+	if err != nil {
+		return fmt.Errorf("first query after kill: %w", err)
+	}
+	report.Recovery.FirstQueryAfterKillUs = time.Since(t0).Microseconds()
+	report.Recovery.FailoversOnKill = engine.ClusterHealth().Failovers - failoversBefore
+	if err := verify("first-after-kill", 0, resp); err != nil {
+		return err
+	}
+	oneDead, err := runPass("one-dead")
+	if err != nil {
+		return err
+	}
+
+	// Tick-driven detection, then the recovery reconcile: survivors absorb
+	// exactly the dead member's placements.
+	for tick := 1; ; tick++ {
+		for _, id := range ids {
+			if id != victim {
+				m.Table().Heartbeat(id)
+			}
+		}
+		m.Table().Tick()
+		mem, ok := m.Table().Lookup(victim)
+		if !ok {
+			return fmt.Errorf("victim %s vanished from the table", victim)
+		}
+		if mem.State == fleet.StateSuspect && report.Recovery.TicksToSuspect == 0 {
+			report.Recovery.TicksToSuspect = tick
+		}
+		if mem.State == fleet.StateDead {
+			report.Recovery.TicksToDead = tick
+			break
+		}
+		if tick > 100 {
+			return fmt.Errorf("victim %s never reached dead (state %v)", victim, mem.State)
+		}
+	}
+	t0 = time.Now()
+	st, err := m.Reconcile(r.ctx, g)
+	if err != nil {
+		return fmt.Errorf("recovery reconcile: %w", err)
+	}
+	report.Recovery.ReconcileUs = time.Since(t0).Microseconds()
+	report.Recovery.StripesShipped = st.Shipped
+	report.Recovery.StripesHeldByVictim = heldByVictim
+	postRecovery, err := runPass("post-recovery")
+	if err != nil {
+		return err
+	}
+
+	// Rejoin: restart with retained payload, re-register, reconcile. The
+	// fingerprint check makes this free (zero ships).
+	if err := workers[victimIdx].Restart(); err != nil {
+		return fmt.Errorf("restart victim: %w", err)
+	}
+	m.Table().Register(victim, workers[victimIdx].URL())
+	t0 = time.Now()
+	st, err = m.Reconcile(r.ctx, g)
+	if err != nil {
+		return fmt.Errorf("rejoin reconcile: %w", err)
+	}
+	report.Recovery.RejoinReconcileUs = time.Since(t0).Microseconds()
+	report.Recovery.RejoinShipped = st.Shipped
+	report.Recovery.RejoinRemoved = st.Removed
+
+	// Churn sweep: a kill lands a third of the way in, the member rejoins at
+	// two thirds, and every answer must still be bit-identical with zero
+	// errors.
+	churnVictim := (victimIdx + 1) % nWorkers
+	churn := chaosChurnResult{Queries: 3 * len(queries)}
+	before := engine.ClusterHealth().Failovers
+	lats := make([]time.Duration, 0, churn.Queries)
+	start := time.Now()
+	for i := 0; i < churn.Queries; i++ {
+		switch i {
+		case churn.Queries / 3:
+			workers[churnVictim].Kill()
+		case 2 * churn.Queries / 3:
+			if err := workers[churnVictim].Restart(); err == nil {
+				m.Table().Register(ids[churnVictim], workers[churnVictim].URL())
+				if _, err := m.Reconcile(r.ctx, g); err != nil {
+					return fmt.Errorf("churn rejoin reconcile: %w", err)
+				}
+			}
+		}
+		qi := i % len(queries)
+		t0 := time.Now()
+		resp, err := rankOne(queries[qi], roundtriprank.Distributed)
+		if err != nil {
+			churn.Errors++
+			continue
+		}
+		lats = append(lats, time.Since(t0))
+		if err := verify("churn", qi, resp); err != nil {
+			return err
+		}
+	}
+	churn.QPS = float64(churn.Queries) / time.Since(start).Seconds()
+	churn.P50Us, churn.P99Us = percentile(lats, 0.5), percentile(lats, 0.99)
+	churn.Failovers = engine.ClusterHealth().Failovers - before
+	report.Churn = churn
+
+	report.Passes = []chaosPassResult{healthy, oneDead, postRecovery}
+	if healthy.P50Us > 0 {
+		report.FailoverP50Overhead = float64(oneDead.P50Us) / float64(healthy.P50Us)
+	}
+
+	for _, p := range report.Passes {
+		fmt.Printf("  %-14s %4d queries  %8.1f q/s  p50 %7d µs  p99 %7d µs  failovers %4d\n",
+			p.Pass, p.Queries, p.QPS, p.P50Us, p.P99Us, p.Failovers)
+	}
+	fmt.Printf("  churn          %4d queries  %8.1f q/s  p50 %7d µs  p99 %7d µs  failovers %4d  errors %d\n",
+		churn.Queries, churn.QPS, churn.P50Us, churn.P99Us, churn.Failovers, churn.Errors)
+	fmt.Printf("  recovery: first query after kill %d µs (%d failovers), suspect@tick %d, dead@tick %d, "+
+		"reconcile %d µs shipping %d/%d stripes, rejoin %d µs shipping %d (removed %d)\n",
+		report.Recovery.FirstQueryAfterKillUs, report.Recovery.FailoversOnKill, report.Recovery.TicksToSuspect, report.Recovery.TicksToDead,
+		report.Recovery.ReconcileUs, report.Recovery.StripesShipped, report.Recovery.StripesHeldByVictim,
+		report.Recovery.RejoinReconcileUs, report.Recovery.RejoinShipped, report.Recovery.RejoinRemoved)
+	fmt.Printf("  one-dead p50 overhead over healthy: %.2fx\n", report.FailoverP50Overhead)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

@@ -92,7 +92,7 @@ type runner struct {
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11a,11b,12,13, kernels, online, remote, or all")
+		fig         = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11a,11b,12,13, kernels, online, remote, overload, chaos, or all")
 		scale       = flag.Float64("scale", 0.5, "effectiveness dataset scale (1.0 = paper-subgraph scale)")
 		queries     = flag.Int("queries", 120, "test queries per task (paper: 1000)")
 		devQueries  = flag.Int("dev-queries", 60, "development queries per task for beta tuning (paper: 1000)")
@@ -105,6 +105,7 @@ func main() {
 		remoteOut   = flag.String("remote-out", "BENCH_PR6.json", "output file of -fig remote")
 		overloadOut = flag.String("overload-out", "BENCH_PR7.json", "output file of -fig overload")
 		overloadCap = flag.Int("overload-inflight", 2, "admission limit of the gated -fig overload pass")
+		chaosOut    = flag.String("chaos-out", "BENCH_PR8.json", "output file of -fig chaos")
 	)
 	flag.Parse()
 
@@ -134,6 +135,7 @@ func main() {
 	run("online", func() error { return r.online(*onlineOut, *onlineScale) })
 	run("remote", func() error { return r.remote(*remoteOut, *onlineScale) })
 	run("overload", func() error { return r.overload(*overloadOut, *onlineScale, *overloadCap) })
+	run("chaos", func() error { return r.chaosFig(*chaosOut, *onlineScale) })
 	run("4", r.fig4)
 	run("5", r.fig5)
 	run("6", func() error { return r.illustrative("spatio temporal data") })

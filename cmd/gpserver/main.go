@@ -12,6 +12,16 @@
 //     a coordinator (or operator) to POST one to /v1/stripe — see
 //     roundtriprank.DeployStripes.
 //
+// With -register, the worker additionally joins a self-organizing fleet: it
+// registers with the coordinator daemon (rtrankd -fleet-stripes) under a
+// stable identity and heartbeats every -heartbeat-interval; the coordinator
+// places replicated stripes on the live members and ships them over the
+// normal /v1/stripe endpoint, so a registered worker usually starts empty. A
+// worker that misses heartbeats is suspected, then evicted and its stripes
+// re-placed; when it comes back, it re-registers automatically and unchanged
+// retained stripes are revalidated by content fingerprint instead of
+// re-shipped (see docs/OPERATIONS.md).
+//
 // Workers serve immutable stripe snapshots. When the source graph commits a
 // new epoch, the coordinator side (roundtriprank.RedeployStripes, or an
 // rtrankd front end applying POST /v1/edges) reconciles the fleet: stripes
@@ -42,6 +52,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"os/signal"
@@ -49,6 +60,7 @@ import (
 
 	"roundtriprank/internal/cliutil"
 	"roundtriprank/internal/distributed"
+	"roundtriprank/internal/fleet"
 	"roundtriprank/internal/graph"
 	"roundtriprank/internal/obs"
 )
@@ -73,6 +85,10 @@ func main() {
 		writeTmo   = flag.Duration("write-timeout", 5*time.Minute, "HTTP response write timeout (must cover the slowest multiply)")
 		readTmo    = flag.Duration("read-timeout", time.Minute, "HTTP request read timeout (must cover a stripe upload)")
 		maxInflt   = flag.Int("max-inflight", 0, "admitted concurrent requests before shedding with 429 (0, the default, disables the gate: a worker's load is its coordinator's concurrency)")
+		register   = flag.String("register", "", "coordinator base URL to register with and heartbeat (enables fleet membership; see docs/OPERATIONS.md)")
+		advertise  = flag.String("advertise", "", "wire-protocol base URL advertised to the coordinator (default: derived from the bound listen address — set it when the worker is behind NAT or a proxy)")
+		workerID   = flag.String("worker-id", "", "stable member identity used with -register (default: the advertised host:port)")
+		beatEvery  = flag.Duration("heartbeat-interval", time.Second, "heartbeat period of the -register loop; the coordinator's miss thresholds are counted in its own tick units, so keep this shorter than the coordinator's -fleet-tick")
 	)
 	flag.Parse()
 
@@ -117,6 +133,27 @@ func main() {
 	cfg := cliutil.HTTPServerConfig{ReadTimeout: *readTmo, WriteTimeout: *writeTmo}
 	err = cliutil.ListenAndServe(ctx, *listen, handler, cfg, func(a net.Addr) {
 		log.Printf("worker wire protocol on %s", a)
+		if *register == "" {
+			return
+		}
+		addr := *advertise
+		if addr == "" {
+			addr = "http://" + a.String()
+		}
+		id := *workerID
+		if id == "" {
+			id = strings.TrimPrefix(strings.TrimPrefix(addr, "https://"), "http://")
+		}
+		reg := &fleet.Registrar{
+			Coordinator: *register,
+			ID:          id,
+			Addr:        addr,
+			Interval:    *beatEvery,
+			OnError:     func(err error) { log.Printf("fleet membership: %v", err) },
+		}
+		log.Printf("registering with %s as %q (advertising %s, heartbeat every %s)",
+			*register, id, addr, *beatEvery)
+		go reg.Run(ctx)
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -124,30 +161,68 @@ func main() {
 	log.Printf("shut down")
 }
 
-// registerWorkerGauges exposes the served stripe's identity on /metrics:
+// registerWorkerGauges exposes the served stripes' identity on /metrics:
 // epoch (the lag signal an rtrankd front end alerts on), stripe index/count
-// and row/edge sizes. All read Worker.Info at scrape time, so a stripe
-// swap or retag shows up on the next scrape; an empty worker reports zeros.
+// and row/edge sizes. All read the worker's stripe set at scrape time, so a
+// stripe swap or retag shows up on the next scrape; an empty worker reports
+// zeros. A replicated fleet member holds several stripes at once, so the
+// size gauges sum over the held set, the epoch gauge reports the laggard
+// (minimum) epoch, and stripe_index degrades to -1 when more than one stripe
+// is held (the per-stripe identities are on /v1/info?stripe=N).
 func registerWorkerGauges(reg *obs.Registry, worker *distributed.Worker) {
-	info := func(f func(distributed.WorkerInfo) float64) func() float64 {
+	sum := func(f func(distributed.WorkerInfo) float64) func() float64 {
 		return func() float64 {
-			wi, err := worker.Info()
-			if err != nil {
-				return 0
+			var total float64
+			for _, s := range worker.Stripes() {
+				wi, err := worker.InfoAt(s.Index)
+				if err != nil {
+					continue
+				}
+				total += f(wi)
 			}
-			return f(wi)
+			return total
 		}
 	}
-	reg.Gauge("stripe_epoch", "Epoch of the served stripe (0 when empty).", "",
-		info(func(wi distributed.WorkerInfo) float64 { return float64(wi.Epoch) }))
-	reg.Gauge("stripe_index", "Index of the served stripe within its deployment.", "",
-		info(func(wi distributed.WorkerInfo) float64 { return float64(wi.Index) }))
-	reg.Gauge("stripe_count", "Total stripes in the deployment the served stripe belongs to.", "",
-		info(func(wi distributed.WorkerInfo) float64 { return float64(wi.Count) }))
-	reg.Gauge("stripe_rows", "Rows owned by the served stripe.", "",
-		info(func(wi distributed.WorkerInfo) float64 { return float64(wi.Rows) }))
-	reg.Gauge("stripe_out_edges", "Out-edges stored by the served stripe.", "",
-		info(func(wi distributed.WorkerInfo) float64 { return float64(wi.OutEdges) }))
+	reg.Gauge("stripe_epoch", "Minimum epoch across the served stripes (0 when empty).", "",
+		func() float64 {
+			stripes := worker.Stripes()
+			if len(stripes) == 0 {
+				return 0
+			}
+			min := stripes[0].Epoch()
+			for _, s := range stripes[1:] {
+				if e := s.Epoch(); e < min {
+					min = e
+				}
+			}
+			return float64(min)
+		})
+	reg.Gauge("stripe_index", "Index of the served stripe (-1 when several stripes are held).", "",
+		func() float64 {
+			stripes := worker.Stripes()
+			switch len(stripes) {
+			case 0:
+				return 0
+			case 1:
+				return float64(stripes[0].Index)
+			default:
+				return -1
+			}
+		})
+	reg.Gauge("stripe_count", "Total stripes in the deployment the served stripes belong to.", "",
+		func() float64 {
+			stripes := worker.Stripes()
+			if len(stripes) == 0 {
+				return 0
+			}
+			return float64(stripes[0].Count)
+		})
+	reg.Gauge("stripes_held", "Number of stripes this worker currently serves.", "",
+		func() float64 { return float64(len(worker.Stripes())) })
+	reg.Gauge("stripe_rows", "Rows owned across the served stripes.", "",
+		sum(func(wi distributed.WorkerInfo) float64 { return float64(wi.Rows) }))
+	reg.Gauge("stripe_out_edges", "Out-edges stored across the served stripes.", "",
+		sum(func(wi distributed.WorkerInfo) float64 { return float64(wi.OutEdges) }))
 }
 
 // loadStripe resolves the stripe-source flags; it returns nil when the worker

@@ -30,6 +30,17 @@
 // reconciles the fleet before the new epoch serves, shipping only stripes
 // the commit changed (docs/OPERATIONS.md walks through the lifecycle).
 //
+// With -fleet-stripes, the worker set self-organizes instead of being listed
+// on the command line: rtrankd mounts the membership endpoints
+// (POST /v1/register, POST /v1/heartbeat, POST /v1/drain, GET /v1/fleet),
+// gpservers started with -register join and heartbeat, and a tick loop
+// (-fleet-tick) counts missed heartbeats, evicts dead members, and
+// reconciles R-way replicated stripe placement (-replication) over the live
+// ones. Queries fail over between a stripe's replicas, so killing any single
+// worker mid-query changes no answers; a rejoining worker whose retained
+// stripes still fingerprint-match is revalidated without re-shipping. See
+// docs/OPERATIONS.md for the fleet runbook.
+//
 // The server applies bounded-in-flight admission control (-max-inflight;
 // excess load is shed with 429 + Retry-After), a per-request deadline
 // (-request-timeout), and read/write timeouts; it shuts down gracefully on
@@ -71,6 +82,9 @@ func main() {
 		requestTmo  = flag.Duration("request-timeout", 0, "per-request deadline for admitted requests (0 leaves only the write timeout)")
 		mutationTmo = flag.Duration("mutation-timeout", serve.DefaultMutationTimeout, "server-side bound on one mutation commit + fleet redeploy")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint written on shed (429) responses")
+		fleetN      = flag.Int("fleet-stripes", 0, "stripe count of a self-organizing worker fleet; enables /v1/register + /v1/heartbeat and replicated placement over registered gpservers (exclusive with -workers)")
+		replication = flag.Int("replication", 2, "replica count per stripe of the -fleet-stripes fleet")
+		fleetTick   = flag.Duration("fleet-tick", 2*time.Second, "membership tick period: each tick counts a missed heartbeat against silent members and reconciles placement when membership changed")
 	)
 	flag.Parse()
 
@@ -84,7 +98,19 @@ func main() {
 	metrics := serve.NewMetrics()
 	opts := []roundtriprank.Option{roundtriprank.WithQueryStatsHook(metrics.RecordQuery)}
 	var transports []roundtriprank.Transport
-	if *workers != "" {
+	var fleetMgr *roundtriprank.Fleet
+	switch {
+	case *fleetN > 0 && *workers != "":
+		log.Fatal("-fleet-stripes and -workers are mutually exclusive: a fleet discovers its workers through registration")
+	case *fleetN > 0:
+		fleetMgr, err = roundtriprank.NewFleet(roundtriprank.FleetOptions{
+			Stripes: *fleetN, Replication: *replication,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, roundtriprank.WithFleet(fleetMgr))
+	case *workers != "":
 		for _, u := range strings.Split(*workers, ",") {
 			u = strings.TrimSpace(u)
 			if u == "" {
@@ -98,14 +124,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	workerCount := len(transports)
+	if fleetMgr != nil {
+		workerCount = *fleetN
+	}
 	s := serve.New(engine, metrics, serve.Config{
-		Workers:         len(transports),
+		Workers:         workerCount,
 		MutationTimeout: *mutationTmo,
 		BaseContext:     ctx,
 	})
-	var handler http.Handler = cliutil.WrapHTTP(s.Handler(), metrics.Registry(), cliutil.HTTPOptions{
-		Routes:         serve.Routes(),
-		Exempt:         serve.ExemptRoutes(),
+	mux := s.Handler()
+	routes, exempt := serve.Routes(), serve.ExemptRoutes()
+	if fleetMgr != nil {
+		mux = mountFleet(mux, fleetMgr)
+		routes = append(routes, fleetRoutes...)
+		// Membership traffic must bypass admission control: a saturated
+		// coordinator shedding heartbeats with 429 would evict live workers
+		// and make the overload worse by re-placing their stripes.
+		exempt = append(exempt, fleetRoutes...)
+		go fleetLoop(ctx, engine, fleetMgr, *fleetTick)
+	}
+	var handler http.Handler = cliutil.WrapHTTP(mux, metrics.Registry(), cliutil.HTTPOptions{
+		Routes:         routes,
+		Exempt:         exempt,
 		MaxInFlight:    *maxInflight,
 		RetryAfter:     *retryAfter,
 		RequestTimeout: *requestTmo,
@@ -113,6 +154,11 @@ func main() {
 
 	cfg := cliutil.HTTPServerConfig{WriteTimeout: *writeTmo}
 	err = cliutil.ListenAndServe(ctx, *listen, handler, cfg, func(a net.Addr) {
+		if fleetMgr != nil {
+			log.Printf("rtrankd serving %d nodes, %d edges on %s (fleet of %d stripes, R=%d, max %d in flight)",
+				g.NumNodes(), g.NumEdges(), a, *fleetN, *replication, *maxInflight)
+			return
+		}
 		log.Printf("rtrankd serving %d nodes, %d edges on %s (%d stripe workers, max %d in flight)",
 			g.NumNodes(), g.NumEdges(), a, len(transports), *maxInflight)
 	})
@@ -120,4 +166,60 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("shut down")
+}
+
+// fleetRoutes are the membership endpoints mounted in -fleet-stripes mode.
+var fleetRoutes = []string{"/v1/register", "/v1/heartbeat", "/v1/drain", "/v1/fleet"}
+
+// mountFleet layers the fleet manager's membership endpoints over the serving
+// mux; everything else falls through to the serving routes.
+func mountFleet(inner http.Handler, m *roundtriprank.Fleet) http.Handler {
+	mux := http.NewServeMux()
+	fh := m.Handler()
+	for _, route := range fleetRoutes {
+		mux.Handle(route, fh)
+	}
+	mux.Handle("/", inner)
+	return mux
+}
+
+// fleetLoop drives the fleet's liveness clock: every tick counts a missed
+// heartbeat against members that stayed silent since the previous tick, and
+// whenever the membership table's generation moved (a registration, a state
+// transition, a drain) it reconciles placement against the currently served
+// snapshot — shipping stripes to new members, re-placing the stripes of dead
+// ones, and fingerprint-revalidating rejoiners. Mutations reconcile through
+// Engine.Apply on their own; this loop only reacts to membership changes.
+func fleetLoop(ctx context.Context, engine *roundtriprank.Engine, m *roundtriprank.Fleet, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	var reconciled uint64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			m.Table().Tick()
+			gen := m.Table().Gen()
+			if gen == reconciled {
+				continue
+			}
+			g, ok := engine.View().(*roundtriprank.Graph)
+			if !ok {
+				log.Printf("fleet: cannot reconcile a %T view", engine.View())
+				return
+			}
+			st, err := m.Reconcile(ctx, g)
+			if err != nil {
+				// Transient by nature (a member died mid-ship); the next tick
+				// retries against the then-current membership.
+				log.Printf("fleet reconcile: %v", err)
+				continue
+			}
+			reconciled = gen
+			h := engine.ClusterHealth()
+			log.Printf("fleet reconciled (gen %d): %d shipped, %d retagged, %d removed; members %d alive / %d suspect / %d dead",
+				gen, st.Shipped, st.Retagged, st.Removed, h.MembersAlive, h.MembersSuspect, h.MembersDead)
+		}
+	}
 }

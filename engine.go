@@ -13,6 +13,7 @@ import (
 
 	"roundtriprank/internal/core"
 	"roundtriprank/internal/distributed"
+	"roundtriprank/internal/fleet"
 	"roundtriprank/internal/graph"
 	"roundtriprank/internal/rowserve"
 	"roundtriprank/internal/topk"
@@ -317,6 +318,10 @@ type Engine struct {
 	// distributed query of that epoch, so engine construction (and Apply)
 	// never block on the network.
 	workers []distributed.Transport
+	// fleetMgr, when set (WithFleet), self-organizes the workers: they are
+	// the manager's per-stripe replica groups, and Apply reconciles
+	// membership/placement instead of the static RedeployStripes walk.
+	fleetMgr *fleet.Manager
 	// rowCache is the engine-wide row cache of the TwoSBoundRemote method,
 	// shared by every epoch's RemoteCSR (created when workers are
 	// configured; sized by WithRowCacheRows). rowCacheRows only carries the
@@ -937,8 +942,13 @@ type ApplyResult struct {
 	// StripesShipped and StripesRetagged count the worker reconciliation:
 	// shipped stripes had content changed by the commit (or empty/mismatched
 	// workers), retagged stripes were identical and only had their graph
-	// fingerprint and epoch rebound. Both zero without workers.
+	// fingerprint and epoch rebound. Both zero without workers. Under a
+	// fleet manager they count per-member placements, not stripes (one
+	// stripe on R members can retag R times).
 	StripesShipped, StripesRetagged int
+	// StripesRemoved counts stripes dropped from members that placement
+	// moved them off (fleet engines only).
+	StripesRemoved int
 }
 
 // Apply commits a staged Delta against the engine's current graph and swaps
@@ -976,7 +986,14 @@ func (e *Engine) Apply(ctx context.Context, d *Delta) (*ApplyResult, error) {
 		return nil, &ValidationError{Err: err}
 	}
 	res := &ApplyResult{Graph: ng, Epoch: ng.Epoch()}
-	if len(e.workers) > 0 {
+	switch {
+	case e.fleetMgr != nil:
+		st, err := e.fleetMgr.Reconcile(ctx, ng)
+		if err != nil {
+			return nil, &ClusterError{Err: fmt.Errorf("fleet reconcile for epoch %d: %w", ng.Epoch(), err)}
+		}
+		res.StripesShipped, res.StripesRetagged, res.StripesRemoved = st.Shipped, st.Retagged, st.Removed
+	case len(e.workers) > 0:
 		res.StripesShipped, res.StripesRetagged, err = RedeployStripes(ctx, ng, e.workers)
 		if err != nil {
 			return nil, &ClusterError{Err: fmt.Errorf("redeploy for epoch %d: %w", ng.Epoch(), err)}

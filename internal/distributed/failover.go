@@ -1,0 +1,318 @@
+// Replica-aware transport: the failover layer between the coordinator (or the
+// rowserve session) and an R-way replicated stripe. A ReplicaSet presents one
+// stripe's replica group as a single Transport/RowFetcher, so everything
+// above it — coordinator fan-out, retry accounting, the online row cache —
+// keeps its one-transport-per-stripe worldview while calls transparently fail
+// over between members.
+package distributed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"roundtriprank/internal/graph"
+)
+
+// ReplicaSet is a Transport (and RowFetcher, StripeSender, StripeRetagger)
+// that multiplexes one stripe's RPCs over its replicas. Calls start at the
+// preferred replica and advance to the next on transient error — permanent
+// errors (protocol violations, 4xx) return immediately, since every replica
+// would answer the same. A successful failover promotes the answering replica
+// to preferred, so a dead member costs one timeout once, not once per call.
+//
+// The replica list is swappable at runtime (fleet reconciliation calls
+// SetReplicas as placement moves stripes between members); in-flight calls
+// finish on the list they started with. All methods are safe for concurrent
+// use.
+type ReplicaSet struct {
+	stripe     int
+	replicas   atomic.Pointer[[]Transport]
+	preferred  atomic.Int64
+	failovers  atomic.Int64
+	hedges     atomic.Int64
+	hedgeDelay time.Duration
+}
+
+// NewReplicaSet returns a ReplicaSet for the given stripe index over the
+// given replica transports (each already bound to the stripe on its member).
+// hedgeDelay, when positive, arms hedged row fetches: a FetchRows that has
+// not answered within the delay is raced against the next replica and the
+// first response wins. Zero disables hedging (multiply RPCs never hedge: the
+// offline solver is throughput-bound and a duplicate full-vector stream is
+// pure waste).
+func NewReplicaSet(stripe int, replicas []Transport, hedgeDelay time.Duration) *ReplicaSet {
+	rs := &ReplicaSet{stripe: stripe, hedgeDelay: hedgeDelay}
+	rs.SetReplicas(replicas)
+	return rs
+}
+
+// StripeIndex returns the stripe this replica set serves.
+func (rs *ReplicaSet) StripeIndex() int { return rs.stripe }
+
+// SetReplicas atomically replaces the replica list. The old transports are
+// not closed — fleet reconciliation owns member connections and members
+// usually persist across placement changes.
+func (rs *ReplicaSet) SetReplicas(replicas []Transport) {
+	list := append([]Transport(nil), replicas...)
+	rs.replicas.Store(&list)
+	rs.preferred.Store(0)
+}
+
+// Replicas returns the current replica list (read-only snapshot).
+func (rs *ReplicaSet) Replicas() []Transport { return *rs.replicas.Load() }
+
+// Failovers returns the number of calls that succeeded only after advancing
+// past a failed replica — the fleet's "a member was down and we routed
+// around it" counter.
+func (rs *ReplicaSet) Failovers() int64 { return rs.failovers.Load() }
+
+// Hedges returns the number of row fetches whose hedge fired.
+func (rs *ReplicaSet) Hedges() int64 { return rs.hedges.Load() }
+
+// errNoReplicas reports a replica set whose placement has no live member.
+var errNoReplicas = errors.New("distributed: replica set has no members")
+
+// replicaCall runs op against the replicas in preference order. Transient
+// failures advance to the next replica (recording a failover and promoting
+// the survivor); a permanent failure or a success returns immediately. When
+// every replica fails transiently the last error is returned — still marked
+// transient, so the coordinator's own retry loop re-enters and picks up any
+// replica that recovered in the meantime.
+func replicaCall[T any](ctx context.Context, rs *ReplicaSet, op func(Transport) (T, error)) (T, error) {
+	var zero T
+	replicas := *rs.replicas.Load()
+	if len(replicas) == 0 {
+		return zero, &TransientError{Err: errNoReplicas}
+	}
+	start := int(rs.preferred.Load()) % len(replicas)
+	if start < 0 {
+		start = 0
+	}
+	var lastErr error
+	for i := 0; i < len(replicas); i++ {
+		idx := (start + i) % len(replicas)
+		out, err := op(replicas[idx])
+		if err == nil {
+			if i > 0 {
+				rs.failovers.Add(1)
+				rs.preferred.Store(int64(idx))
+			}
+			return out, nil
+		}
+		if !IsTransient(err) || ctx.Err() != nil {
+			return zero, err
+		}
+		lastErr = err
+	}
+	return zero, lastErr
+}
+
+// Info implements Transport.
+func (rs *ReplicaSet) Info(ctx context.Context) (WorkerInfo, error) {
+	return replicaCall(ctx, rs, func(t Transport) (WorkerInfo, error) { return t.Info(ctx) })
+}
+
+// OutSums implements Transport.
+func (rs *ReplicaSet) OutSums(ctx context.Context) ([]float64, error) {
+	return replicaCall(ctx, rs, func(t Transport) ([]float64, error) { return t.OutSums(ctx) })
+}
+
+// Multiply implements Transport.
+func (rs *ReplicaSet) Multiply(ctx context.Context, dir Direction, graphSum uint32, x []float64) ([]float64, error) {
+	return replicaCall(ctx, rs, func(t Transport) ([]float64, error) {
+		return t.Multiply(ctx, dir, graphSum, x)
+	})
+}
+
+// OutDegrees implements RowFetcher.
+func (rs *ReplicaSet) OutDegrees(ctx context.Context) ([]int32, error) {
+	return replicaCall(ctx, rs, func(t Transport) ([]int32, error) {
+		f, ok := t.(RowFetcher)
+		if !ok {
+			return nil, fmt.Errorf("distributed: replica transport %T serves no rows", t)
+		}
+		return f.OutDegrees(ctx)
+	})
+}
+
+// FetchRows implements RowFetcher, with optional hedging: when the preferred
+// replica has not answered within the hedge delay, the same fetch is issued
+// to the next replica and the first response wins. Row fetches sit on the
+// online query's latency path and are small, so the duplicate work is cheap
+// insurance against a slow (not yet dead) member. Without hedging (or with a
+// single replica) the fetch takes the plain failover path.
+func (rs *ReplicaSet) FetchRows(ctx context.Context, graphSum uint32, nodes []graph.NodeID) (RowBatch, error) {
+	fetch := func(t Transport) (RowBatch, error) {
+		f, ok := t.(RowFetcher)
+		if !ok {
+			return RowBatch{}, fmt.Errorf("distributed: replica transport %T serves no rows", t)
+		}
+		return f.FetchRows(ctx, graphSum, nodes)
+	}
+	replicas := *rs.replicas.Load()
+	if rs.hedgeDelay <= 0 || len(replicas) < 2 {
+		return replicaCall(ctx, rs, fetch)
+	}
+
+	start := int(rs.preferred.Load()) % len(replicas)
+	if start < 0 {
+		start = 0
+	}
+	type result struct {
+		batch RowBatch
+		err   error
+		idx   int
+	}
+	// Buffered so the loser's send never blocks; both goroutines exit on
+	// their own once their RPC returns.
+	results := make(chan result, 2)
+	launch := func(idx int) {
+		go func() {
+			b, err := fetch(replicas[idx])
+			results <- result{batch: b, err: err, idx: idx}
+		}()
+	}
+	launch(start)
+	timer := time.NewTimer(rs.hedgeDelay)
+	defer timer.Stop()
+	launched, pending := 1, 1
+	var lastErr error
+	for pending > 0 {
+		select {
+		case <-timer.C:
+			if launched < 2 {
+				rs.hedges.Add(1)
+				launch((start + 1) % len(replicas))
+				launched, pending = 2, pending+1
+			}
+		case r := <-results:
+			pending--
+			if r.err == nil {
+				if r.idx != start {
+					rs.failovers.Add(1)
+					rs.preferred.Store(int64(r.idx))
+				}
+				return r.batch, nil
+			}
+			if !IsTransient(r.err) || ctx.Err() != nil {
+				return RowBatch{}, r.err
+			}
+			lastErr = r.err
+			if launched < 2 {
+				// The primary failed before the hedge armed: fail over now.
+				launch((start + 1) % len(replicas))
+				launched, pending = 2, pending+1
+			}
+		case <-ctx.Done():
+			return RowBatch{}, ctx.Err()
+		}
+	}
+	// Both replicas failed transiently; walk any remaining replicas serially.
+	for i := 2; i < len(replicas); i++ {
+		b, err := fetch(replicas[(start+i)%len(replicas)])
+		if err == nil {
+			rs.failovers.Add(1)
+			rs.preferred.Store(int64((start + i) % len(replicas)))
+			return b, nil
+		}
+		if !IsTransient(err) || ctx.Err() != nil {
+			return RowBatch{}, err
+		}
+		lastErr = err
+	}
+	return RowBatch{}, lastErr
+}
+
+// SendStripe implements StripeSender delta-aware across the replica group:
+// each member that already serves the stripe's exact payload is retagged (or
+// left alone when identity matches too); only members missing the payload
+// get the full ship. This is what keeps rebalance cost proportional to the
+// placement delta even with R-way replication.
+func (rs *ReplicaSet) SendStripe(ctx context.Context, s *Stripe) error {
+	replicas := *rs.replicas.Load()
+	if len(replicas) == 0 {
+		return &TransientError{Err: errNoReplicas}
+	}
+	var firstErr error
+	for _, t := range replicas {
+		if _, err := EnsureStripe(ctx, t, s); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// DeployAction is what EnsureStripe had to do to converge one member.
+type DeployAction int
+
+const (
+	// DeployNone: the member already served the exact stripe identity.
+	DeployNone DeployAction = iota
+	// DeployRetag: the payload matched, only the graph identity was rebound.
+	DeployRetag
+	// DeployShip: the full stripe was shipped.
+	DeployShip
+)
+
+// EnsureStripe installs s on one member with the cheapest sufficient RPC:
+// nothing when the member already serves this exact stripe identity, a retag
+// when the payload matches but the graph identity moved (an epoch rollover
+// that left the stripe's rows untouched, or a rejoining member whose
+// retained payload still fingerprint-matches), a full ship otherwise. It is
+// the per-member primitive behind both ReplicaSet.SendStripe and fleet
+// reconciliation, and what keeps redeploy cost proportional to the delta.
+func EnsureStripe(ctx context.Context, t Transport, s *Stripe) (DeployAction, error) {
+	sender, ok := t.(StripeSender)
+	if !ok {
+		return DeployNone, fmt.Errorf("distributed: replica transport %T cannot receive stripes", t)
+	}
+	if info, err := t.Info(ctx); err == nil && info.Index == s.Index && info.Count == s.Count && info.Content == s.ContentFingerprint() {
+		if info.Graph == s.GraphFingerprint() && info.Epoch == s.Epoch() {
+			return DeployNone, nil
+		}
+		if rt, ok := t.(StripeRetagger); ok {
+			if err := rt.RetagStripe(ctx, s.GraphFingerprint(), s.Epoch(), s.ContentFingerprint()); err == nil {
+				return DeployRetag, nil
+			}
+		}
+	}
+	if err := sender.SendStripe(ctx, s); err != nil {
+		return DeployShip, err
+	}
+	return DeployShip, nil
+}
+
+// RetagStripe implements StripeRetagger: the rebind must land on every
+// replica or the group's epochs diverge, so the first failure aborts and the
+// caller falls back to SendStripe (whose delta logic retags the members that
+// already took the rebind and ships the rest).
+func (rs *ReplicaSet) RetagStripe(ctx context.Context, graphSum uint32, epoch uint64, content uint32) error {
+	replicas := *rs.replicas.Load()
+	if len(replicas) == 0 {
+		return &TransientError{Err: errNoReplicas}
+	}
+	for _, t := range replicas {
+		rt, ok := t.(StripeRetagger)
+		if !ok {
+			return fmt.Errorf("distributed: replica transport %T cannot retag", t)
+		}
+		if err := rt.RetagStripe(ctx, graphSum, epoch, content); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Transport, closing every replica transport.
+func (rs *ReplicaSet) Close() error {
+	var firstErr error
+	for _, t := range *rs.replicas.Load() {
+		if err := t.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -26,6 +26,9 @@ type HTTPTransport struct {
 	base    string
 	client  *http.Client
 	timeout time.Duration
+	// stripe is the bound stripe index appended to per-stripe RPCs, or
+	// AnyStripe for the classic unbound transport (the worker's sole stripe).
+	stripe int
 }
 
 // HTTPTransportOptions tune an HTTPTransport.
@@ -44,6 +47,7 @@ func NewHTTPTransport(baseURL string, opts *HTTPTransportOptions) *HTTPTransport
 		base:    strings.TrimRight(baseURL, "/"),
 		client:  &http.Client{},
 		timeout: DefaultHTTPTimeout,
+		stripe:  AnyStripe,
 	}
 	if opts != nil {
 		if opts.Client != nil {
@@ -59,10 +63,32 @@ func NewHTTPTransport(baseURL string, opts *HTTPTransportOptions) *HTTPTransport
 // URL returns the worker base URL this transport dials.
 func (t *HTTPTransport) URL() string { return t.base }
 
+// ForStripe returns a copy of the transport bound to the stripe with the
+// given index: per-stripe RPCs carry an explicit ?stripe=N selector, which a
+// multi-stripe fleet member requires. The copy shares the HTTP client (and
+// its connection pool) with the receiver.
+func (t *HTTPTransport) ForStripe(index int) *HTTPTransport {
+	nt := *t
+	nt.stripe = index
+	return &nt
+}
+
+// withStripe appends the bound stripe selector to an RPC path.
+func (t *HTTPTransport) withStripe(path string) string {
+	if t.stripe == AnyStripe {
+		return path
+	}
+	sep := "?"
+	if strings.Contains(path, "?") {
+		sep = "&"
+	}
+	return fmt.Sprintf("%s%sstripe=%d", path, sep, t.stripe)
+}
+
 // Info implements Transport.
 func (t *HTTPTransport) Info(ctx context.Context) (WorkerInfo, error) {
 	var info WorkerInfo
-	body, err := t.do(ctx, http.MethodGet, "/v1/info", nil, "")
+	body, err := t.do(ctx, http.MethodGet, t.withStripe("/v1/info"), nil, "")
 	if err != nil {
 		return info, err
 	}
@@ -76,7 +102,7 @@ func (t *HTTPTransport) Info(ctx context.Context) (WorkerInfo, error) {
 // OutSums implements Transport. The wire format implies the length, and the
 // coordinator validates it against the declared row count.
 func (t *HTTPTransport) OutSums(ctx context.Context) ([]float64, error) {
-	body, err := t.do(ctx, http.MethodGet, "/v1/outsums", nil, "")
+	body, err := t.do(ctx, http.MethodGet, t.withStripe("/v1/outsums"), nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +113,7 @@ func (t *HTTPTransport) OutSums(ctx context.Context) ([]float64, error) {
 // Multiply implements Transport.
 func (t *HTTPTransport) Multiply(ctx context.Context, dir Direction, graphSum uint32, x []float64) ([]float64, error) {
 	req := AppendVector(make([]byte, 0, len(x)*8), x)
-	path := fmt.Sprintf("/v1/multiply?dir=%s&graph=%d", dir, graphSum)
+	path := t.withStripe(fmt.Sprintf("/v1/multiply?dir=%s&graph=%d", dir, graphSum))
 	body, err := t.do(ctx, http.MethodPost, path, req, "application/octet-stream")
 	if err != nil {
 		return nil, err
@@ -131,8 +157,18 @@ func (t *HTTPTransport) SendStripe(ctx context.Context, s *Stripe) error {
 // endpoint. The worker answers 409 on a content mismatch, which surfaces as a
 // non-transient error so the caller falls back to shipping the full stripe.
 func (t *HTTPTransport) RetagStripe(ctx context.Context, graphSum uint32, epoch uint64, content uint32) error {
-	path := fmt.Sprintf("/v1/stripe/retag?graph=%d&epoch=%d&content=%d", graphSum, epoch, content)
+	path := t.withStripe(fmt.Sprintf("/v1/stripe/retag?graph=%d&epoch=%d&content=%d", graphSum, epoch, content))
 	body, err := t.do(ctx, http.MethodPost, path, nil, "")
+	if err != nil {
+		return err
+	}
+	return body.Close()
+}
+
+// RemoveStripe implements StripeRemover by DELETEing the worker's stripe
+// endpoint; the bound stripe selector names which stripe to drop.
+func (t *HTTPTransport) RemoveStripe(ctx context.Context) error {
+	body, err := t.do(ctx, http.MethodDelete, t.withStripe("/v1/stripe"), nil, "")
 	if err != nil {
 		return err
 	}

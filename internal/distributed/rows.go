@@ -57,14 +57,20 @@ type RowFetcher interface {
 // expansion wave's misses for one stripe stay far below it.
 const MaxRowFetchNodes = 1 << 20
 
-// FetchRows implements the worker side of RowFetcher.FetchRows, serving every
-// requested row from one consistent stripe snapshot. graphSum pins the source
-// graph like Multiply's; a node not owned by the stripe is a caller bug and
-// fails the batch. The returned slices alias the stripe's arrays.
+// FetchRows implements the worker side of RowFetcher.FetchRows for the sole
+// stripe; see FetchRowsAt.
 func (w *Worker) FetchRows(graphSum uint32, nodes []graph.NodeID) (RowBatch, error) {
-	s := w.Stripe()
-	if s == nil {
-		return RowBatch{}, errNoStripe
+	return w.FetchRowsAt(AnyStripe, graphSum, nodes)
+}
+
+// FetchRowsAt serves every requested row from one consistent snapshot of the
+// stripe at index. graphSum pins the source graph like Multiply's; a node not
+// owned by the stripe is a caller bug and fails the batch. The returned
+// slices alias the stripe's arrays.
+func (w *Worker) FetchRowsAt(index int, graphSum uint32, nodes []graph.NodeID) (RowBatch, error) {
+	s, err := w.stripeFor(index)
+	if err != nil {
+		return RowBatch{}, err
 	}
 	if s.graphSum != graphSum {
 		return RowBatch{}, fmt.Errorf("%w (stripe has %08x, caller expects %08x)", ErrStripeReplaced, s.graphSum, graphSum)
@@ -88,12 +94,16 @@ func (w *Worker) FetchRows(graphSum uint32, nodes []graph.NodeID) (RowBatch, err
 	return batch, nil
 }
 
-// OutDegrees implements the worker side of RowFetcher.OutDegrees: the
-// out-degree of every owned node, indexed by local row.
-func (w *Worker) OutDegrees() ([]int32, error) {
-	s := w.Stripe()
-	if s == nil {
-		return nil, errNoStripe
+// OutDegrees implements the worker side of RowFetcher.OutDegrees for the sole
+// stripe; see OutDegreesAt.
+func (w *Worker) OutDegrees() ([]int32, error) { return w.OutDegreesAt(AnyStripe) }
+
+// OutDegreesAt returns the out-degree of every node owned by the stripe at
+// index, indexed by local row.
+func (w *Worker) OutDegreesAt(index int) ([]int32, error) {
+	s, err := w.stripeFor(index)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]int32, s.rows)
 	for r := 0; r < s.rows; r++ {
@@ -251,9 +261,14 @@ func decodeRowBatch(raw []byte) (RowBatch, error) {
 // stripe. The optional graph parameter pins the stripe's source graph like
 // /v1/multiply's; ad-hoc callers that omit it accept whatever is installed.
 func (w *Worker) handleRows(rw http.ResponseWriter, r *http.Request) {
-	s := w.Stripe()
-	if s == nil {
-		workerError(rw, http.StatusConflict, "%v", errNoStripe)
+	index, err := stripeParam(r)
+	if err != nil {
+		workerError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s, err := w.stripeFor(index)
+	if err != nil {
+		workerError(rw, http.StatusConflict, "%v", err)
 		return
 	}
 	graphSum := s.graphSum
@@ -278,7 +293,7 @@ func (w *Worker) handleRows(rw http.ResponseWriter, r *http.Request) {
 	for i := range nodes {
 		nodes[i] = graph.NodeID(binary.LittleEndian.Uint32(raw[i*4:]))
 	}
-	batch, err := w.FetchRows(graphSum, nodes)
+	batch, err := w.FetchRowsAt(s.Index, graphSum, nodes)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrStripeReplaced) {
@@ -296,7 +311,12 @@ func (w *Worker) handleRows(rw http.ResponseWriter, r *http.Request) {
 // handleOutDegs serves GET /v1/outdegs: the out-degrees of the owned rows as
 // a raw little-endian int32 array.
 func (w *Worker) handleOutDegs(rw http.ResponseWriter, r *http.Request) {
-	degs, err := w.OutDegrees()
+	index, err := stripeParam(r)
+	if err != nil {
+		workerError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	degs, err := w.OutDegreesAt(index)
 	if err != nil {
 		workerError(rw, http.StatusConflict, "%v", err)
 		return
@@ -315,7 +335,7 @@ func (l *Loopback) FetchRows(ctx context.Context, graphSum uint32, nodes []graph
 	if err := ctx.Err(); err != nil {
 		return RowBatch{}, err
 	}
-	return l.w.FetchRows(graphSum, nodes)
+	return l.w.FetchRowsAt(l.index, graphSum, nodes)
 }
 
 // OutDegrees implements RowFetcher for the in-process transport.
@@ -323,13 +343,13 @@ func (l *Loopback) OutDegrees(ctx context.Context) ([]int32, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return l.w.OutDegrees()
+	return l.w.OutDegreesAt(l.index)
 }
 
 // FetchRows implements RowFetcher over the gpserver wire protocol.
 func (t *HTTPTransport) FetchRows(ctx context.Context, graphSum uint32, nodes []graph.NodeID) (RowBatch, error) {
 	req := appendNodeIDs(make([]byte, 0, len(nodes)*4), nodes)
-	path := fmt.Sprintf("/v1/rows?graph=%d", graphSum)
+	path := t.withStripe(fmt.Sprintf("/v1/rows?graph=%d", graphSum))
 	body, err := t.do(ctx, http.MethodPost, path, req, "application/octet-stream")
 	if err != nil {
 		return RowBatch{}, err
@@ -348,7 +368,7 @@ func (t *HTTPTransport) FetchRows(ctx context.Context, graphSum uint32, nodes []
 
 // OutDegrees implements RowFetcher over the gpserver wire protocol.
 func (t *HTTPTransport) OutDegrees(ctx context.Context) ([]int32, error) {
-	body, err := t.do(ctx, http.MethodGet, "/v1/outdegs", nil, "")
+	body, err := t.do(ctx, http.MethodGet, t.withStripe("/v1/outdegs"), nil, "")
 	if err != nil {
 		return nil, err
 	}

@@ -117,6 +117,17 @@ type StripeRetagger interface {
 	RetagStripe(ctx context.Context, graphSum uint32, epoch uint64, content uint32) error
 }
 
+// StripeRemover is implemented by transports whose worker can uninstall its
+// served stripe. Fleet rebalancing uses it when placement moves a stripe off
+// a member: the payload is dropped so the member stops answering (and paying
+// memory) for rows it no longer owns.
+type StripeRemover interface {
+	// RemoveStripe uninstalls the transport's bound stripe (or the worker's
+	// sole stripe for an unbound transport). Removing a stripe the worker does
+	// not serve is an error.
+	RemoveStripe(ctx context.Context) error
+}
+
 // TransientError marks a worker failure as retryable: the coordinator retries
 // the idempotent call on the same worker instead of failing the query.
 // Network-level failures and HTTP 5xx responses are transient; protocol
@@ -177,20 +188,30 @@ func ReadVector(r io.Reader, n int, dst []float64) ([]float64, error) {
 // Loopback is an in-process Transport wrapping a Worker directly: no
 // serialization, no network. It keeps tests and single-process deployments
 // fast and deterministic while exercising the same coordinator code paths as
-// the HTTP transport.
+// the HTTP transport. A Loopback may be bound to one stripe of a multi-stripe
+// worker (NewLoopbackAt); the zero binding addresses the worker's sole stripe.
 type Loopback struct {
-	w *Worker
+	w     *Worker
+	index int
 }
 
-// NewLoopback returns a Transport that calls w in-process.
-func NewLoopback(w *Worker) *Loopback { return &Loopback{w: w} }
+// NewLoopback returns a Transport that calls w in-process, addressing its
+// sole stripe.
+func NewLoopback(w *Worker) *Loopback { return &Loopback{w: w, index: AnyStripe} }
+
+// NewLoopbackAt returns a Transport that calls w in-process, bound to the
+// stripe with the given index.
+func NewLoopbackAt(w *Worker, index int) *Loopback { return &Loopback{w: w, index: index} }
+
+// Worker returns the wrapped worker.
+func (l *Loopback) Worker() *Worker { return l.w }
 
 // Info implements Transport.
 func (l *Loopback) Info(ctx context.Context) (WorkerInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return WorkerInfo{}, err
 	}
-	return l.w.Info()
+	return l.w.InfoAt(l.index)
 }
 
 // OutSums implements Transport.
@@ -198,7 +219,7 @@ func (l *Loopback) OutSums(ctx context.Context) ([]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return l.w.OutSums()
+	return l.w.OutSumsAt(l.index)
 }
 
 // Multiply implements Transport.
@@ -206,7 +227,7 @@ func (l *Loopback) Multiply(ctx context.Context, dir Direction, graphSum uint32,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return l.w.Multiply(dir, graphSum, x)
+	return l.w.MultiplyAt(l.index, dir, graphSum, x)
 }
 
 // SendStripe implements StripeSender.
@@ -223,8 +244,19 @@ func (l *Loopback) RetagStripe(ctx context.Context, graphSum uint32, epoch uint6
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	_, err := l.w.Retag(graphSum, epoch, content)
+	_, err := l.w.RetagAt(l.index, graphSum, epoch, content)
 	return err
+}
+
+// RemoveStripe implements StripeRemover.
+func (l *Loopback) RemoveStripe(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !l.w.RemoveStripe(l.index) {
+		return fmt.Errorf("distributed: no stripe %d to remove", l.index)
+	}
+	return nil
 }
 
 // Close implements Transport; loopback transports hold no resources.

@@ -1,0 +1,62 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Placement is deterministic rendezvous (highest-random-weight) hashing:
+// every (stripe, member) pair gets a pseudo-random score from a hash of the
+// two identities, and each stripe is served by the R highest-scoring live
+// members. The property this buys over modular assignment is minimal
+// movement: adding or removing one member only moves the stripes whose top-R
+// set that member entered or left — every other assignment's scores are
+// untouched — so reconciliation after churn ships a delta, not a reshuffle.
+
+// score hashes one (member, stripe) pair. FNV-1a over the member ID and the
+// stripe index: stable across processes and Go versions, no seed state.
+func score(member string, stripe int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(member))
+	var b [4]byte
+	b[0], b[1], b[2], b[3] = byte(stripe), byte(stripe>>8), byte(stripe>>16), byte(stripe>>24)
+	_, _ = h.Write(b[:])
+	return h.Sum64()
+}
+
+// Place assigns r replicas of each of `stripes` stripes over members,
+// returning per-stripe member ID lists in preference order (highest score
+// first). Fewer members than r degrades gracefully to all of them; member
+// input order does not matter. Ties (only possible with duplicate IDs) break
+// by ID so the result is a pure function of the inputs.
+func Place(stripes, r int, members []string) [][]string {
+	out := make([][]string, stripes)
+	if len(members) == 0 || r <= 0 {
+		return out
+	}
+	if r > len(members) {
+		r = len(members)
+	}
+	type scored struct {
+		id string
+		s  uint64
+	}
+	ranked := make([]scored, len(members))
+	for i := 0; i < stripes; i++ {
+		for j, id := range members {
+			ranked[j] = scored{id: id, s: score(id, i)}
+		}
+		sort.Slice(ranked, func(a, b int) bool {
+			if ranked[a].s != ranked[b].s {
+				return ranked[a].s > ranked[b].s
+			}
+			return ranked[a].id < ranked[b].id
+		})
+		ids := make([]string, r)
+		for j := 0; j < r; j++ {
+			ids[j] = ranked[j].id
+		}
+		out[i] = ids
+	}
+	return out
+}

@@ -159,6 +159,27 @@ func (m *Metrics) bindEngine(e *roundtriprank.Engine) {
 	m.reg.CounterFunc("cluster_retries_total", "Worker RPC retries by the current epoch's coordinator and row view.", "",
 		func() float64 { _, r := e.ClusterStats(); return float64(r) })
 
+	for _, s := range []struct {
+		state string
+		count func(roundtriprank.ClusterHealth) int
+	}{
+		{"alive", func(h roundtriprank.ClusterHealth) int { return h.MembersAlive }},
+		{"suspect", func(h roundtriprank.ClusterHealth) int { return h.MembersSuspect }},
+		{"dead", func(h roundtriprank.ClusterHealth) int { return h.MembersDead }},
+		{"draining", func(h roundtriprank.ClusterHealth) int { return h.MembersDraining }},
+	} {
+		count := s.count
+		m.reg.Gauge("fleet_members", "Registered fleet members by liveness state (zero without a fleet manager).",
+			`state="`+s.state+`"`,
+			func() float64 { return float64(count(e.ClusterHealth())) })
+	}
+	m.reg.CounterFunc("fleet_failovers_total", "Calls that succeeded only after routing around a failed replica.", "",
+		func() float64 { return float64(e.ClusterHealth().Failovers) })
+	m.reg.CounterFunc("fleet_hedges_total", "Row fetches whose hedge to a second replica fired.", "",
+		func() float64 { return float64(e.ClusterHealth().Hedges) })
+	m.reg.Gauge("fleet_replication", "Configured replica count per stripe (zero without a fleet manager).", "",
+		func() float64 { return float64(e.ClusterHealth().Replication) })
+
 	m.reg.Gauge("scratch_pool_in_use", "Pooled online-query scratch objects currently checked out.", "",
 		func() float64 { n, _ := topk.PoolStats(); return float64(n) })
 	m.reg.Gauge("scratch_pool_peak", "High-water mark of concurrently checked-out scratch objects.", "",

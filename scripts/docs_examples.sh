@@ -12,6 +12,8 @@ cd "$(dirname "$0")/.."
 
 RT_PORT="${RT_PORT:-18080}"
 GP_PORT="${GP_PORT:-17001}"
+FLEET_PORT="${FLEET_PORT:-18081}"
+FW_PORT="${FW_PORT:-17002}"
 BIN=$(mktemp -d)
 pids=()
 cleanup() {
@@ -39,6 +41,16 @@ go build -o "$BIN/gpserver" ./cmd/gpserver
 pids+=($!)
 "$BIN/rtrankd" -dataset bibnet -scale 0.3 -listen "127.0.0.1:$RT_PORT" &
 pids+=($!)
+# The self-organizing fleet documented in docs/API.md ("Fleet membership")
+# and docs/OPERATIONS.md ("Self-organizing fleet"): a coordinator in
+# -fleet-stripes mode plus one empty worker that registers itself. Tick and
+# heartbeat periods are shortened so the script converges quickly.
+"$BIN/rtrankd" -dataset bibnet -scale 0.3 -listen "127.0.0.1:$FLEET_PORT" \
+    -fleet-stripes 2 -replication 2 -fleet-tick 250ms &
+pids+=($!)
+"$BIN/gpserver" -listen "127.0.0.1:$FW_PORT" \
+    -register "http://127.0.0.1:$FLEET_PORT" -heartbeat-interval 100ms &
+pids+=($!)
 
 wait_up() {
     for _ in $(seq 1 120); do
@@ -49,6 +61,8 @@ wait_up() {
 }
 wait_up "$RT_PORT"
 wait_up "$GP_PORT"
+wait_up "$FLEET_PORT"
+wait_up "$FW_PORT"
 
 echo "docs_examples: rtrankd examples (docs/API.md, docs/OPERATIONS.md)"
 out=$(curl -s "localhost:$RT_PORT/healthz")
@@ -172,5 +186,66 @@ print(len(v), "entries; first nonzero:", next((i,x) for i,x in enumerate(v) if x
 else
     echo "  skip: python3 not available, binary multiply example not replayed"
 fi
+
+echo "docs_examples: fleet membership examples (docs/API.md, docs/OPERATIONS.md)"
+# The registered worker should be admitted and — with 2 stripes, R=2, one
+# live member — end up serving both stripes. Registration, the membership
+# tick and the stripe ship are all asynchronous, so poll briefly.
+fleet_id="127.0.0.1:$FW_PORT"
+converged=""
+for _ in $(seq 1 120); do
+    metrics=$(curl -s "localhost:$FW_PORT/metrics")
+    case "$metrics" in
+        *'gpserver_stripes_held 2'*) converged=1; break ;;
+    esac
+    sleep 0.25
+done
+[ -n "$converged" ] || fail "registered worker never received its 2 stripes: $(curl -s "localhost:$FLEET_PORT/v1/fleet")"
+echo "  ok: registered worker was shipped both stripes (gpserver_stripes_held 2)"
+
+out=$(curl -s "localhost:$FLEET_PORT/v1/fleet")
+expect "/v1/fleet member admitted" "\"id\":\"$fleet_id\"" "$out"
+expect "/v1/fleet member alive" '"state":"alive"' "$out"
+expect "/v1/fleet census" '"alive":1' "$out"
+expect "/v1/fleet replication" '"replication":2' "$out"
+expect "/v1/fleet placement" "\"placement\":[[\"$fleet_id\"],[\"$fleet_id\"]]" "$out"
+
+# A distributed query served entirely by the self-organized fleet.
+out=$(curl -s "localhost:$FLEET_PORT/rank" -d '{
+    "query": ["term:spatio", "term:temporal", "term:data"],
+    "k": 3, "type": "venue", "method": "distributed"
+}')
+expect "fleet-served distributed query method" '"method":"distributed"' "$out"
+expect "fleet-served distributed query top venue" '"label":"venue:Spatio-Temporal Databases"' "$out"
+expect "fleet-served distributed query converged" '"converged":true' "$out"
+
+# The fleet census on /metrics (docs/OPERATIONS.md).
+out=$(curl -s "localhost:$FLEET_PORT/metrics")
+expect "fleet /metrics alive census" 'rtrank_fleet_members{state="alive"} 1' "$out"
+expect "fleet /metrics replication" 'rtrank_fleet_replication 2' "$out"
+expect "fleet /metrics failover counter exposed" 'rtrank_fleet_failovers_total' "$out"
+
+# A heartbeat for an unknown member is 404 — the signal that tells an
+# evicted (or coordinator-restart-orphaned) worker to re-register.
+out=$(curl -s -o /dev/null -w '%{http_code}' "localhost:$FLEET_PORT/v1/heartbeat" \
+    -d '{"id": "ghost"}')
+[ "$out" = "404" ] || fail "unknown-member heartbeat answered $out, want 404"
+echo "  ok: unknown-member heartbeat rejected with 404"
+
+# Registration bodies are strict JSON: unknown fields are rejected.
+out=$(curl -s -o /dev/null -w '%{http_code}' "localhost:$FLEET_PORT/v1/register" \
+    -d '{"id": "w7", "addr": "http://10.0.0.7:7001", "extra": true}')
+[ "$out" = "400" ] || fail "register with unknown field answered $out, want 400"
+echo "  ok: register with unknown field rejected with 400"
+
+# The documented manual register + drain pair. (The fake member is drained
+# right away so the reconcile loop stops considering it a placement target.)
+out=$(curl -s "localhost:$FLEET_PORT/v1/register" \
+    -d '{"id": "w7", "addr": "http://10.0.0.7:7001"}')
+expect "API.md register reply" '"ok":true' "$out"
+expect "API.md register echoes replication" '"replication":2' "$out"
+expect "API.md register echoes stripes" '"stripes":2' "$out"
+out=$(curl -s "localhost:$FLEET_PORT/v1/drain" -d '{"id": "w7"}')
+expect "API.md drain reply" '"draining":"w7"' "$out"
 
 echo "docs_examples: all documented examples verified"
