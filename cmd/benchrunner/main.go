@@ -35,6 +35,15 @@
 // (default BENCH_PR6.json). It shares -online-scale and -eff-queries with
 // -fig online.
 //
+// -fig scale is the million-node sweep: synthetic R-MAT graphs at 10^4, 10^5
+// and 10^6 nodes (10^7 when -scale-max allows it), recording generator build
+// time, resident bytes/edge flat vs packed CSR, exact-solve time per
+// representation, and online 2SBound qps/p50/p99 per representation, written
+// to -scale-out (default BENCH_PR9.json). It aborts unless every exact vector
+// and online response is bit-identical across representations and the packed
+// footprint stays ≤70% of flat. It is excluded from -fig all — the sweep is
+// sized in minutes, not laptop-default seconds; run it explicitly.
+//
 // -fig overload drives the real rtrankd serving stack (internal/serve plus
 // the cliutil middleware) past its admission limit: one pass with the gate
 // off, one with a small -overload-inflight cap under many concurrent HTTP
@@ -92,7 +101,7 @@ type runner struct {
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11a,11b,12,13, kernels, online, remote, overload, chaos, or all")
+		fig         = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11a,11b,12,13, kernels, online, remote, overload, chaos, scale, or all (scale runs only when named)")
 		scale       = flag.Float64("scale", 0.5, "effectiveness dataset scale (1.0 = paper-subgraph scale)")
 		queries     = flag.Int("queries", 120, "test queries per task (paper: 1000)")
 		devQueries  = flag.Int("dev-queries", 60, "development queries per task for beta tuning (paper: 1000)")
@@ -106,6 +115,10 @@ func main() {
 		overloadOut = flag.String("overload-out", "BENCH_PR7.json", "output file of -fig overload")
 		overloadCap = flag.Int("overload-inflight", 2, "admission limit of the gated -fig overload pass")
 		chaosOut    = flag.String("chaos-out", "BENCH_PR8.json", "output file of -fig chaos")
+		scaleOut    = flag.String("scale-out", "BENCH_PR9.json", "output file of -fig scale")
+		scaleMax    = flag.Int("scale-max", 1_000_000, "largest node count of the -fig scale sweep (10^7 points need ≥ 10000000)")
+		scaleQs     = flag.Int("scale-queries", 16, "online queries per size and representation in -fig scale")
+		scaleEF     = flag.Int("scale-edgefactor", 8, "directed edge draws per node of the -fig scale R-MAT graphs")
 	)
 	flag.Parse()
 
@@ -123,6 +136,11 @@ func main() {
 		if want != "all" && want != name {
 			return
 		}
+		// The scale sweep runs only when named: at the default -scale-max it
+		// builds a million-node graph, which has no place in -fig all.
+		if name == "scale" && want != name {
+			return
+		}
 		start := time.Now()
 		fmt.Printf("==== Figure %s ====\n", name)
 		if err := fn(); err != nil {
@@ -136,6 +154,7 @@ func main() {
 	run("remote", func() error { return r.remote(*remoteOut, *onlineScale) })
 	run("overload", func() error { return r.overload(*overloadOut, *onlineScale, *overloadCap) })
 	run("chaos", func() error { return r.chaosFig(*chaosOut, *onlineScale) })
+	run("scale", func() error { return r.scaleFig(*scaleOut, *scaleMax, *scaleQs, *scaleEF) })
 	run("4", r.fig4)
 	run("5", r.fig5)
 	run("6", func() error { return r.illustrative("spatio temporal data") })

@@ -1,0 +1,280 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"roundtriprank/internal/core"
+	"roundtriprank/internal/datasets"
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/topk"
+	"roundtriprank/internal/walk"
+)
+
+// The scale figure is not a paper figure: it sweeps synthetic R-MAT graphs
+// from 10^4 to 10^6 nodes (10^7 behind -scale-max) and records, per size, the
+// generator build time, the resident bytes/edge of the flat CSR vs the packed
+// CSR, the exact-solve time on both representations, and the online 2SBound
+// qps/p50/p99 on both. Every number is only reported after the packed path
+// proved itself: the exact vectors and every online response must be
+// bit-identical across representations, and the packed footprint must stay
+// under scalePackedMaxRatio of the flat one (the CI scale-smoke job runs the
+// 10^4 point as a regression guard on both properties).
+
+// scalePackedMaxRatio is the packed/flat bytes-per-edge ceiling: the packed
+// representation must stay at least 30% below flat (the PR's acceptance
+// threshold), with a little slack consumed by per-row headers on very sparse
+// rows.
+const scalePackedMaxRatio = 0.70
+
+// scaleOnlineEpsilon and scaleK match the efficiency study (Fig. 11).
+// scaleMaxRounds bounds each online query. Hub queries on R-MAT graphs grow
+// their active neighborhoods every round, so per-round cost rises with the
+// round number and an unlucky near-tie query runs minutes (at 10^5 nodes,
+// node 0 costs 13s at 100 rounds, 52s at 300, ~4min at 1000). 100 rounds is
+// where the active set reaches ~10^4 nodes — past the point the sweep is
+// measuring representation throughput rather than bound-convergence luck.
+// Capped queries return the current candidate ranking marked not converged;
+// the report carries the converged count per representation, and the
+// cross-representation parity check covers capped responses exactly like
+// converged ones (the round counts must match too).
+const (
+	scaleK             = 10
+	scaleOnlineEpsilon = 0.01
+	scaleMaxRounds     = 100
+)
+
+// scaleLatencies is one representation's online measurement.
+type scaleLatencies struct {
+	Queries int `json:"queries"`
+	// Converged counts queries that certified their top-K within
+	// scaleMaxRounds rounds; the rest returned best-effort rankings.
+	Converged int     `json:"converged"`
+	QPS       float64 `json:"queries_per_sec"`
+	P50Us     int64   `json:"p50_us"`
+	P99Us     int64   `json:"p99_us"`
+}
+
+// scaleSizeResult is one sweep point of BENCH_PR9.json.
+type scaleSizeResult struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// GenerateSeconds covers RMATEdges plus the CSR build; PackSeconds the
+	// flat → packed conversion of both directions.
+	GenerateSeconds float64 `json:"generate_seconds"`
+	PackSeconds     float64 `json:"pack_seconds"`
+	FlatBytes       int64   `json:"flat_bytes"`
+	PackedBytes     int64   `json:"packed_bytes"`
+	FlatBytesEdge   float64 `json:"flat_bytes_per_edge"`
+	PackedBytesEdge float64 `json:"packed_bytes_per_edge"`
+	// PackedOverFlat is the packed/flat footprint ratio; the sweep aborts if
+	// it exceeds scalePackedMaxRatio.
+	PackedOverFlat     float64        `json:"packed_over_flat"`
+	ExactFlatSeconds   float64        `json:"exact_flat_seconds"`
+	ExactPackedSeconds float64        `json:"exact_packed_seconds"`
+	OnlineFlat         scaleLatencies `json:"online_2sbound_flat"`
+	OnlinePacked       scaleLatencies `json:"online_2sbound_packed"`
+}
+
+// scaleReport is the schema of BENCH_PR9.json.
+type scaleReport struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	Dataset     string  `json:"dataset"`
+	EdgeFactor  int     `json:"edge_factor"`
+	Seed        int64   `json:"seed"`
+	K           int     `json:"k"`
+	Epsilon     float64 `json:"epsilon"`
+	// ParityChecked counts the online responses compared bit for bit across
+	// the two representations (every query at every size).
+	ParityChecked int               `json:"online_responses_parity_checked"`
+	Sizes         []scaleSizeResult `json:"sizes"`
+}
+
+// scaleSweepSizes returns the decade sweep capped at maxNodes.
+func scaleSweepSizes(maxNodes int) []int {
+	var out []int
+	for _, n := range []int{10_000, 100_000, 1_000_000, 10_000_000} {
+		if n <= maxNodes {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// scaleFig runs the R-MAT size sweep and writes BENCH_PR9.json.
+func (r *runner) scaleFig(outPath string, maxNodes, queries, edgeFactor int) error {
+	report := scaleReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Dataset:     "rmat",
+		EdgeFactor:  edgeFactor,
+		Seed:        r.seed,
+		K:           scaleK,
+		Epsilon:     scaleOnlineEpsilon,
+	}
+	sizes := scaleSweepSizes(maxNodes)
+	if len(sizes) == 0 {
+		return fmt.Errorf("scale: -scale-max %d is below the smallest sweep size (10^4)", maxNodes)
+	}
+	for _, n := range sizes {
+		res, checked, err := r.scaleOne(n, queries, edgeFactor)
+		if err != nil {
+			return fmt.Errorf("scale %d nodes: %w", n, err)
+		}
+		report.ParityChecked += checked
+		report.Sizes = append(report.Sizes, *res)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d online responses parity-checked)\n", outPath, report.ParityChecked)
+	return nil
+}
+
+func (r *runner) scaleOne(n, queries, edgeFactor int) (*scaleSizeResult, int, error) {
+	cfg := datasets.DefaultRMATConfig(n)
+	cfg.Seed = r.seed
+	cfg.EdgeFactor = edgeFactor
+
+	start := time.Now()
+	rm, err := datasets.GenerateRMAT(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	g := rm.Graph
+	res := &scaleSizeResult{
+		Nodes:           g.NumNodes(),
+		Edges:           g.NumEdges(),
+		GenerateSeconds: time.Since(start).Seconds(),
+	}
+
+	start = time.Now()
+	packed := graph.Pack(g)
+	res.PackSeconds = time.Since(start).Seconds()
+	res.FlatBytes = g.OutCSR().SizeBytes() + g.InCSR().SizeBytes()
+	res.PackedBytes = packed.SizeBytes()
+	res.FlatBytesEdge = float64(res.FlatBytes) / float64(res.Edges)
+	res.PackedBytesEdge = float64(res.PackedBytes) / float64(res.Edges)
+	res.PackedOverFlat = float64(res.PackedBytes) / float64(res.FlatBytes)
+	fmt.Printf("  %9d nodes %9d edges  gen %6.2fs  pack %5.2fs  bytes/edge flat %5.1f packed %5.1f (%.0f%% of flat)\n",
+		res.Nodes, res.Edges, res.GenerateSeconds, res.PackSeconds,
+		res.FlatBytesEdge, res.PackedBytesEdge, 100*res.PackedOverFlat)
+	if res.PackedOverFlat > scalePackedMaxRatio {
+		return nil, 0, fmt.Errorf("packed footprint regression: %.3f of flat, limit %.2f", res.PackedOverFlat, scalePackedMaxRatio)
+	}
+
+	// Query nodes: deterministic stride through the ID space, skipping
+	// isolated nodes (R-MAT rejection leaves some, especially in the tail).
+	qnodes := make([]graph.NodeID, 0, queries)
+	for i := 0; len(qnodes) < queries; i++ {
+		v := graph.NodeID((i * 7919) % n)
+		if g.OutDegree(v) > 0 && g.InDegree(v) > 0 {
+			qnodes = append(qnodes, v)
+		}
+		if i > 100*queries {
+			return nil, 0, fmt.Errorf("could not find %d non-isolated query nodes", queries)
+		}
+	}
+
+	// Exact solve, timed once per representation and compared bit for bit:
+	// the packed kernels must replay the flat reduction order exactly.
+	wp := walk.Params{Alpha: 0.25, Tol: 1e-8, MaxIter: 150}
+	q := walk.SingleNode(qnodes[0])
+	cp := core.Params{Walk: wp, Beta: 0.5}
+	start = time.Now()
+	exactFlat, err := core.Compute(r.ctx, g, q, cp)
+	if err != nil {
+		return nil, 0, err
+	}
+	res.ExactFlatSeconds = time.Since(start).Seconds()
+	start = time.Now()
+	exactPacked, err := core.Compute(r.ctx, packed, q, cp)
+	if err != nil {
+		return nil, 0, err
+	}
+	res.ExactPackedSeconds = time.Since(start).Seconds()
+	for v := range exactFlat.R {
+		if math.Float64bits(exactFlat.R[v]) != math.Float64bits(exactPacked.R[v]) {
+			return nil, 0, fmt.Errorf("exact solve diverges at node %d: flat %g, packed %g", v, exactFlat.R[v], exactPacked.R[v])
+		}
+	}
+	fmt.Printf("  %9s exact %6.2fs flat / %6.2fs packed (vectors bit-identical)\n",
+		"", res.ExactFlatSeconds, res.ExactPackedSeconds)
+
+	// Online 2SBound sweep per representation, with per-query cross-checks.
+	opt := topk.Options{K: scaleK, Epsilon: scaleOnlineEpsilon, Alpha: 0.25, Beta: 0.5, Scheme: topk.Scheme2SBound, MaxRounds: scaleMaxRounds}
+	run := func(view graph.View) ([]*topk.Result, scaleLatencies, error) {
+		lat := scaleLatencies{Queries: len(qnodes)}
+		if _, err := topk.TopK(r.ctx, view, walk.SingleNode(qnodes[0]), opt); err != nil {
+			return nil, lat, err // warm the scratch pool before timing
+		}
+		outs := make([]*topk.Result, 0, len(qnodes))
+		lats := make([]time.Duration, 0, len(qnodes))
+		start := time.Now()
+		for _, v := range qnodes {
+			t0 := time.Now()
+			out, err := topk.TopK(r.ctx, view, walk.SingleNode(v), opt)
+			if err != nil {
+				return nil, lat, err
+			}
+			lats = append(lats, time.Since(t0))
+			outs = append(outs, out)
+			if out.Converged {
+				lat.Converged++
+			}
+		}
+		lat.QPS = float64(len(qnodes)) / time.Since(start).Seconds()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		lat.P50Us = lats[len(lats)/2].Microseconds()
+		lat.P99Us = lats[len(lats)*99/100].Microseconds()
+		return outs, lat, nil
+	}
+	flatOuts, flatLat, err := run(g)
+	if err != nil {
+		return nil, 0, fmt.Errorf("online flat: %w", err)
+	}
+	packedOuts, packedLat, err := run(packed)
+	if err != nil {
+		return nil, 0, fmt.Errorf("online packed: %w", err)
+	}
+	res.OnlineFlat, res.OnlinePacked = flatLat, packedLat
+	for i := range flatOuts {
+		if err := sameTopK(flatOuts[i], packedOuts[i]); err != nil {
+			return nil, 0, fmt.Errorf("online query %d (node %d): %w", i, qnodes[i], err)
+		}
+	}
+	fmt.Printf("  %9s online 2SBound flat %7.1f q/s p50 %6dµs p99 %6dµs (%d/%d conv) | packed %7.1f q/s p50 %6dµs p99 %6dµs (%d/%d conv)\n",
+		"", flatLat.QPS, flatLat.P50Us, flatLat.P99Us, flatLat.Converged, flatLat.Queries,
+		packedLat.QPS, packedLat.P50Us, packedLat.P99Us, packedLat.Converged, packedLat.Queries)
+	return res, len(flatOuts), nil
+}
+
+// sameTopK fails unless the two online results are bit-identical: same
+// convergence, same rounds, same nodes in the same order, same score bits.
+func sameTopK(want, got *topk.Result) error {
+	if got.Converged != want.Converged || got.Rounds != want.Rounds {
+		return fmt.Errorf("converged/rounds %v/%d vs %v/%d", got.Converged, got.Rounds, want.Converged, want.Rounds)
+	}
+	if len(got.TopK) != len(want.TopK) {
+		return fmt.Errorf("%d results vs %d", len(got.TopK), len(want.TopK))
+	}
+	for i := range want.TopK {
+		if got.TopK[i].Node != want.TopK[i].Node ||
+			math.Float64bits(got.TopK[i].Score) != math.Float64bits(want.TopK[i].Score) {
+			return fmt.Errorf("rank %d: packed %d/%g vs flat %d/%g (not bit-identical)",
+				i, got.TopK[i].Node, got.TopK[i].Score, want.TopK[i].Node, want.TopK[i].Score)
+		}
+	}
+	return nil
+}

@@ -144,10 +144,3 @@ func startHTTPWorkers(ctx context.Context, g *roundtriprank.Graph, n int) ([]rou
 		}
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -318,10 +318,3 @@ func (n *BibNet) Snapshots(count int) ([]*graph.Subgraph, error) {
 func (n *BibNet) QueryTermsFor(topic string) []graph.NodeID {
 	return n.TopicTerms[topic]
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,147 @@
+package datasets
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"roundtriprank/internal/graph"
+)
+
+// Limits of the edge-list ingester. Node IDs must fit the int32 NodeID space;
+// the hint clamp bounds what a "# Nodes: …" comment can preallocate, so a
+// forged header cannot force a huge allocation before any real data arrives;
+// and the node count inferred from the IDs may exceed the record count by at
+// most maxEdgeListSpread (so one short line claiming node 2^31−1 cannot
+// allocate two billion nodes either — per-node state must be justified by
+// records actually read).
+const (
+	maxEdgeListNodeID  = 1<<31 - 1
+	maxEdgeListPrelloc = 1 << 20
+	maxEdgeListLine    = 1 << 20
+	maxEdgeListSpread  = 64
+)
+
+// LoadEdgeList reads a graph in the SNAP text edge-list format: one
+// whitespace-separated "from to" or "from to weight" record per line, with
+// '#' comment lines ignored (a "# Nodes: N Edges: M" header, when present, is
+// used as a preallocation hint, clamped so huge declared counts cannot force
+// an allocation). Node IDs are non-negative integers and become graph node
+// IDs directly; the graph spans [0, maxID] including any isolated IDs in
+// between (the format therefore assumes reasonably dense IDs: the inferred
+// node count may exceed the record count at most 64-fold, which every real
+// SNAP graph satisfies by orders of magnitude). A missing weight means 1;
+// explicit weights must be positive and finite. Self-loops are skipped (the
+// solvers' neighborhood bounds assume a surfer cannot stay in place) and
+// duplicate edges merge by summing weights, both matching the Builder's
+// semantics. Malformed records fail with their line number.
+//
+// The reader streams: memory is proportional to the edge count, never the
+// input size, so piping a multi-gigabyte SNAP file through it works.
+func LoadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxEdgeListLine)
+
+	var from, to []graph.NodeID
+	var weights []float64
+	maxID := -1
+	line := 0
+	records := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if text[0] == '#' {
+			if hint := parseNodeHint(text); hint > 0 && from == nil {
+				from = make([]graph.NodeID, 0, hint)
+				to = make([]graph.NodeID, 0, hint)
+				weights = make([]float64, 0, hint)
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("datasets: edge list line %d: want 2 or 3 fields, got %d", line, len(fields))
+		}
+		f, err := parseNodeID(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("datasets: edge list line %d: from: %w", line, err)
+		}
+		t, err := parseNodeID(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("datasets: edge list line %d: to: %w", line, err)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("datasets: edge list line %d: weight: %w", line, err)
+			}
+			if !(w > 0) || math.IsInf(w, 1) {
+				return nil, fmt.Errorf("datasets: edge list line %d: weight must be positive and finite, got %g", line, w)
+			}
+		}
+		records++
+		if int(f) > maxID {
+			maxID = int(f)
+		}
+		if int(t) > maxID {
+			maxID = int(t)
+		}
+		if f == t {
+			continue // self-loop
+		}
+		from = append(from, f)
+		to = append(to, t)
+		weights = append(weights, w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("datasets: edge list: %w", err)
+	}
+	if maxID < 0 {
+		return nil, fmt.Errorf("datasets: edge list: no records")
+	}
+	if cap := records*maxEdgeListSpread + 1024; maxID >= cap {
+		return nil, fmt.Errorf("datasets: edge list: node ID %d implies %d nodes from only %d records (IDs too sparse)", maxID, maxID+1, records)
+	}
+
+	b := graph.NewBuilder()
+	b.AddNodes(maxID+1, nil)
+	for i := range from {
+		if err := b.AddEdge(from[i], to[i], weights[i]); err != nil {
+			return nil, fmt.Errorf("datasets: edge list: %w", err)
+		}
+	}
+	return b.Build()
+}
+
+// parseNodeID parses a non-negative node ID within the int32 NodeID space.
+func parseNodeID(s string) (graph.NodeID, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > maxEdgeListNodeID {
+		return 0, fmt.Errorf("node ID %d outside [0, %d]", v, maxEdgeListNodeID)
+	}
+	return graph.NodeID(v), nil
+}
+
+// parseNodeHint extracts the edge count from a SNAP "# Nodes: N Edges: M"
+// header comment, clamped to the preallocation cap. Zero means no hint.
+func parseNodeHint(comment string) int {
+	fields := strings.Fields(comment)
+	for i := 0; i+1 < len(fields); i++ {
+		if fields[i] == "Edges:" {
+			if m, err := strconv.Atoi(fields[i+1]); err == nil && m > 0 {
+				return min(m, maxEdgeListPrelloc)
+			}
+		}
+	}
+	return 0
+}

@@ -47,6 +47,34 @@ func (b *Builder) AddNode(t Type, label string) NodeID {
 	return id
 }
 
+// AddNodes appends count label-less nodes in one call and returns the ID of
+// the first; the block is contiguous, so node i of the batch is first+i.
+// typeAt assigns each node's type by batch index (nil means Untyped for all).
+// Unlike AddNode, the nodes carry no labels and are not registered for
+// NodeByLabel lookup — the bulk path exists for synthetic generators and
+// edge-list ingestion at million-node scale, where per-node label strings and
+// the dedup map would dominate the graph's own memory.
+func (b *Builder) AddNodes(count int, typeAt func(i int) Type) NodeID {
+	first := NodeID(len(b.types))
+	if cap(b.types)-len(b.types) < count {
+		types := make([]Type, len(b.types), len(b.types)+count)
+		copy(types, b.types)
+		b.types = types
+		labels := make([]string, len(b.labels), len(b.labels)+count)
+		copy(labels, b.labels)
+		b.labels = labels
+	}
+	for i := 0; i < count; i++ {
+		t := Untyped
+		if typeAt != nil {
+			t = typeAt(i)
+		}
+		b.types = append(b.types, t)
+		b.labels = append(b.labels, "")
+	}
+	return first
+}
+
 // NumNodes returns the number of nodes added so far.
 func (b *Builder) NumNodes() int { return len(b.types) }
 

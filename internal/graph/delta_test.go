@@ -442,9 +442,24 @@ func TestStripeCodecCarriesEpochAndAcceptsV1(t *testing.T) {
 		t.Fatalf("round trip lost identity: epoch=%d graph=%08x", got.Epoch, got.Graph)
 	}
 
-	// A hand-built version-1 stream (no epoch field) must still decode, as
-	// epoch zero. Reuse the v2 encoding and splice the epoch field out.
-	v2 := buf.Bytes()
+	// A genuine version-2 stream (flat CSR blocks) must still decode now that
+	// EncodeStripe writes version 3.
+	var bufV2 bytes.Buffer
+	if err := encodeStripeVersion(&bufV2, d, 2); err != nil {
+		t.Fatal(err)
+	}
+	gotV2, err := DecodeStripe(bytes.NewReader(bufV2.Bytes()))
+	if err != nil {
+		t.Fatalf("v2 decode: %v", err)
+	}
+	if gotV2.Epoch != 1 || gotV2.ContentFingerprint() != d.ContentFingerprint() {
+		t.Fatal("v2 decode changed the payload")
+	}
+
+	// A hand-built version-1 stream (no epoch field, flat blocks) must still
+	// decode, as epoch zero. Reuse the v2 encoding and splice the epoch field
+	// out.
+	v2 := bufV2.Bytes()
 	v1 := make([]byte, 0, len(v2)-8)
 	v1 = append(v1, v2[:4]...)           // magic
 	v1 = append(v1, 1, 0)                // version 1

@@ -1,0 +1,478 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// This file implements the memory-lean packed CSR representation used by the
+// million-node scale experiments: the same adjacency as the flat CSR arrays,
+// but with each row's columns delta-encoded as varints and each weight packed
+// as a varint of its byte-reversed IEEE bits (weights like 1.0 or 2.5 have
+// almost all of their information in the exponent byte, which byte reversal
+// moves into the low bits). Rows whose weights are all bit-identical — the
+// overwhelmingly common case in unweighted graphs — store the weight once.
+//
+// Packing is exactly lossless: Pack followed by Unpack reproduces the source
+// CSR arrays bit for bit (same columns in the same order, same float64 weight
+// bits, same row offsets), which is what lets every solver result on a Packed
+// view be pinned bit-identical to the flat representation.
+
+// PackedCSR is one adjacency direction in packed form. Row v occupies
+// Data[RowOff[v]:RowOff[v+1]]:
+//
+//	uvarint  header = degree<<1 | constWeightFlag
+//	uvarint  packed weight bits        (only when constWeightFlag == 1, once)
+//	repeated degree times:
+//	    varint  column delta (zigzag of col − previous col, previous starts 0)
+//	    uvarint packed weight bits     (only when constWeightFlag == 0)
+//
+// Sum caches the total edge weight per row, exactly as CSR.Sum does; the
+// bounds frameworks read it on every expansion, so it stays unpacked.
+type PackedCSR struct {
+	RowOff []int64
+	Data   []byte
+	Sum    []float64
+}
+
+// packWeightBits maps a float64 to the varint-friendly integer written to the
+// stream: byte-reversing the IEEE-754 bits moves the sign/exponent byte (the
+// only populated byte of round weights) into the low bits.
+func packWeightBits(w float64) uint64 {
+	return bits.ReverseBytes64(math.Float64bits(w))
+}
+
+func unpackWeightBits(u uint64) float64 {
+	return math.Float64frombits(bits.ReverseBytes64(u))
+}
+
+// Rows returns the number of rows.
+func (c *PackedCSR) Rows() int { return len(c.RowOff) - 1 }
+
+// Degree returns the number of entries in row v.
+func (c *PackedCSR) Degree(v NodeID) int {
+	hdr, _ := binary.Uvarint(c.Data[c.RowOff[v]:c.RowOff[v+1]])
+	return int(hdr >> 1)
+}
+
+// SizeBytes returns the resident footprint of the packed arrays.
+func (c *PackedCSR) SizeBytes() int64 {
+	return int64(8*len(c.RowOff)) + int64(len(c.Data)) + int64(8*len(c.Sum))
+}
+
+// PackedIter streams one row of a PackedCSR without allocating. Obtain one
+// with Iter; it is a value, so a kernel's inner loop keeps it on the stack.
+type PackedIter struct {
+	data   []byte
+	rem    int
+	prev   int64
+	cw     float64
+	constW bool
+}
+
+// Iter returns an iterator over row v. The data must have been produced by
+// packRow (or validated by validatePackedCSR): Next performs no bounds or
+// varint-error checking.
+func (c *PackedCSR) Iter(v NodeID) PackedIter {
+	b := c.Data[c.RowOff[v]:c.RowOff[v+1]]
+	hdr, n := binary.Uvarint(b)
+	b = b[n:]
+	it := PackedIter{data: b, rem: int(hdr >> 1)}
+	if hdr&1 == 1 && it.rem > 0 {
+		wb, n := binary.Uvarint(b)
+		it.data = b[n:]
+		it.cw = unpackWeightBits(wb)
+		it.constW = true
+	}
+	return it
+}
+
+// Next returns the next column and weight of the row, or ok == false when the
+// row is exhausted.
+func (it *PackedIter) Next() (col NodeID, w float64, ok bool) {
+	if it.rem == 0 {
+		return 0, 0, false
+	}
+	it.rem--
+	d, n := binary.Varint(it.data)
+	it.data = it.data[n:]
+	it.prev += d
+	w = it.cw
+	if !it.constW {
+		u, n := binary.Uvarint(it.data)
+		it.data = it.data[n:]
+		w = unpackWeightBits(u)
+	}
+	return NodeID(it.prev), w, true
+}
+
+// AppendRow decodes row v, appending its columns and weights to the caller's
+// buffers (pass them resliced to length zero to reuse) and returning the
+// extended slices.
+func (c *PackedCSR) AppendRow(v NodeID, cols []NodeID, weights []float64) ([]NodeID, []float64) {
+	it := c.Iter(v)
+	for {
+		col, w, ok := it.Next()
+		if !ok {
+			return cols, weights
+		}
+		cols = append(cols, col)
+		weights = append(weights, w)
+	}
+}
+
+// packCSR packs one CSR direction. The CSR must be compact: RowPtr[0] == 0 and
+// cumulative (true for every CSR the Builder, Commit, Compact or the stripe
+// cutter produce). Sum is aliased, not copied — both representations cache the
+// identical row sums.
+func packCSR(c CSR) PackedCSR {
+	rows := len(c.RowPtr) - 1
+	p := PackedCSR{RowOff: make([]int64, rows+1), Sum: c.Sum}
+	// Varint columns are never larger than 5 bytes for int32 deltas; start at
+	// roughly 2 bytes per edge plus row headers and grow as needed.
+	p.Data = make([]byte, 0, 2*len(c.Col)+2*rows)
+	for v := 0; v < rows; v++ {
+		lo, hi := c.RowPtr[v], c.RowPtr[v+1]
+		p.Data = packRow(p.Data, c.Col[lo:hi], c.Weight[lo:hi])
+		p.RowOff[v+1] = int64(len(p.Data))
+	}
+	// Shrink a grossly over-sized buffer so SizeBytes reports honest numbers.
+	if cap(p.Data)-len(p.Data) > len(p.Data)/4+64 {
+		p.Data = append(make([]byte, 0, len(p.Data)), p.Data...)
+	}
+	return p
+}
+
+// packRow appends one row's encoding to buf.
+func packRow(buf []byte, cols []NodeID, weights []float64) []byte {
+	deg := len(cols)
+	constW := deg > 0
+	if constW {
+		w0 := math.Float64bits(weights[0])
+		for _, w := range weights[1:] {
+			if math.Float64bits(w) != w0 {
+				constW = false
+				break
+			}
+		}
+	}
+	hdr := uint64(deg) << 1
+	if constW {
+		hdr |= 1
+	}
+	buf = binary.AppendUvarint(buf, hdr)
+	if constW {
+		buf = binary.AppendUvarint(buf, packWeightBits(weights[0]))
+	}
+	prev := int64(0)
+	for i, col := range cols {
+		buf = binary.AppendVarint(buf, int64(col)-prev)
+		prev = int64(col)
+		if !constW {
+			buf = binary.AppendUvarint(buf, packWeightBits(weights[i]))
+		}
+	}
+	return buf
+}
+
+// unpackCSR reconstructs the flat CSR arrays bit-identically to what packCSR
+// consumed. It assumes the packed data was validated (or produced in-process).
+func (c *PackedCSR) unpackCSR() CSR {
+	rows := c.Rows()
+	out := CSR{RowPtr: make([]int64, rows+1), Sum: c.Sum}
+	total := 0
+	for v := 0; v < rows; v++ {
+		total += c.Degree(NodeID(v))
+		out.RowPtr[v+1] = int64(total)
+	}
+	out.Col = make([]NodeID, 0, total)
+	out.Weight = make([]float64, 0, total)
+	for v := 0; v < rows; v++ {
+		out.Col, out.Weight = c.AppendRow(NodeID(v), out.Col, out.Weight)
+	}
+	return out
+}
+
+// validatePackedCSR walks every row of a decoded PackedCSR with a paranoid
+// decoder: malformed varints, truncated rows, trailing bytes, out-of-range
+// columns, non-positive or non-finite weights and row-sum mismatches are all
+// errors. Packed data that passes is safe for the unchecked Iter fast path.
+func validatePackedCSR(name string, c *PackedCSR, rows, numNodes int) error {
+	if len(c.RowOff) != rows+1 {
+		return fmt.Errorf("graph: packed %s: %d offsets for %d rows", name, len(c.RowOff), rows)
+	}
+	if len(c.Sum) != rows {
+		return fmt.Errorf("graph: packed %s: %d row sums for %d rows", name, len(c.Sum), rows)
+	}
+	if rows >= 0 && (len(c.RowOff) == 0 || c.RowOff[0] != 0) {
+		return fmt.Errorf("graph: packed %s: offsets must start at zero", name)
+	}
+	if c.RowOff[rows] != int64(len(c.Data)) {
+		return fmt.Errorf("graph: packed %s: offsets cover %d of %d data bytes", name, c.RowOff[rows], len(c.Data))
+	}
+	for v := 0; v < rows; v++ {
+		lo, hi := c.RowOff[v], c.RowOff[v+1]
+		if lo > hi || hi > int64(len(c.Data)) {
+			return fmt.Errorf("graph: packed %s: row %d offsets [%d,%d) invalid", name, v, lo, hi)
+		}
+		if err := scanPackedRow(c.Data[lo:hi], numNodes, c.Sum[v]); err != nil {
+			return fmt.Errorf("graph: packed %s: row %d: %w", name, v, err)
+		}
+	}
+	return nil
+}
+
+// scanPackedRow decodes one row defensively and checks its invariants.
+func scanPackedRow(b []byte, numNodes int, wantSum float64) error {
+	hdr, n := binary.Uvarint(b)
+	if n <= 0 {
+		return fmt.Errorf("bad header varint")
+	}
+	b = b[n:]
+	deg := hdr >> 1
+	constW := hdr&1 == 1
+	if deg > uint64(numNodes) {
+		return fmt.Errorf("degree %d exceeds node count %d", deg, numNodes)
+	}
+	var cw float64
+	if constW {
+		if deg == 0 {
+			return fmt.Errorf("const-weight flag on empty row")
+		}
+		u, n := binary.Uvarint(b)
+		if n <= 0 {
+			return fmt.Errorf("bad const weight varint")
+		}
+		b = b[n:]
+		cw = unpackWeightBits(u)
+	}
+	prev := int64(0)
+	sum := 0.0
+	for i := uint64(0); i < deg; i++ {
+		d, n := binary.Varint(b)
+		if n <= 0 {
+			return fmt.Errorf("bad column varint at entry %d", i)
+		}
+		b = b[n:]
+		prev += d
+		if prev < 0 || prev >= int64(numNodes) {
+			return fmt.Errorf("column %d out of range [0,%d)", prev, numNodes)
+		}
+		w := cw
+		if !constW {
+			u, n := binary.Uvarint(b)
+			if n <= 0 {
+				return fmt.Errorf("bad weight varint at entry %d", i)
+			}
+			b = b[n:]
+			w = unpackWeightBits(u)
+		}
+		if !(w > 0) || math.IsInf(w, 0) {
+			return fmt.Errorf("non-positive or non-finite weight %g", w)
+		}
+		sum += w
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("%d trailing bytes after %d entries", len(b), deg)
+	}
+	if math.IsNaN(wantSum) || math.Abs(sum-wantSum) > 1e-9*(1+sum) {
+		return fmt.Errorf("cached sum %g != %g", wantSum, sum)
+	}
+	return nil
+}
+
+// PackedCSRView is implemented by views that expose their adjacency as packed
+// CSR blocks. The walk kernels type-assert for it (after CSRView) and run the
+// same pull-style parallel matvecs over streaming row decodes, bit-identical
+// to the flat kernels because rows decode in the identical entry order.
+type PackedCSRView interface {
+	View
+	// OutPacked returns the forward adjacency.
+	OutPacked() *PackedCSR
+	// InPacked returns the transposed adjacency.
+	InPacked() *PackedCSR
+}
+
+// RowsProvider is implemented by views that can mint a per-query Rows session
+// (the flat searcher's row-streaming access pattern). topk.TopK uses it to
+// route packed views onto the pooled scratch-state searcher, which is
+// bit-identical to the flat-CSR path for the same graph content.
+type RowsProvider interface {
+	View
+	// NewRows returns a fresh row session. Sessions are cheap, not safe for
+	// concurrent use, and must not outlive the view.
+	NewRows() Rows
+}
+
+// Packed is a whole graph in packed CSR form: the memory-lean counterpart of
+// *Graph's flat arrays, built with Pack. It implements View (streaming row
+// decodes), PackedCSRView (the walk kernels' packed fast path) and
+// RowsProvider (the online searcher's row access), so every solver accepts it
+// directly. It carries no labels or types — only adjacency — mirroring
+// CompactedView.
+type Packed struct {
+	numNodes int
+	numEdges int
+	epoch    uint64
+	out, in  PackedCSR
+
+	// closer releases an mmap-backed Data region (LoadPackedFile with the
+	// packedmmap build tag); nil for in-memory packs.
+	closer func() error
+}
+
+// Pack converts a flat CSR view into its packed representation. The source
+// arrays are only read; Sum arrays are shared between the two representations.
+func Pack(v CSRView) *Packed {
+	p := &Packed{
+		numNodes: v.NumNodes(),
+		out:      packCSR(v.OutCSR()),
+		in:       packCSR(v.InCSR()),
+	}
+	p.numEdges = len(v.OutCSR().Col)
+	if e, ok := v.(Epocher); ok {
+		p.epoch = e.Epoch()
+	}
+	return p
+}
+
+// Unpack reconstructs the flat CSR arrays, bit-identical to the view Pack
+// consumed: same RowPtr, Col, Weight and Sum contents in both directions.
+func (p *Packed) Unpack() *CompactedView {
+	return &CompactedView{n: p.numNodes, out: p.out.unpackCSR(), in: p.in.unpackCSR()}
+}
+
+// NumNodes implements View.
+func (p *Packed) NumNodes() int { return p.numNodes }
+
+// NumEdges returns the number of directed edges.
+func (p *Packed) NumEdges() int { return p.numEdges }
+
+// Epoch returns the snapshot version carried over from the packed view.
+func (p *Packed) Epoch() uint64 { return p.epoch }
+
+// OutPacked implements PackedCSRView.
+func (p *Packed) OutPacked() *PackedCSR { return &p.out }
+
+// InPacked implements PackedCSRView.
+func (p *Packed) InPacked() *PackedCSR { return &p.in }
+
+// OutDegree implements View.
+func (p *Packed) OutDegree(v NodeID) int { return p.out.Degree(v) }
+
+// InDegree implements View.
+func (p *Packed) InDegree(v NodeID) int { return p.in.Degree(v) }
+
+// OutWeightSum implements View.
+func (p *Packed) OutWeightSum(v NodeID) float64 { return p.out.Sum[v] }
+
+// InWeightSum implements View.
+func (p *Packed) InWeightSum(v NodeID) float64 { return p.in.Sum[v] }
+
+// EachOut implements View by streaming row v.
+func (p *Packed) EachOut(v NodeID, fn func(to NodeID, w float64) bool) {
+	it := p.out.Iter(v)
+	for {
+		col, w, ok := it.Next()
+		if !ok || !fn(col, w) {
+			return
+		}
+	}
+}
+
+// EachIn implements View by streaming row v of the transposed adjacency.
+func (p *Packed) EachIn(v NodeID, fn func(from NodeID, w float64) bool) {
+	it := p.in.Iter(v)
+	for {
+		col, w, ok := it.Next()
+		if !ok || !fn(col, w) {
+			return
+		}
+	}
+}
+
+// SizeBytes returns the resident footprint of the packed adjacency (both
+// directions: row offsets, packed data, row sums). Compare against the flat
+// arrays' CSR.SizeBytes to compute the compression the scale figure reports.
+func (p *Packed) SizeBytes() int64 {
+	return p.out.SizeBytes() + p.in.SizeBytes()
+}
+
+// Close releases the mmap backing the packed data when the view was produced
+// by LoadPackedFile under the packedmmap build tag; otherwise it is a no-op.
+// The view must not be used after Close.
+func (p *Packed) Close() error {
+	if p.closer == nil {
+		return nil
+	}
+	c := p.closer
+	p.closer = nil
+	return c()
+}
+
+// NewRows implements RowsProvider: a session that decodes rows on first
+// access and caches them for its lifetime.
+func (p *Packed) NewRows() Rows { return &packedRows{p: p} }
+
+// packedRows is the Rows session of a Packed view. Each row is decoded once
+// and cached for the session's lifetime: the searcher holds returned rows
+// across further row calls (an expansion wave iterates one in-row while
+// fetching the neighbors' rows), so single reusable buffers would be
+// clobbered mid-iteration. The cache makes the session's working set
+// O(distinct rows touched) — the same shape as the remote row cache
+// (internal/rowserve), which pins cached rows for the same reason.
+type packedRows struct {
+	p   *Packed
+	out map[NodeID]packedRow
+	in  map[NodeID]packedRow
+}
+
+type packedRow struct {
+	cols []NodeID
+	wts  []float64
+}
+
+// NumNodes implements Rows.
+func (r *packedRows) NumNodes() int { return r.p.numNodes }
+
+// OutDegree implements Rows.
+func (r *packedRows) OutDegree(v NodeID) int { return r.p.out.Degree(v) }
+
+// OutSum implements Rows.
+func (r *packedRows) OutSum(v NodeID) float64 { return r.p.out.Sum[v] }
+
+// OutRow implements Rows.
+func (r *packedRows) OutRow(v NodeID) ([]NodeID, []float64) {
+	if r.out == nil {
+		r.out = make(map[NodeID]packedRow)
+	}
+	return cachedRow(r.out, &r.p.out, v)
+}
+
+// InRow implements Rows.
+func (r *packedRows) InRow(v NodeID) ([]NodeID, []float64) {
+	if r.in == nil {
+		r.in = make(map[NodeID]packedRow)
+	}
+	return cachedRow(r.in, &r.p.in, v)
+}
+
+func cachedRow(cache map[NodeID]packedRow, c *PackedCSR, v NodeID) ([]NodeID, []float64) {
+	if row, ok := cache[v]; ok {
+		return row.cols, row.wts
+	}
+	deg := c.Degree(v)
+	row := packedRow{cols: make([]NodeID, 0, deg), wts: make([]float64, 0, deg)}
+	row.cols, row.wts = c.AppendRow(v, row.cols, row.wts)
+	cache[v] = row
+	return row.cols, row.wts
+}
+
+// SizeBytes returns the resident footprint of one flat CSR direction
+// (offsets, columns, weights, row sums). It exists so callers can compare
+// flat and packed representations without re-deriving array layouts.
+func (c CSR) SizeBytes() int64 {
+	return int64(8*len(c.RowPtr)) + int64(4*len(c.Col)) + int64(8*len(c.Weight)) + int64(8*len(c.Sum))
+}

@@ -1,0 +1,37 @@
+//go:build packedmmap
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps the file read-only: packed rows are then demand-paged
+// by the kernel and shared between processes mapping the same graph. Build
+// with -tags packedmmap to enable; the default build reads the file into
+// memory instead (see packed_nommap.go).
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, fmt.Errorf("graph: mmap %s: empty file", path)
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("graph: mmap %s: file too large", path)
+	}
+	buf, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: mmap %s: %w", path, err)
+	}
+	return buf, func() error { return syscall.Munmap(buf) }, nil
+}

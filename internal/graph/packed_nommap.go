@@ -1,0 +1,16 @@
+//go:build !packedmmap
+
+package graph
+
+import "os"
+
+// mapFile reads the whole file into memory. The packedmmap build tag swaps in
+// a memory-mapped implementation; this default keeps the codec portable and
+// dependency-free.
+func mapFile(path string) ([]byte, func() error, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf, nil, nil
+}

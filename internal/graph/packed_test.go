@@ -1,0 +1,290 @@
+package graph
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// packedTestGraph builds a denser random graph than stripeTestGraph: mixed
+// unit and non-unit weights so some rows take the const-weight encoding and
+// some do not, plus isolated nodes.
+func packedTestGraph(t testing.TB, n, edges int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = b.AddNode(Untyped, "p:"+string(rune('0'+i%10))+string(rune('a'+i/10%26))+string(rune('A'+i/260)))
+	}
+	for e := 0; e < edges; e++ {
+		from := rng.Intn(n)
+		to := rng.Intn(n)
+		if from == to {
+			continue
+		}
+		w := 1.0
+		if rng.Intn(3) == 0 {
+			w = rng.Float64()*4 + 0.25
+		}
+		if err := b.AddEdge(ids[from], ids[to], w); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func packedTestViews(t testing.TB) map[string]CSRView {
+	return map[string]CSRView{
+		"stripe": stripeTestGraph(t),
+		"random": packedTestGraph(t, 200, 1600, 7),
+		"sparse": packedTestGraph(t, 64, 40, 11),
+	}
+}
+
+func TestPackUnpackBitIdentical(t *testing.T) {
+	for name, g := range packedTestViews(t) {
+		p := Pack(g)
+		u := p.Unpack()
+		for side, pair := range map[string][2]CSR{
+			"out": {g.OutCSR(), u.OutCSR()},
+			"in":  {g.InCSR(), u.InCSR()},
+		} {
+			want, got := pair[0], pair[1]
+			if !reflect.DeepEqual(want.RowPtr, got.RowPtr) {
+				t.Fatalf("%s/%s: RowPtr changed across Pack/Unpack", name, side)
+			}
+			if !reflect.DeepEqual(want.Col, got.Col) {
+				t.Fatalf("%s/%s: Col changed across Pack/Unpack", name, side)
+			}
+			if !reflect.DeepEqual(want.Weight, got.Weight) {
+				t.Fatalf("%s/%s: Weight changed across Pack/Unpack", name, side)
+			}
+			if !reflect.DeepEqual(want.Sum, got.Sum) {
+				t.Fatalf("%s/%s: Sum changed across Pack/Unpack", name, side)
+			}
+		}
+	}
+}
+
+func TestPackedViewMatchesFlat(t *testing.T) {
+	for name, g := range packedTestViews(t) {
+		p := Pack(g)
+		if p.NumNodes() != g.NumNodes() {
+			t.Fatalf("%s: NumNodes %d != %d", name, p.NumNodes(), g.NumNodes())
+		}
+		for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+			if p.OutDegree(v) != g.OutDegree(v) || p.InDegree(v) != g.InDegree(v) {
+				t.Fatalf("%s: node %d degree mismatch", name, v)
+			}
+			if p.OutWeightSum(v) != g.OutWeightSum(v) || p.InWeightSum(v) != g.InWeightSum(v) {
+				t.Fatalf("%s: node %d weight sum mismatch", name, v)
+			}
+			type edge struct {
+				to NodeID
+				w  float64
+			}
+			var want, got []edge
+			g.EachOut(v, func(to NodeID, w float64) bool { want = append(want, edge{to, w}); return true })
+			p.EachOut(v, func(to NodeID, w float64) bool { got = append(got, edge{to, w}); return true })
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s: node %d out rows differ:\nwant %v\ngot  %v", name, v, want, got)
+			}
+			want, got = nil, nil
+			g.EachIn(v, func(from NodeID, w float64) bool { want = append(want, edge{from, w}); return true })
+			p.EachIn(v, func(from NodeID, w float64) bool { got = append(got, edge{from, w}); return true })
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s: node %d in rows differ", name, v)
+			}
+		}
+	}
+}
+
+func TestPackedRowsSession(t *testing.T) {
+	g := packedTestGraph(t, 120, 900, 3)
+	p := Pack(g)
+	rows := p.NewRows()
+	if rows.NumNodes() != g.NumNodes() {
+		t.Fatalf("NumNodes %d != %d", rows.NumNodes(), g.NumNodes())
+	}
+	out := g.OutCSR()
+	in := g.InCSR()
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if rows.OutDegree(v) != out.Degree(v) {
+			t.Fatalf("node %d OutDegree mismatch", v)
+		}
+		if rows.OutSum(v) != out.Sum[v] {
+			t.Fatalf("node %d OutSum mismatch", v)
+		}
+		cols, wts := rows.OutRow(v)
+		wantC, wantW := out.Row(v)
+		if !sameRow(cols, wts, wantC, wantW) {
+			t.Fatalf("node %d OutRow differs", v)
+		}
+		cols, wts = rows.InRow(v)
+		wantC, wantW = in.Row(v)
+		if !sameRow(cols, wts, wantC, wantW) {
+			t.Fatalf("node %d InRow differs", v)
+		}
+	}
+}
+
+func sameRow(c []NodeID, w []float64, wc []NodeID, ww []float64) bool {
+	if len(c) != len(wc) || len(w) != len(ww) {
+		return false
+	}
+	for i := range c {
+		if c[i] != wc[i] || math.Float64bits(w[i]) != math.Float64bits(ww[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPackedSizeBytes pins the point of the representation: a unit-weight
+// bibnet-like graph must pack to well under the flat arrays' footprint.
+func TestPackedSizeBytes(t *testing.T) {
+	g := packedTestGraph(t, 500, 4000, 13)
+	p := Pack(g)
+	flat := g.OutCSR().SizeBytes() + g.InCSR().SizeBytes()
+	packed := p.SizeBytes()
+	if packed >= flat*7/10 {
+		t.Fatalf("packed %d bytes is not ≥30%% below flat %d bytes", packed, flat)
+	}
+}
+
+func TestPackedEpochCarried(t *testing.T) {
+	g := stripeTestGraph(t)
+	p := Pack(g)
+	if p.Epoch() != g.Epoch() {
+		t.Fatalf("packed epoch %d != graph epoch %d", p.Epoch(), g.Epoch())
+	}
+	if p.NumEdges() != len(g.OutCSR().Col) {
+		t.Fatalf("packed edges %d != %d", p.NumEdges(), len(g.OutCSR().Col))
+	}
+}
+
+func encodePacked(t testing.TB, p *Packed) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodePacked(&buf, p); err != nil {
+		t.Fatalf("EncodePacked: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestPackedFileRoundTrip(t *testing.T) {
+	g := packedTestGraph(t, 150, 1000, 5)
+	p := Pack(g)
+	path := filepath.Join(t.TempDir(), "graph.rtp")
+	if err := WritePackedFile(path, p); err != nil {
+		t.Fatalf("WritePackedFile: %v", err)
+	}
+	got, err := LoadPackedFile(path)
+	if err != nil {
+		t.Fatalf("LoadPackedFile: %v", err)
+	}
+	defer got.Close()
+	if got.NumNodes() != p.NumNodes() || got.NumEdges() != p.NumEdges() || got.Epoch() != p.Epoch() {
+		t.Fatalf("header changed across the codec")
+	}
+	want, back := p.Unpack(), got.Unpack()
+	if !reflect.DeepEqual(want, back) {
+		t.Fatalf("adjacency changed across the codec")
+	}
+	if err := got.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestPackedDecodeTruncation(t *testing.T) {
+	enc := encodePacked(t, Pack(stripeTestGraph(t)))
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodePacked(enc[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d-byte prefix succeeded", cut, len(enc))
+		}
+	}
+}
+
+func TestPackedDecodeCorruption(t *testing.T) {
+	enc := encodePacked(t, Pack(stripeTestGraph(t)))
+	for i := range enc {
+		mut := bytes.Clone(enc)
+		mut[i] ^= 0x40
+		if _, err := DecodePacked(mut); err == nil {
+			t.Fatalf("decode with byte %d corrupted succeeded", i)
+		}
+	}
+}
+
+func TestPackedDecodeForgedLength(t *testing.T) {
+	enc := encodePacked(t, Pack(stripeTestGraph(t)))
+	// The out block's RowOff length prefix sits right after the 32-byte
+	// header. Forge it to a huge count; the decoder must reject it against
+	// the remaining buffer size, not attempt the allocation. (The CRC is
+	// recomputed so the corruption reaches the structural checks.)
+	mut := bytes.Clone(enc)
+	putLE64(mut[32:], 1<<40)
+	fixPackedCRC(mut)
+	if _, err := DecodePacked(mut); err == nil {
+		t.Fatalf("decode with forged array length succeeded")
+	}
+}
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// fixPackedCRC rewrites the trailing checksum so a deliberately corrupted
+// stream passes the CRC gate and exercises the structural validation behind
+// it.
+func fixPackedCRC(enc []byte) {
+	body := enc[:len(enc)-4]
+	sum := crc32.Checksum(body, castagnoli)
+	for i := 0; i < 4; i++ {
+		enc[len(enc)-4+i] = byte(sum >> (8 * i))
+	}
+}
+
+func FuzzDecodePacked(f *testing.F) {
+	g := stripeTestGraph(f)
+	f.Add(encodePacked(f, Pack(g)))
+	f.Add(encodePacked(f, Pack(packedTestGraph(f, 40, 200, 2))))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip()
+		}
+		p, err := DecodePacked(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must satisfy every invariant the unchecked fast
+		// paths rely on, and re-encode byte-identically.
+		u := p.Unpack()
+		d := &StripeData{Index: 0, Count: 1, NumNodes: p.NumNodes(), Out: u.OutCSR(), In: u.InCSR()}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted packed graph fails CSR validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := EncodePacked(&buf, p); err != nil {
+			t.Fatalf("re-encode of accepted packed graph: %v", err)
+		}
+		back, err := DecodePacked(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(p.Unpack(), back.Unpack()) {
+			t.Fatalf("packed graph changed across re-encode")
+		}
+	})
+}

@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// This file is the on-disk codec for a whole packed graph (graph.Packed): the
+// scale harness's way of building a million-node graph once and reloading it
+// per run. It deliberately differs from the stripe codec in shape — one file
+// is the entire adjacency, not a stripe of it — but shares its safety
+// posture: little-endian, length-prefixed arrays whose declared sizes are
+// checked against the actual buffer before any allocation, a CRC-32C trailer
+// over every preceding byte, and full structural validation (every row's
+// varints walked defensively) before the fast unchecked iterators may touch
+// the data.
+//
+// Layout:
+//
+//	magic    [4]byte  "RTP1"
+//	version  uint16   currently 1
+//	reserved uint16   must be zero
+//	epoch    uint64   snapshot version of the source graph
+//	numNodes uint64
+//	numEdges uint64   directed edge count (out-direction entries)
+//	out block, then in block, each:
+//	    uint64 len(RowOff) followed by int64 entries
+//	    uint64 len(Sum)    followed by float64 entries
+//	    uint64 len(Data)   followed by raw row bytes
+//	crc      uint32   CRC-32C (Castagnoli) of every preceding byte
+//
+// DecodePacked works on a byte slice rather than a reader so the Data arrays
+// can alias the input — with the packedmmap build tag LoadPackedFile maps the
+// file and the packed rows are served straight from the page cache.
+
+// packedMagic identifies a packed-graph stream.
+var packedMagic = [4]byte{'R', 'T', 'P', '1'}
+
+// packedVersion is the current packed-graph codec version.
+const packedVersion = 1
+
+// EncodePacked writes p in the versioned, checksummed packed-graph format.
+func EncodePacked(w io.Writer, p *Packed) error {
+	bw := bufio.NewWriter(w)
+	crc := crc32.New(castagnoli)
+	out := io.MultiWriter(bw, crc)
+
+	if _, err := out.Write(packedMagic[:]); err != nil {
+		return err
+	}
+	hdr := []any{
+		uint16(packedVersion), uint16(0),
+		p.epoch, uint64(p.numNodes), uint64(p.numEdges),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(out, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, c := range []*PackedCSR{&p.out, &p.in} {
+		if err := writePackedCSR(out, c); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writePackedCSR(w io.Writer, c *PackedCSR) error {
+	if err := writeSlice(w, len(c.RowOff), func(i int) uint64 { return uint64(c.RowOff[i]) }, 8); err != nil {
+		return err
+	}
+	if err := writeSlice(w, len(c.Sum), func(i int) uint64 { return packWeightBits(c.Sum[i]) }, 8); err != nil {
+		return err
+	}
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(c.Data)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(c.Data)
+	return err
+}
+
+// DecodePacked parses a packed graph previously written with EncodePacked,
+// verifying magic, version, trailing checksum, and every packed-row invariant.
+// Declared array lengths are checked against the remaining buffer before any
+// allocation, so a forged header cannot force a huge allocation. The returned
+// view's Data arrays alias buf; the caller must keep buf alive (and unmodified)
+// for the lifetime of the view.
+func DecodePacked(buf []byte) (*Packed, error) {
+	const hdrLen = 4 + 2 + 2 + 8 + 8 + 8
+	if len(buf) < hdrLen+4 {
+		return nil, fmt.Errorf("graph: decode packed: %d bytes is shorter than the header", len(buf))
+	}
+	if [4]byte(buf[:4]) != packedMagic {
+		return nil, fmt.Errorf("graph: decode packed: bad magic %q", buf[:4])
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	stored := binary.LittleEndian.Uint32(tail)
+	if sum := crc32.Checksum(body, castagnoli); stored != sum {
+		return nil, fmt.Errorf("graph: decode packed: checksum mismatch (stored %08x, computed %08x)", stored, sum)
+	}
+	version := binary.LittleEndian.Uint16(body[4:])
+	if version != packedVersion {
+		return nil, fmt.Errorf("graph: decode packed: unsupported version %d", version)
+	}
+	if binary.LittleEndian.Uint16(body[6:]) != 0 {
+		return nil, fmt.Errorf("graph: decode packed: non-zero reserved field")
+	}
+	epoch := binary.LittleEndian.Uint64(body[8:])
+	numNodes := binary.LittleEndian.Uint64(body[16:])
+	numEdges := binary.LittleEndian.Uint64(body[24:])
+	const maxInt = uint64(int(^uint(0) >> 1))
+	if numNodes > maxInt || numEdges > maxInt {
+		return nil, fmt.Errorf("graph: decode packed: header sizes overflow")
+	}
+	p := &Packed{numNodes: int(numNodes), numEdges: int(numEdges), epoch: epoch}
+	rest := body[hdrLen:]
+	var err error
+	if p.out, rest, err = readPackedCSR(rest); err != nil {
+		return nil, fmt.Errorf("graph: decode packed: out block: %w", err)
+	}
+	if p.in, rest, err = readPackedCSR(rest); err != nil {
+		return nil, fmt.Errorf("graph: decode packed: in block: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("graph: decode packed: %d trailing bytes", len(rest))
+	}
+	if err := validatePackedCSR("out", &p.out, p.numNodes, p.numNodes); err != nil {
+		return nil, err
+	}
+	if err := validatePackedCSR("in", &p.in, p.numNodes, p.numNodes); err != nil {
+		return nil, err
+	}
+	if got := countPackedEdges(&p.out); got != p.numEdges {
+		return nil, fmt.Errorf("graph: decode packed: header claims %d edges, rows hold %d", p.numEdges, got)
+	}
+	return p, nil
+}
+
+func countPackedEdges(c *PackedCSR) int {
+	total := 0
+	for v := 0; v < c.Rows(); v++ {
+		total += c.Degree(NodeID(v))
+	}
+	return total
+}
+
+// readPackedCSR parses one packed block from buf, returning the remainder.
+// Every declared length is bounds-checked against the bytes actually present
+// before allocating, so huge forged counts fail cheaply.
+func readPackedCSR(buf []byte) (PackedCSR, []byte, error) {
+	var c PackedCSR
+	rowOff, buf, err := readPackedArray(buf, 8, func(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) })
+	if err != nil {
+		return c, nil, fmt.Errorf("offsets: %w", err)
+	}
+	c.RowOff = rowOff
+	if c.Sum, buf, err = readPackedArray(buf, 8, func(b []byte) float64 { return unpackWeightBits(binary.LittleEndian.Uint64(b)) }); err != nil {
+		return c, nil, fmt.Errorf("row sums: %w", err)
+	}
+	if len(buf) < 8 {
+		return c, nil, fmt.Errorf("data: truncated length prefix")
+	}
+	n := binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	if n > uint64(len(buf)) {
+		return c, nil, fmt.Errorf("data: declared %d bytes, %d remain", n, len(buf))
+	}
+	c.Data = buf[:n:n] // aliases the input buffer
+	return c, buf[n:], nil
+}
+
+func readPackedArray[T any](buf []byte, width int, decode func([]byte) T) ([]T, []byte, error) {
+	if len(buf) < 8 {
+		return nil, nil, fmt.Errorf("truncated length prefix")
+	}
+	n := binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	if n > uint64(len(buf))/uint64(width) {
+		return nil, nil, fmt.Errorf("declared %d entries, %d bytes remain", n, len(buf))
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = decode(buf[i*width:])
+	}
+	return out, buf[int(n)*width:], nil
+}
+
+// WritePackedFile encodes p into the named file.
+func WritePackedFile(path string, p *Packed) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := EncodePacked(f, p); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPackedFile decodes a packed graph from the named file. Under the
+// default build the file is read into memory; with the packedmmap build tag
+// it is memory-mapped instead, so the packed rows are demand-paged and shared
+// between processes. Either way, call Close on the returned view when done.
+func LoadPackedFile(path string) (*Packed, error) {
+	buf, closer, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := DecodePacked(buf)
+	if err != nil {
+		if closer != nil {
+			closer()
+		}
+		return nil, err
+	}
+	p.closer = closer
+	return p, nil
+}

@@ -21,7 +21,12 @@ type Rows interface {
 	// OutSum returns the total out-weight of v.
 	OutSum(v NodeID) float64
 	// OutRow returns the out-edge targets and weights of v. The slices are
-	// read-only and valid at least until the next call on the provider.
+	// read-only and must stay valid while the caller keeps issuing calls on
+	// the provider: the searcher's expansion waves iterate one row while
+	// fetching the rows of its neighbors (see bounds.TFlat), so a provider
+	// cannot serve every row from one reused buffer. CSR-backed providers
+	// return slices of the underlying arrays; rowserve pins cached rows;
+	// graph.Packed sessions cache each decoded row for the session lifetime.
 	OutRow(v NodeID) (cols []NodeID, weights []float64)
 	// InRow returns the in-edge sources and weights of v, same contract.
 	InRow(v NodeID) (cols []NodeID, weights []float64)

@@ -28,11 +28,15 @@ import (
 //	graph    uint32   fingerprint of the source graph (GraphFingerprint)
 //	numNodes uint64   node count of the full graph
 //	rows     uint64   rows owned by this stripe
-//	out CSR block, then in CSR block, each:
+//	out CSR block, then in CSR block. Version ≤ 2 writes flat arrays:
 //	    uint64 len(RowPtr) followed by int64 entries
 //	    uint64 len(Col)    followed by int32 entries
 //	    uint64 len(Weight) followed by float64 entries
 //	    uint64 len(Sum)    followed by float64 entries
+//	version 3 writes the packed form instead (see packed.go):
+//	    uint64 len(RowOff) followed by int64 entries
+//	    uint64 len(Sum)    followed by float64 entries
+//	    uint64 len(Data)   followed by raw delta-varint row bytes
 //	crc      uint32   CRC-32C (Castagnoli) of every preceding byte
 //
 // The trailing checksum makes truncation and bit corruption detectable before
@@ -45,9 +49,11 @@ import (
 var stripeMagic = [4]byte{'R', 'T', 'S', '1'}
 
 // stripeVersion is the current stripe codec version. Version 2 added the
-// source graph's epoch to the header; version-1 streams still decode (their
-// epoch is zero).
-const stripeVersion = 2
+// source graph's epoch to the header; version 3 switched the CSR blocks to
+// the packed delta-varint form, shrinking stripe files and worker ships by
+// roughly the same factor as graph.Pack shrinks resident adjacency. Version-1
+// (no epoch, flat blocks) and version-2 (flat blocks) streams still decode.
+const stripeVersion = 3
 
 // StripeData is the codec-level content of one graph stripe. Row r of each CSR
 // block holds the adjacency of global node Index + r*Count; Out lists the
@@ -157,8 +163,19 @@ func validateStripeCSR(name string, c CSR, rows, numNodes int) error {
 }
 
 // EncodeStripe writes d to w in the versioned, checksummed binary stripe
-// format. It validates d first, so only well-formed stripes reach the wire.
+// format (current version: 3, packed blocks). It validates d first, so only
+// well-formed stripes reach the wire.
 func EncodeStripe(w io.Writer, d *StripeData) error {
+	return encodeStripeVersion(w, d, stripeVersion)
+}
+
+// encodeStripeVersion writes d at a specific codec version: 2 (flat CSR
+// blocks) or 3 (packed blocks). It exists so the compatibility tests can
+// produce genuine older streams; production callers go through EncodeStripe.
+func encodeStripeVersion(w io.Writer, d *StripeData, version uint16) error {
+	if version != 2 && version != stripeVersion {
+		return fmt.Errorf("graph: encode stripe: cannot write version %d", version)
+	}
 	if err := d.Validate(); err != nil {
 		return fmt.Errorf("graph: encode stripe: %w", err)
 	}
@@ -170,7 +187,7 @@ func EncodeStripe(w io.Writer, d *StripeData) error {
 		return err
 	}
 	hdr := []any{
-		uint16(stripeVersion), uint16(0),
+		version, uint16(0),
 		uint32(d.Index), uint32(d.Count), d.Graph, d.Epoch,
 		uint64(d.NumNodes), uint64(d.Rows()),
 	}
@@ -180,7 +197,13 @@ func EncodeStripe(w io.Writer, d *StripeData) error {
 		}
 	}
 	for _, c := range []CSR{d.Out, d.In} {
-		if err := writeStripeCSR(out, c); err != nil {
+		var err error
+		if version >= 3 {
+			err = writePackedStripeCSR(out, c)
+		} else {
+			err = writeStripeCSR(out, c)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -188,6 +211,26 @@ func EncodeStripe(w io.Writer, d *StripeData) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// writePackedStripeCSR writes one CSR block in the version-3 packed form:
+// the block is packed row by row on the way out and unpacked on decode, so
+// StripeData stays flat in memory while the wire carries varints.
+func writePackedStripeCSR(w io.Writer, c CSR) error {
+	p := packCSR(c)
+	if err := writeSlice(w, len(p.RowOff), func(i int) uint64 { return uint64(p.RowOff[i]) }, 8); err != nil {
+		return err
+	}
+	if err := writeSlice(w, len(p.Sum), func(i int) uint64 { return math.Float64bits(p.Sum[i]) }, 8); err != nil {
+		return err
+	}
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p.Data)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(p.Data)
+	return err
 }
 
 func writeStripeCSR(w io.Writer, c CSR) error {
@@ -265,7 +308,7 @@ func DecodeStripe(r io.Reader) (*StripeData, error) {
 			return nil, fmt.Errorf("graph: decode stripe: header: %w", err)
 		}
 	}
-	if version != 1 && version != stripeVersion {
+	if version < 1 || version > stripeVersion {
 		return nil, fmt.Errorf("graph: decode stripe: unsupported version %d", version)
 	}
 	if reserved != 0 {
@@ -291,11 +334,20 @@ func DecodeStripe(r io.Reader) (*StripeData, error) {
 		return nil, fmt.Errorf("graph: decode stripe: header claims %d rows, striping implies %d", rows, d.Rows())
 	}
 	var err error
-	if d.Out, err = readStripeCSR(cr); err != nil {
-		return nil, fmt.Errorf("graph: decode stripe: out block: %w", err)
-	}
-	if d.In, err = readStripeCSR(cr); err != nil {
-		return nil, fmt.Errorf("graph: decode stripe: in block: %w", err)
+	if version >= 3 {
+		if d.Out, err = readPackedStripeCSR(cr, "out", int(rows), d.NumNodes); err != nil {
+			return nil, fmt.Errorf("graph: decode stripe: out block: %w", err)
+		}
+		if d.In, err = readPackedStripeCSR(cr, "in", int(rows), d.NumNodes); err != nil {
+			return nil, fmt.Errorf("graph: decode stripe: in block: %w", err)
+		}
+	} else {
+		if d.Out, err = readStripeCSR(cr); err != nil {
+			return nil, fmt.Errorf("graph: decode stripe: out block: %w", err)
+		}
+		if d.In, err = readStripeCSR(cr); err != nil {
+			return nil, fmt.Errorf("graph: decode stripe: in block: %w", err)
+		}
 	}
 
 	sum := cr.crc.Sum32() // the stored checksum itself is not hashed
@@ -324,6 +376,61 @@ func (c *crcReader) Read(p []byte) (int, error) {
 		c.crc.Write(p[:n])
 	}
 	return n, err
+}
+
+// readPackedStripeCSR reads one version-3 packed block and unpacks it to the
+// flat CSR the rest of the system consumes. The packed rows are validated
+// defensively (well-formed varints, in-range columns, positive finite
+// weights, consistent cached sums) before the unchecked unpack runs; the
+// caller's StripeData.Validate re-checks the flat invariants afterwards.
+func readPackedStripeCSR(r io.Reader, name string, rows, numNodes int) (CSR, error) {
+	var c CSR
+	rowOff, err := readUint64s(r)
+	if err != nil {
+		return c, fmt.Errorf("offsets: %w", err)
+	}
+	p := PackedCSR{RowOff: make([]int64, len(rowOff))}
+	for i, v := range rowOff {
+		if v > uint64(math.MaxInt64) {
+			return c, fmt.Errorf("offset %d overflows", i)
+		}
+		p.RowOff[i] = int64(v)
+	}
+	if p.Sum, err = readFloat64s(r); err != nil {
+		return c, fmt.Errorf("row sums: %w", err)
+	}
+	if p.Data, err = readBytes(r); err != nil {
+		return c, fmt.Errorf("row data: %w", err)
+	}
+	if err := validatePackedCSR(name, &p, rows, numNodes); err != nil {
+		return c, err
+	}
+	return p.unpackCSR(), nil
+}
+
+// readBytes reads a length-prefixed byte array in bounded chunks, like
+// readArray: a forged length fails on truncation instead of allocating.
+func readBytes(r io.Reader) ([]byte, error) {
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(lenBuf[:])
+	if n > uint64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("array length %d overflows", n)
+	}
+	out := []byte{}
+	buf := make([]byte, stripeChunkBytes)
+	remaining := int(n)
+	for remaining > 0 {
+		chunk := min(remaining, stripeChunkBytes)
+		if _, err := io.ReadFull(r, buf[:chunk]); err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:chunk]...)
+		remaining -= chunk
+	}
+	return out, nil
 }
 
 func readStripeCSR(r io.Reader) (CSR, error) {

@@ -1,0 +1,139 @@
+package topk
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"roundtriprank/internal/graph"
+	"roundtriprank/internal/testgraphs"
+	"roundtriprank/internal/walk"
+)
+
+// TestPackedDispatch pins the path selection for packed views: a
+// *graph.Packed must take the scratch-state searcher through its row session
+// (Result.Flat true), and ForceMap must still force the map baseline through
+// the packed view's streaming View methods.
+func TestPackedDispatch(t *testing.T) {
+	toy := testgraphs.NewToy()
+	pg := graph.Pack(toy.Graph)
+	q := walk.SingleNode(toy.T1)
+	opt := Options{K: 3, Epsilon: 0.01, Alpha: 0.25, Beta: 0.5}
+	res, err := TopK(context.Background(), pg, q, opt)
+	if err != nil {
+		t.Fatalf("packed TopK: %v", err)
+	}
+	if !res.Flat {
+		t.Errorf("packed view should take the scratch-state path")
+	}
+	forced, err := TopK(context.Background(), pg, q, Options{K: 3, Epsilon: 0.01, Alpha: 0.25, Beta: 0.5, ForceMap: true})
+	if err != nil {
+		t.Fatalf("forced-map TopK: %v", err)
+	}
+	if forced.Flat {
+		t.Errorf("ForceMap should take the map searcher even on a packed view")
+	}
+}
+
+// TestPackedMatchesFlatBitForBit is the representation parity gate at the
+// topk layer: on every test graph and scheme, TopK over graph.Pack(g) must
+// return exactly the flat-CSR result — same nodes, same rounds, and
+// bit-identical scores, since both paths run the same searcher over the same
+// row contents in the same order.
+func TestPackedMatchesFlatBitForBit(t *testing.T) {
+	toy := testgraphs.NewToy()
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		q    graph.NodeID
+	}{
+		{"toy", toy.Graph, toy.T1},
+		{"toyPaper", toy.Graph, toy.P[2]},
+		{"line", testgraphs.Line(10), 0},
+		{"cycle", testgraphs.Cycle(12), 7},
+		{"star", testgraphs.Star(8), 0},
+	}
+	for _, tc := range cases {
+		pg := graph.Pack(tc.g)
+		q := walk.SingleNode(tc.q)
+		// Pin K at a strict score gap of the exact ranking, as in the flat-vs-
+		// map suite: across an exact tie the ε≈0 conditions are unsatisfiable
+		// and the search spins to MaxRounds.
+		naive, _, err := Naive(context.Background(), tc.g, q, Options{K: tc.g.NumNodes(), Alpha: 0.25, Beta: 0.5})
+		if err != nil {
+			t.Fatalf("%s: Naive: %v", tc.name, err)
+		}
+		k := 0
+		for i := 0; i < len(naive) && i < 5; i++ {
+			if naive[i].Score <= 0 {
+				break
+			}
+			if i+1 < len(naive) && naive[i].Score-naive[i+1].Score <= 1e-6 {
+				break
+			}
+			k = i + 1
+		}
+		if k == 0 {
+			t.Fatalf("%s: no strict gap to pin K at", tc.name)
+		}
+		for _, scheme := range []Scheme{Scheme2SBound, SchemeGS, SchemeGupta, SchemeSarkar} {
+			for _, eps := range []float64{1e-9, 0.01} {
+				t.Run(fmt.Sprintf("%s/%s/eps=%g", tc.name, scheme, eps), func(t *testing.T) {
+					opt := Options{K: k, Epsilon: eps, Alpha: 0.25, Beta: 0.5, Scheme: scheme}
+					flat, err := TopK(context.Background(), tc.g, q, opt)
+					if err != nil {
+						t.Fatalf("flat: %v", err)
+					}
+					packed, err := TopK(context.Background(), pg, q, opt)
+					if err != nil {
+						t.Fatalf("packed: %v", err)
+					}
+					if flat.Converged != packed.Converged || flat.Rounds != packed.Rounds {
+						t.Fatalf("search shape disagrees: flat rounds=%d conv=%v, packed rounds=%d conv=%v",
+							flat.Rounds, flat.Converged, packed.Rounds, packed.Converged)
+					}
+					if len(flat.TopK) != len(packed.TopK) {
+						t.Fatalf("sizes disagree: flat %d, packed %d", len(flat.TopK), len(packed.TopK))
+					}
+					for i := range flat.TopK {
+						if flat.TopK[i].Node != packed.TopK[i].Node {
+							t.Errorf("rank %d: flat node %d, packed node %d", i, flat.TopK[i].Node, packed.TopK[i].Node)
+						}
+						if math.Float64bits(flat.TopK[i].Score) != math.Float64bits(packed.TopK[i].Score) {
+							t.Errorf("rank %d: scores differ bit-for-bit: %v != %v",
+								i, flat.TopK[i].Score, packed.TopK[i].Score)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPackedNaiveBitForBit pins the exact solver over a packed view: Naive
+// (full FRank/TRank solves through the packed kernels) must reproduce the
+// flat ranking and scores bit for bit.
+func TestPackedNaiveBitForBit(t *testing.T) {
+	toy := testgraphs.NewToy()
+	pg := graph.Pack(toy.Graph)
+	q := walk.SingleNode(toy.T1)
+	opt := Options{K: toy.Graph.NumNodes(), Alpha: 0.25, Beta: 0.5}
+	want, _, err := Naive(context.Background(), toy.Graph, q, opt)
+	if err != nil {
+		t.Fatalf("flat Naive: %v", err)
+	}
+	got, _, err := Naive(context.Background(), pg, q, opt)
+	if err != nil {
+		t.Fatalf("packed Naive: %v", err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("sizes disagree: %d != %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].Node != got[i].Node || math.Float64bits(want[i].Score) != math.Float64bits(got[i].Score) {
+			t.Fatalf("rank %d differs: flat (%d, %v), packed (%d, %v)",
+				i, want[i].Node, want[i].Score, got[i].Node, got[i].Score)
+		}
+	}
+}

@@ -179,9 +179,14 @@ func TopK(ctx context.Context, view graph.View, q walk.Query, opt Options) (*Res
 	// path (near-zero allocation per query); wrapped views — masked,
 	// tracking, remote — keep the map-based implementation, which doubles as
 	// the correctness baseline the parity tests and benchmarks compare
-	// against.
+	// against. Packed views (graph.Packed) run the same searcher through a
+	// per-query row session — identical arithmetic and expansion order, so
+	// bit-identical to the flat path for the same graph content.
 	if cv, ok := view.(graph.CSRView); ok && !opt.ForceMap {
 		return flatTopK(ctx, cv, q, opt, fOpt, tOpt)
+	}
+	if rp, ok := view.(graph.RowsProvider); ok && !opt.ForceMap {
+		return topKRowsNormalized(ctx, rp.NewRows(), q, opt, fOpt, tOpt)
 	}
 	fb, err := bounds.NewFBounds(view, q, fOpt)
 	if err != nil {
@@ -253,6 +258,14 @@ func TopKRows(ctx context.Context, rows graph.Rows, q walk.Query, opt Options) (
 	if err != nil {
 		return nil, err
 	}
+	return topKRowsNormalized(ctx, rows, q, opt, fOpt, tOpt)
+}
+
+// topKRowsNormalized is the shared tail of TopKRows and the RowsProvider
+// branch of TopK: it runs the pooled scratch-state searcher over a row
+// provider with already-normalized options, converting *graph.RowFetchError
+// panics back into ordinary errors (any other panic propagates).
+func topKRowsNormalized(ctx context.Context, rows graph.Rows, q walk.Query, opt Options, fOpt bounds.FOptions, tOpt bounds.TOptions) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			fe, ok := r.(*graph.RowFetchError)

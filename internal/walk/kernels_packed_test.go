@@ -1,0 +1,98 @@
+package walk
+
+import (
+	"context"
+	"testing"
+
+	"roundtriprank/internal/graph"
+)
+
+// TestPackedKernelsBitIdenticalToFlat pins the packed fast paths to the flat
+// kernels exactly: FRank, TRank and GlobalPageRank on graph.Pack(g) must
+// reproduce the flat-CSR results bit for bit, for every worker count. The
+// packed kernels stream each row through PackedIter in the same entry order
+// the flat kernels index it, so any divergence is an encoding bug, not
+// floating-point noise.
+func TestPackedKernelsBitIdenticalToFlat(t *testing.T) {
+	p := Params{Alpha: 0.25, Tol: 1e-11, MaxIter: 300}
+	for name, g := range kernelTestGraphs() {
+		pg := graph.Pack(g)
+		q := SingleNode(0)
+		restart := make([]float64, g.NumNodes())
+		if err := q.restart(restart); err != nil {
+			t.Fatalf("%s: restart: %v", name, err)
+		}
+		for _, workers := range []int{1, 3, 8} {
+			pool := NewPool(workers)
+			wantF, err := fRankCSR(context.Background(), g, restart, p, pool)
+			if err != nil {
+				t.Fatalf("%s: fRankCSR: %v", name, err)
+			}
+			gotF, err := fRankPacked(context.Background(), pg, restart, p, pool)
+			if err != nil {
+				t.Fatalf("%s: fRankPacked: %v", name, err)
+			}
+			assertBitIdentical(t, name+"/frank", wantF, gotF)
+
+			wantT, err := tRankCSR(context.Background(), g, restart, p, pool)
+			if err != nil {
+				t.Fatalf("%s: tRankCSR: %v", name, err)
+			}
+			gotT, err := tRankPacked(context.Background(), pg, restart, p, pool)
+			if err != nil {
+				t.Fatalf("%s: tRankPacked: %v", name, err)
+			}
+			assertBitIdentical(t, name+"/trank", wantT, gotT)
+
+			wantPR, err := pageRankCSR(context.Background(), g, 0.15, 1e-11, 300, pool)
+			if err != nil {
+				t.Fatalf("%s: pageRankCSR: %v", name, err)
+			}
+			gotPR, err := pageRankPacked(context.Background(), pg, 0.15, 1e-11, 300, pool)
+			if err != nil {
+				t.Fatalf("%s: pageRankPacked: %v", name, err)
+			}
+			assertBitIdentical(t, name+"/pagerank", wantPR, gotPR)
+			pool.Close()
+		}
+	}
+}
+
+// TestPackedSolverDispatch pins the public entry points: a *graph.Packed view
+// must route to the packed kernels and return the flat results bit for bit.
+func TestPackedSolverDispatch(t *testing.T) {
+	p := Params{Alpha: 0.25, Tol: 1e-11, MaxIter: 300}
+	for name, g := range kernelTestGraphs() {
+		pg := graph.Pack(g)
+		q := SingleNode(1)
+		want, err := FRank(context.Background(), g, q, p)
+		if err != nil {
+			t.Fatalf("%s: FRank flat: %v", name, err)
+		}
+		got, err := FRank(context.Background(), pg, q, p)
+		if err != nil {
+			t.Fatalf("%s: FRank packed: %v", name, err)
+		}
+		assertBitIdentical(t, name+"/FRank", want, got)
+
+		want, err = TRank(context.Background(), g, q, p)
+		if err != nil {
+			t.Fatalf("%s: TRank flat: %v", name, err)
+		}
+		got, err = TRank(context.Background(), pg, q, p)
+		if err != nil {
+			t.Fatalf("%s: TRank packed: %v", name, err)
+		}
+		assertBitIdentical(t, name+"/TRank", want, got)
+
+		want, err = GlobalPageRank(context.Background(), g, 0.15, 1e-11, 300)
+		if err != nil {
+			t.Fatalf("%s: GlobalPageRank flat: %v", name, err)
+		}
+		got, err = GlobalPageRank(context.Background(), pg, 0.15, 1e-11, 300)
+		if err != nil {
+			t.Fatalf("%s: GlobalPageRank packed: %v", name, err)
+		}
+		assertBitIdentical(t, name+"/GlobalPageRank", want, got)
+	}
+}

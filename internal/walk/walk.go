@@ -219,6 +219,11 @@ func FRank(ctx context.Context, view graph.View, q Query, p Params) ([]float64, 
 		defer release()
 		return fRankCSR(ctx, cv, restart, p, pool)
 	}
+	if pv, ok := view.(graph.PackedCSRView); ok {
+		pool, release := p.pool()
+		defer release()
+		return fRankPacked(ctx, pv, restart, p, pool)
+	}
 	cur := make([]float64, n)
 	next := make([]float64, n)
 	copy(cur, restart)
@@ -289,6 +294,11 @@ func TRank(ctx context.Context, view graph.View, q Query, p Params) ([]float64, 
 		defer release()
 		return tRankCSR(ctx, cv, restart, p, pool)
 	}
+	if pv, ok := view.(graph.PackedCSRView); ok {
+		pool, release := p.pool()
+		defer release()
+		return tRankPacked(ctx, pv, restart, p, pool)
+	}
 	cur := make([]float64, n)
 	next := make([]float64, n)
 	for i := range cur {
@@ -343,6 +353,9 @@ func GlobalPageRank(ctx context.Context, view graph.View, d float64, tol float64
 	if cv, ok := view.(graph.CSRView); ok {
 		pool := DefaultPool()
 		return pageRankCSR(ctx, cv, d, tol, maxIter, pool)
+	}
+	if pv, ok := view.(graph.PackedCSRView); ok {
+		return pageRankPacked(ctx, pv, d, tol, maxIter, DefaultPool())
 	}
 	uniform := 1.0 / float64(n)
 	cur := make([]float64, n)

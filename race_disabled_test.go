@@ -1,0 +1,7 @@
+//go:build !race
+
+package roundtriprank
+
+// raceEnabled reports whether the race detector is compiled in; a few tests
+// scale their heaviest inputs down under it.
+const raceEnabled = false
