@@ -44,6 +44,19 @@
 // footprint stays ≤70% of flat. It is excluded from -fig all — the sweep is
 // sized in minutes, not laptop-default seconds; run it explicitly.
 //
+// -fig anytime is the budget-vs-quality sweep behind the anytime execution
+// layer: R-MAT hub queries (the online search's adversarial case) under a
+// ladder of query budgets, recording recall@10 against the exact answer, the
+// degraded fraction, certificate sizes and the latency distribution per
+// budget point, written to -anytime-out (default BENCH_PR10.json). Every
+// certified prefix is verified against the exact top-K and every budgeted
+// query is replayed to prove determinism; the figure fails if the combined
+// budget point's p99 exceeds 2× its median, and it finishes by driving the
+// real serving stack: a budgeted request and a deadline-racing ε=0 request,
+// both of which must return 200. Like -fig scale it is excluded from
+// -fig all (the default -anytime-nodes builds a 10^5-node graph); the CI
+// smoke runs it with small -anytime-nodes / -anytime-queries.
+//
 // -fig overload drives the real rtrankd serving stack (internal/serve plus
 // the cliutil middleware) past its admission limit: one pass with the gate
 // off, one with a small -overload-inflight cap under many concurrent HTTP
@@ -101,7 +114,7 @@ type runner struct {
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11a,11b,12,13, kernels, online, remote, overload, chaos, scale, or all (scale runs only when named)")
+		fig         = flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11a,11b,12,13, kernels, online, remote, overload, chaos, scale, anytime, or all (scale and anytime run only when named)")
 		scale       = flag.Float64("scale", 0.5, "effectiveness dataset scale (1.0 = paper-subgraph scale)")
 		queries     = flag.Int("queries", 120, "test queries per task (paper: 1000)")
 		devQueries  = flag.Int("dev-queries", 60, "development queries per task for beta tuning (paper: 1000)")
@@ -119,6 +132,9 @@ func main() {
 		scaleMax    = flag.Int("scale-max", 1_000_000, "largest node count of the -fig scale sweep (10^7 points need ≥ 10000000)")
 		scaleQs     = flag.Int("scale-queries", 16, "online queries per size and representation in -fig scale")
 		scaleEF     = flag.Int("scale-edgefactor", 8, "directed edge draws per node of the -fig scale R-MAT graphs")
+		anytimeOut  = flag.String("anytime-out", "BENCH_PR10.json", "output file of -fig anytime")
+		anytimeN    = flag.Int("anytime-nodes", 100_000, "R-MAT node count of the -fig anytime budget sweep")
+		anytimeQs   = flag.Int("anytime-queries", 8, "hub queries per budget point in -fig anytime")
 	)
 	flag.Parse()
 
@@ -136,9 +152,10 @@ func main() {
 		if want != "all" && want != name {
 			return
 		}
-		// The scale sweep runs only when named: at the default -scale-max it
-		// builds a million-node graph, which has no place in -fig all.
-		if name == "scale" && want != name {
+		// The scale and anytime sweeps run only when named: at their default
+		// sizes they build 10^6- and 10^5-node graphs, which have no place in
+		// -fig all.
+		if (name == "scale" || name == "anytime") && want != name {
 			return
 		}
 		start := time.Now()
@@ -155,6 +172,7 @@ func main() {
 	run("overload", func() error { return r.overload(*overloadOut, *onlineScale, *overloadCap) })
 	run("chaos", func() error { return r.chaosFig(*chaosOut, *onlineScale) })
 	run("scale", func() error { return r.scaleFig(*scaleOut, *scaleMax, *scaleQs, *scaleEF) })
+	run("anytime", func() error { return r.anytime(*anytimeOut, *anytimeN, *anytimeQs, *scaleEF) })
 	run("4", r.fig4)
 	run("5", r.fig5)
 	run("6", func() error { return r.illustrative("spatio temporal data") })

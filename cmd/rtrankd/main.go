@@ -81,6 +81,7 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0), "admitted concurrent requests before shedding with 429 (0 disables the gate)")
 		requestTmo  = flag.Duration("request-timeout", 0, "per-request deadline for admitted requests (0 leaves only the write timeout)")
 		mutationTmo = flag.Duration("mutation-timeout", serve.DefaultMutationTimeout, "server-side bound on one mutation commit + fleet redeploy")
+		degradeMgn  = flag.Duration("degrade-margin", 50*time.Millisecond, "deadline-aware degradation: stop a deadline-bearing query this early and return the certified partial result with 200 instead of timing out with 504 (0 disables)")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint written on shed (429) responses")
 		fleetN      = flag.Int("fleet-stripes", 0, "stripe count of a self-organizing worker fleet; enables /v1/register + /v1/heartbeat and replicated placement over registered gpservers (exclusive with -workers)")
 		replication = flag.Int("replication", 2, "replica count per stripe of the -fleet-stripes fleet")
@@ -132,6 +133,7 @@ func main() {
 		Workers:         workerCount,
 		MutationTimeout: *mutationTmo,
 		BaseContext:     ctx,
+		DegradeMargin:   *degradeMgn,
 	})
 	mux := s.Handler()
 	routes, exempt := serve.Routes(), serve.ExemptRoutes()

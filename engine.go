@@ -168,6 +168,11 @@ type QueryStat struct {
 	// Err is nil on success; context.Canceled / DeadlineExceeded indicate a
 	// cancelled query, a ClusterError backend trouble.
 	Err error
+	// Degraded reports a budget-degraded (anytime) response; CertifiedK is
+	// its certified prefix length. Both zero when Err is non-nil.
+	Degraded bool
+	// CertifiedK mirrors Response.CertifiedK.
+	CertifiedK int
 }
 
 // WithQueryStatsHook installs a callback invoked after every executed Rank
@@ -207,6 +212,36 @@ type Filter struct {
 	ExcludeQuery bool
 }
 
+// Budget bounds the work an online-method Request may spend before returning
+// a best-effort, certified partial result (Response.Degraded, CertifiedK,
+// AchievedEpsilon) instead of running to convergence — the anytime execution
+// contract for hub queries whose active set grows every round. Zero-valued
+// fields are unset; a nil Request.Budget keeps the run-to-convergence
+// behavior. Ignored by the exact and distributed methods, which always
+// compute the full answer.
+//
+// Rounds- and touched-capped budgets are deterministic: the same budget on
+// the same graph returns the same results and certificate bit for bit on the
+// local, packed and remote execution paths. FlushMargin-derived deadlines
+// depend on the wall clock and carry no such guarantee.
+type Budget struct {
+	// MaxRounds caps the online search's expansion rounds.
+	MaxRounds int
+	// MaxTouched stops the search once its working set (|Sf| + |St|) reaches
+	// this many nodes; on the remote path this also caps rows fetched.
+	MaxTouched int
+	// FrontierCap bounds T-side node admissions per round, keeping per-round
+	// cost flat on hub queries; deferred nodes remain covered by the unseen
+	// upper bound so certificates stay sound.
+	FrontierCap int
+	// FlushMargin, when positive and the request context carries a deadline,
+	// derives a soft wall-clock stop at (deadline − margin): the search
+	// finishes its current round, certifies what it has, and leaves the
+	// margin for normalization and response flushing — a 200 with a degraded
+	// result instead of burning into the deadline for a 504.
+	FlushMargin time.Duration
+}
+
 // Request is a single ranking query against an Engine. Zero-valued fields fall
 // back to the engine's defaults.
 type Request struct {
@@ -230,6 +265,9 @@ type Request struct {
 	// Tolerance overrides the convergence tolerance of the exact solvers;
 	// zero keeps the engine default. Ignored by the online path.
 	Tolerance float64
+	// Budget, when non-nil, bounds the online search's work and switches it
+	// into anytime mode; see Budget. Ignored by exact-family methods.
+	Budget *Budget
 }
 
 // Float64 returns a pointer to v, for the Request.Beta override.
@@ -248,6 +286,22 @@ type Response struct {
 	// Converged reports whether the ε-relaxed top-K conditions were met;
 	// always true on the exact path.
 	Converged bool
+	// Degraded reports the online search stopped on a budget (or the round
+	// valve) with work remaining: the results are best-effort, qualified by
+	// CertifiedK and AchievedEpsilon. Always false on the exact path and on
+	// converged or graph-exhausted online queries.
+	Degraded bool
+	// CertifiedK is the length of the leading prefix of Results proven exact
+	// by the online search's bounds at termination (every certified position
+	// strictly dominates all other nodes). The exact and distributed paths
+	// certify everything they return.
+	CertifiedK int
+	// AchievedEpsilon is the online search's residual bound gap: the smallest
+	// ε its ranking satisfies at termination (0 on the exact path). Converged
+	// responses report at most the requested epsilon; degraded ones report
+	// how far the budget let them get. Note it is on the searcher's squared
+	// score scale, like Request.Epsilon.
+	AchievedEpsilon float64
 	// Rounds is the number of expansion rounds of the online search (zero on
 	// the exact path).
 	Rounds int
@@ -405,6 +459,28 @@ type plan struct {
 	params  core.Params
 	epsilon float64
 	keep    func(NodeID) bool
+	budget  *Budget
+}
+
+// topkBudget converts the plan's budget into the searcher's form, deriving
+// the soft deadline from the request context's deadline minus the flush
+// margin. Called at execution time (the context is not known at plan time).
+func (p *plan) topkBudget(ctx context.Context) *topk.Budget {
+	b := p.budget
+	if b == nil {
+		return nil
+	}
+	tb := &topk.Budget{
+		MaxRounds:   b.MaxRounds,
+		MaxTouched:  b.MaxTouched,
+		FrontierCap: b.FrontierCap,
+	}
+	if b.FlushMargin > 0 {
+		if dl, ok := ctx.Deadline(); ok {
+			tb.Deadline = dl.Add(-b.FlushMargin)
+		}
+	}
+	return tb
 }
 
 // plan validates the request and resolves defaults and the Auto method.
@@ -451,6 +527,11 @@ func (e *Engine) plan(req Request) (*plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	if b := req.Budget; b != nil {
+		if b.MaxRounds < 0 || b.MaxTouched < 0 || b.FrontierCap < 0 || b.FlushMargin < 0 {
+			return nil, invalidf("roundtriprank: budget fields must be non-negative, got %+v", *b)
+		}
+	}
 	method := req.Method
 	if (method.kind == methodDistributed || method.kind == methodRemoteOnline) && len(e.workers) == 0 {
 		return nil, invalidf("roundtriprank: the %s method needs workers (configure with WithWorkers)", method)
@@ -467,7 +548,7 @@ func (e *Engine) plan(req Request) (*plan, error) {
 			method = TwoSBound
 		}
 	}
-	return &plan{snap: snap, query: nq, k: req.K, method: method, params: p, epsilon: req.Epsilon, keep: keep}, nil
+	return &plan{snap: snap, query: nq, k: req.K, method: method, params: p, epsilon: req.Epsilon, keep: keep, budget: req.Budget}, nil
 }
 
 // compile turns the declarative filter into a keep-predicate over node IDs.
@@ -533,7 +614,7 @@ func (e *Engine) Rank(ctx context.Context, req Request) (*Response, error) {
 	default:
 		resp, err = e.rankOnline(ctx, p)
 	}
-	e.recordStat(p, start, err)
+	e.recordStat(p, start, resp, err)
 	if err != nil {
 		return nil, err
 	}
@@ -542,11 +623,16 @@ func (e *Engine) Rank(ctx context.Context, req Request) (*Response, error) {
 }
 
 // recordStat delivers one executed plan to the stats hook, if installed.
-func (e *Engine) recordStat(p *plan, start time.Time, err error) {
+func (e *Engine) recordStat(p *plan, start time.Time, resp *Response, err error) {
 	if e.statsHook == nil {
 		return
 	}
-	e.statsHook(QueryStat{Method: p.method, Elapsed: time.Since(start), Err: err})
+	st := QueryStat{Method: p.method, Elapsed: time.Since(start), Err: err}
+	if resp != nil && err == nil {
+		st.Degraded = resp.Degraded
+		st.CertifiedK = resp.CertifiedK
+	}
+	e.statsHook(st)
 }
 
 func (e *Engine) rankExact(ctx context.Context, p *plan) (*Response, error) {
@@ -555,7 +641,7 @@ func (e *Engine) rankExact(ctx context.Context, p *plan) (*Response, error) {
 		return nil, err
 	}
 	top := trimZeroScores(core.TopN(s.R, p.k, p.keep))
-	return &Response{Results: toResults(top), Method: Exact, Converged: true}, nil
+	return &Response{Results: toResults(top), Method: Exact, Converged: true, CertifiedK: len(top)}, nil
 }
 
 // trimZeroScores cuts the zero-score tail of a descending ranking: a zero
@@ -657,7 +743,7 @@ func (e *Engine) rankDistributed(ctx context.Context, p *plan) (*Response, error
 		return nil, &ClusterError{Err: errors.Join(ferr, terr)}
 	}
 	top := trimZeroScores(core.TopN(core.Combine(f, t, p.params.Beta), p.k, p.keep))
-	return &Response{Results: toResults(top), Method: Distributed, Converged: true}, nil
+	return &Response{Results: toResults(top), Method: Distributed, Converged: true, CertifiedK: len(top)}, nil
 }
 
 // rowView returns the row-serving view of the given snapshot, connecting to
@@ -715,6 +801,7 @@ func (e *Engine) rankRemote(ctx context.Context, p *plan) (*Response, error) {
 		Beta:    p.params.Beta,
 		Scheme:  p.method.scheme,
 		Keep:    p.keep,
+		Budget:  p.topkBudget(ctx),
 	})
 	if err != nil {
 		// The caller's own cancellation is not backend trouble.
@@ -731,13 +818,16 @@ func (e *Engine) rankRemote(ctx context.Context, p *plan) (*Response, error) {
 	}
 	st := sess.Stats()
 	return &Response{
-		Results:   results,
-		Method:    p.method,
-		Converged: res.Converged,
-		Rounds:    res.Rounds,
-		FSeen:     res.FSeen,
-		TSeen:     res.TSeen,
-		RSeen:     res.RSeen,
+		Results:         results,
+		Method:          p.method,
+		Converged:       res.Converged,
+		Degraded:        res.Degraded,
+		CertifiedK:      certifiedLen(res, results),
+		AchievedEpsilon: res.AchievedEpsilon,
+		Rounds:          res.Rounds,
+		FSeen:           res.FSeen,
+		TSeen:           res.TSeen,
+		RSeen:           res.RSeen,
 		Rows: &RowQueryStats{
 			Fetched:     st.Fetched,
 			RPCs:        st.RPCs,
@@ -745,6 +835,18 @@ func (e *Engine) rankRemote(ctx context.Context, p *plan) (*Response, error) {
 			CacheMisses: st.CacheMisses,
 		},
 	}, nil
+}
+
+// certifiedLen clamps the searcher's certified prefix to the trimmed result
+// length. Certified positions always have strictly positive lower bounds, so
+// the zero-score trim never cuts into the certified prefix; the clamp only
+// guards the public CertifiedK ≤ len(Results) invariant.
+func certifiedLen(res *topk.Result, results []Result) int {
+	ck := res.CertifiedK
+	if ck > len(results) {
+		ck = len(results)
+	}
+	return ck
 }
 
 // rankOnline executes an online-method plan through topk.TopK, which picks
@@ -761,6 +863,7 @@ func (e *Engine) rankOnline(ctx context.Context, p *plan) (*Response, error) {
 		Scheme:   p.method.scheme,
 		Keep:     p.keep,
 		ForceMap: e.onlineMapBaseline,
+		Budget:   p.topkBudget(ctx),
 	})
 	if err != nil {
 		return nil, err
@@ -775,13 +878,16 @@ func (e *Engine) rankOnline(ctx context.Context, p *plan) (*Response, error) {
 		results[i].Score = math.Sqrt(results[i].Score)
 	}
 	return &Response{
-		Results:   results,
-		Method:    p.method,
-		Converged: res.Converged,
-		Rounds:    res.Rounds,
-		FSeen:     res.FSeen,
-		TSeen:     res.TSeen,
-		RSeen:     res.RSeen,
+		Results:         results,
+		Method:          p.method,
+		Converged:       res.Converged,
+		Degraded:        res.Degraded,
+		CertifiedK:      certifiedLen(res, results),
+		AchievedEpsilon: res.AchievedEpsilon,
+		Rounds:          res.Rounds,
+		FSeen:           res.FSeen,
+		TSeen:           res.TSeen,
+		RSeen:           res.RSeen,
 	}, nil
 }
 
@@ -927,7 +1033,7 @@ func (e *Engine) rankExactShared(ctx context.Context, p *plan, cache *vecCache) 
 		}
 	}
 	top := trimZeroScores(core.TopN(core.Combine(f, t, p.params.Beta), p.k, p.keep))
-	return &Response{Results: toResults(top), Method: Exact, Converged: true}, nil
+	return &Response{Results: toResults(top), Method: Exact, Converged: true, CertifiedK: len(top)}, nil
 }
 
 // ApplyResult reports the outcome of one Engine.Apply: the committed graph

@@ -6,7 +6,6 @@ import (
 	"sort"
 
 	"roundtriprank/internal/graph"
-	"roundtriprank/internal/heapx"
 	"roundtriprank/internal/walk"
 )
 
@@ -30,6 +29,13 @@ type TOptions struct {
 	// RefineTol and RefineMaxIter control Stage II convergence.
 	RefineTol     float64
 	RefineMaxIter int
+	// FrontierCap, when positive, bounds the number of nodes admitted into
+	// St per expansion (the anytime budget's per-round frontier cap). Picked
+	// border nodes whose in-neighborhoods are only partially admitted keep a
+	// positive outside-in count, so they stay border nodes and the Eq. 22
+	// unseen bound — computed over all border nodes — remains sound for every
+	// deferred node; the cap trades rounds for bounded per-round cost.
+	FrontierCap int
 }
 
 // DefaultTOptions returns the 2SBound configuration for the T-Rank side.
@@ -71,7 +77,14 @@ type TBounds struct {
 	// outsideIn counts, for every node in St, how many of its in-neighbors are
 	// still outside St; a node is a border node iff its count is positive.
 	outsideIn map[graph.NodeID]int
-	unseen    float64
+	// order lists St in insertion order (query nodes first, then newcomers in
+	// admission order) — the same order the flat tracker's touched list holds.
+	// Border picking iterates it instead of the outsideIn map so that
+	// upper-bound ties (all same-round newcomers share upper = prevUnseen)
+	// break identically on both trackers; without it, map iteration order
+	// would decide budget-capped (mid-search) results nondeterministically.
+	order  []graph.NodeID
+	unseen float64
 
 	expansions int
 }
@@ -102,6 +115,9 @@ func NewTBounds(view graph.View, q walk.Query, opt TOptions) (*TBounds, error) {
 		if int(v) < 0 || int(v) >= view.NumNodes() {
 			return nil, fmt.Errorf("bounds: query node %d out of range", v)
 		}
+		if _, ok := tb.restart[v]; !ok {
+			tb.order = append(tb.order, v)
+		}
 		tb.restart[v] += nq.Weights[i]
 	}
 	// Bounds first, border counts second: countOutsideIn must see the full
@@ -110,11 +126,11 @@ func NewTBounds(view graph.View, q walk.Query, opt TOptions) (*TBounds, error) {
 	// never re-join St — leaving a phantom border node whose (dis)appearance
 	// depended on map iteration order. The flat tracker (TFlat.Init) does
 	// the same two passes.
-	for v, w := range tb.restart {
-		tb.lower[v] = opt.Alpha * w
+	for _, v := range tb.order {
+		tb.lower[v] = opt.Alpha * tb.restart[v]
 		tb.upper[v] = 1
 	}
-	for v := range tb.restart {
+	for _, v := range tb.order {
 		tb.outsideIn[v] = tb.countOutsideIn(v)
 	}
 	tb.expansions = 1 // the paper counts the initial St = {q} as the first expansion
@@ -184,31 +200,57 @@ func (tb *TBounds) BorderCount() int {
 func (tb *TBounds) Exhausted() bool { return tb.BorderCount() == 0 }
 
 // Expand performs one Stage-I step: pick up to M border nodes with the largest
-// upper bounds, pull all of their in-neighbors into St, initialize the bounds
-// of the newcomers, recompute the unseen upper bound, and (when enabled) run
-// the Stage-II refinement. It returns the number of new nodes added.
+// upper bounds, pull all of their in-neighbors into St (up to the frontier
+// cap), initialize the bounds of the newcomers, recompute the unseen upper
+// bound, and (when enabled) run the Stage-II refinement. It returns the number
+// of new nodes added.
 func (tb *TBounds) Expand() int {
-	// Select the M border nodes with the largest upper bounds.
-	pick := heapx.NewTopK[graph.NodeID](tb.opt.M)
-	for v, c := range tb.outsideIn {
-		if c > 0 {
-			pick.Offer(v, tb.upper[v])
+	// Select the M border nodes with the largest upper bounds, iterating the
+	// insertion-ordered seen list with the same kept-sorted pick the flat
+	// tracker uses (ties keep earlier insertion) so both trackers expand the
+	// identical frontier every round.
+	m := tb.opt.M
+	pickN := make([]graph.NodeID, 0, m+1)
+	pickP := make([]float64, 0, m+1)
+	for _, v := range tb.order {
+		if tb.outsideIn[v] <= 0 {
+			continue
+		}
+		up := tb.upper[v]
+		if len(pickN) == m && up <= pickP[m-1] {
+			continue
+		}
+		pickN = append(pickN, v)
+		pickP = append(pickP, up)
+		for i := len(pickN) - 1; i > 0 && pickP[i] > pickP[i-1]; i-- {
+			pickN[i], pickN[i-1] = pickN[i-1], pickN[i]
+			pickP[i], pickP[i-1] = pickP[i-1], pickP[i]
+		}
+		if len(pickN) > m {
+			pickN = pickN[:m]
+			pickP = pickP[:m]
 		}
 	}
-	chosen := pick.Items()
-	if len(chosen) == 0 {
+	if len(pickN) == 0 {
 		return 0
 	}
+	limit := tb.opt.FrontierCap
 	added := 0
 	prevUnseen := tb.unseen
-	for _, entry := range chosen {
-		u := entry.Item
+	for _, u := range pickN {
+		if limit > 0 && added >= limit {
+			break
+		}
 		tb.view.EachIn(u, func(from graph.NodeID, _ float64) bool {
+			if limit > 0 && added >= limit {
+				return false
+			}
 			if _, ok := tb.lower[from]; !ok {
 				// Newly included node: lower bound zero, upper bound is the
 				// unseen upper bound from the previous expansion.
 				tb.lower[from] = 0
 				tb.upper[from] = prevUnseen
+				tb.order = append(tb.order, from)
 				tb.outsideIn[from] = tb.countOutsideIn(from)
 				// Every seen out-neighbor of the newcomer loses one outside
 				// in-neighbor. (The newcomer itself already counted its own

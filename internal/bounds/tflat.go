@@ -221,17 +221,30 @@ func (tb *TFlat) Expand() int {
 	if len(tb.pickN) == 0 {
 		return 0
 	}
+	limit := tb.opt.FrontierCap
 	if tb.pre != nil {
 		// Announce the wave in two coalesced batches: the picked border rows,
 		// then the newcomer rows those picks will pull in. The pre-pass below
 		// only reads membership, so the mutation loop that follows runs
 		// unchanged — same order, same bounds, bit-identical to local.
+		//
+		// Under a frontier cap the wave is truncated at the cap's raw entry
+		// count: an unseen entry at raw index p has at most p admissions
+		// before it in processing order, so every truncated-wave entry is
+		// provably admitted — never an over-prefetch of an untouched row. A
+		// node first admitted past the truncation point (possible when
+		// duplicates precede it) is simply fetched on demand; it still joins
+		// St, so "rows fetched ≤ rows touched" holds with or without the cap.
 		tb.pre.Prefetch(tb.pickN)
 		tb.wave = tb.wave[:0]
+	collect:
 		for _, u := range tb.pickN {
 			cols, _ := tb.inRow(u)
 			for _, from := range cols {
 				if !tb.b.Seen(from) {
+					if limit > 0 && len(tb.wave) >= limit {
+						break collect
+					}
 					tb.wave = append(tb.wave, from)
 				}
 			}
@@ -241,8 +254,14 @@ func (tb *TFlat) Expand() int {
 	added := 0
 	prevUnseen := tb.unseen
 	for _, u := range tb.pickN {
+		if limit > 0 && added >= limit {
+			break
+		}
 		cols, _ := tb.inRow(u)
 		for _, from := range cols {
+			if limit > 0 && added >= limit {
+				break
+			}
 			if tb.b.Seen(from) {
 				continue
 			}

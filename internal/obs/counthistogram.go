@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// NumCountBuckets is the number of finite buckets in a CountHistogram.
+// Bucket i holds observations ≤ 2^i, so the finite range spans 1 .. 32768 in
+// factor-of-two steps — wide enough for any per-query cardinality this repo
+// records (certified-K, result sizes, touched-row counts) while keeping the
+// exposition short.
+const NumCountBuckets = 16
+
+// CountHistogram is a log2-bucketed histogram over small non-negative integer
+// observations (counts, not durations) — the integer sibling of Histogram.
+// Observe is a few atomic adds with no locks or allocation, so it is safe on
+// the per-request hot path. Zero observations land in the first bucket.
+type CountHistogram struct {
+	buckets  [NumCountBuckets]atomic.Int64 // counts per finite bucket (non-cumulative)
+	overflow atomic.Int64                  // observations beyond the last finite bound
+	count    atomic.Int64
+	sum      atomic.Int64
+}
+
+// countBucketBound returns the inclusive upper bound of finite bucket i.
+func countBucketBound(i int) int64 { return 1 << uint(i) }
+
+// countBucketFor returns the finite bucket index for v, or NumCountBuckets
+// when v exceeds the last finite bound.
+func countBucketFor(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	// ceil(log2(v)): the smallest i with v <= 2^i.
+	i := bits.Len64(uint64(v - 1))
+	if i >= NumCountBuckets {
+		return NumCountBuckets
+	}
+	return i
+}
+
+// Observe records one integer observation (negative values are clamped to
+// zero).
+func (h *CountHistogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if i := countBucketFor(v); i < NumCountBuckets {
+		h.buckets[i].Add(1)
+	} else {
+		h.overflow.Add(1)
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *CountHistogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed values.
+func (h *CountHistogram) Sum() int64 { return h.sum.Load() }
+
+// write renders the histogram as Prometheus `_bucket`/`_sum`/`_count` series
+// under the given family name and label fragment.
+func (h *CountHistogram) write(b *strings.Builder, name, labels string) {
+	var cum int64
+	for i := 0; i < NumCountBuckets; i++ {
+		cum += h.buckets[i].Load()
+		le := strconv.FormatInt(countBucketBound(i), 10)
+		writeSample(b, name+"_bucket", joinLabels(labels, `le="`+le+`"`), float64(cum))
+	}
+	cum += h.overflow.Load()
+	writeSample(b, name+"_bucket", joinLabels(labels, `le="+Inf"`), float64(cum))
+	writeSample(b, name+"_sum", labels, float64(h.sum.Load()))
+	writeSample(b, name+"_count", labels, float64(h.count.Load()))
+}

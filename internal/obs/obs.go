@@ -48,6 +48,7 @@ type child struct {
 	labels string // preformatted, e.g. `path="/rank",code="200"`; may be empty
 	c      *Counter
 	h      *Histogram
+	ch     *CountHistogram
 	fn     func() float64 // callback gauges / counters
 }
 
@@ -122,6 +123,15 @@ func (r *Registry) Histogram(name, help, labels string) *Histogram {
 	return h
 }
 
+// CountHistogram registers and returns a log2-bucketed integer histogram
+// (for cardinalities like certified-K, not durations) with the given label
+// set.
+func (r *Registry) CountHistogram(name, help, labels string) *CountHistogram {
+	h := &CountHistogram{}
+	r.register(name, help, kindHistogram, &child{labels: labels, ch: h})
+	return h
+}
+
 // WriteTo renders every registered family in the Prometheus text exposition
 // format (version 0.0.4). Families appear in registration order, children
 // in registration order within a family.
@@ -145,6 +155,8 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			switch {
 			case ch.h != nil:
 				ch.h.write(&b, name, ch.labels)
+			case ch.ch != nil:
+				ch.ch.write(&b, name, ch.labels)
 			case ch.c != nil:
 				writeSample(&b, name, ch.labels, float64(ch.c.Value()))
 			default:

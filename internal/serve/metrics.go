@@ -29,8 +29,10 @@ type Metrics struct {
 
 // methodMetrics is one ranking method's query instrumentation.
 type methodMetrics struct {
-	hist     *obs.Histogram
-	outcomes map[string]*obs.Counter
+	hist      *obs.Histogram
+	outcomes  map[string]*obs.Counter
+	degraded  *obs.Counter
+	certified *obs.CountHistogram
 }
 
 // NewMetrics returns a Metrics over a fresh "rtrank"-namespaced registry.
@@ -63,6 +65,12 @@ func (m *Metrics) RecordQuery(s roundtriprank.QueryStat) {
 	}
 	mm.outcomes[outcome].Inc()
 	mm.hist.Observe(s.Elapsed)
+	if s.Err == nil {
+		if s.Degraded {
+			mm.degraded.Inc()
+		}
+		mm.certified.Observe(int64(s.CertifiedK))
+	}
 }
 
 // forMethod returns (creating on first use) one method's instrumentation.
@@ -85,6 +93,11 @@ func (m *Metrics) forMethod(method string) *methodMetrics {
 			"Ranking queries executed, by resolved method and outcome.",
 			labels+`,outcome="`+outcome+`"`)
 	}
+	mm.degraded = m.reg.Counter("engine_query_degraded_total",
+		"Queries a budget or deadline-derived soft stop ended early (best-effort result returned).",
+		labels)
+	mm.certified = m.reg.CountHistogram("engine_query_certified_k",
+		"Certified result-prefix length per successful query.", labels)
 	for _, q := range []struct {
 		label string
 		q     float64

@@ -58,6 +58,14 @@ type Config struct {
 	// (default context.Background()). Shutting the server down cancels
 	// mutations through it.
 	BaseContext context.Context
+	// DegradeMargin enables deadline-aware degradation: when positive and a
+	// /rank request arrives with a context deadline (client timeout or
+	// server-side middleware), the engine is told to stop expanding that
+	// margin *before* the deadline and certify what it has, so the client
+	// gets a 200 with a partial, certified prefix instead of a 504 with
+	// nothing. Zero disables the policy (deadline overruns keep failing with
+	// 504 as before).
+	DegradeMargin time.Duration
 }
 
 // Server owns the handler state over one Engine.
@@ -139,6 +147,19 @@ type rankRequest struct {
 	// Epsilon is a pointer so the zero value is distinguishable from an
 	// omitted field: omitted means DefaultEpsilon, explicit 0 means exact.
 	Epsilon *float64 `json:"epsilon,omitempty"`
+	// Budget caps the online search (anytime execution); omitted means
+	// unbudgeted. See rankBudget.
+	Budget *rankBudget `json:"budget,omitempty"`
+}
+
+// rankBudget is the wire form of roundtriprank.Budget: deterministic caps on
+// the online search. The wall-clock dimension is intentionally absent from
+// the wire — it derives from the request deadline and the server's
+// DegradeMargin, so a replayed request body stays deterministic.
+type rankBudget struct {
+	MaxRounds   int `json:"max_rounds,omitempty"`
+	MaxTouched  int `json:"max_touched,omitempty"`
+	FrontierCap int `json:"frontier_cap,omitempty"`
 }
 
 type rankResult struct {
@@ -160,9 +181,19 @@ type rankResponse struct {
 	Results   []rankResult `json:"results"`
 	Method    string       `json:"method"`
 	Converged bool         `json:"converged"`
-	Rounds    int          `json:"rounds,omitempty"`
-	Rows      *rankRows    `json:"rows,omitempty"`
-	ElapsedMS float64      `json:"elapsed_ms"`
+	// Degraded reports that a budget (or the deadline-derived soft stop)
+	// ended the search early; Results is then best-effort, with the first
+	// CertifiedK entries guaranteed to match the exact top-K prefix.
+	Degraded bool `json:"degraded,omitempty"`
+	// CertifiedK is the length of the result prefix proven correct by the
+	// search's live bounds (equals len(results) on a converged exact answer).
+	CertifiedK int `json:"certified_k"`
+	// AchievedEpsilon is the ε the returned ranking actually satisfies, on
+	// the same squared-score scale as the request's epsilon field.
+	AchievedEpsilon float64   `json:"achieved_epsilon,omitempty"`
+	Rounds          int       `json:"rounds,omitempty"`
+	Rows            *rankRows `json:"rows,omitempty"`
+	ElapsedMS       float64   `json:"elapsed_ms"`
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
@@ -176,6 +207,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.applyDegradeMargin(r.Context(), &req)
 	resp, err := s.engine.Rank(r.Context(), req)
 	if err != nil {
 		if r.Context().Err() == context.Canceled {
@@ -185,12 +217,21 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusForError(err), "%v", err)
 		return
 	}
+	if resp.Degraded && len(resp.Results) == 0 {
+		// The budget fired before the search surfaced anything: there is no
+		// partial answer worth 200-ing, so report it like the timeout it is.
+		httpError(w, http.StatusGatewayTimeout, "query budget exhausted before any result was found")
+		return
+	}
 	out := rankResponse{
-		Results:   make([]rankResult, len(resp.Results)),
-		Method:    resp.Method.String(),
-		Converged: resp.Converged,
-		Rounds:    resp.Rounds,
-		ElapsedMS: float64(resp.Elapsed.Microseconds()) / 1000.0,
+		Results:         make([]rankResult, len(resp.Results)),
+		Method:          resp.Method.String(),
+		Converged:       resp.Converged,
+		Degraded:        resp.Degraded,
+		CertifiedK:      resp.CertifiedK,
+		AchievedEpsilon: resp.AchievedEpsilon,
+		Rounds:          resp.Rounds,
+		ElapsedMS:       float64(resp.Elapsed.Microseconds()) / 1000.0,
 	}
 	if resp.Rows != nil {
 		out.Rows = &rankRows{
@@ -209,6 +250,27 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		out.Results[i] = rankResult{Node: res.Node, Label: g.Label(res.Node), Score: res.Score}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// applyDegradeMargin arms the deadline-aware soft stop: when the policy is
+// enabled and the request context carries a deadline, the engine budget gets
+// FlushMargin so the search stops expanding early enough to certify and
+// serialize a partial result before the deadline kills the response. It never
+// overrides a margin the request already carries (none can arrive on the
+// wire today, but engine-embedding callers may set one).
+func (s *Server) applyDegradeMargin(ctx context.Context, req *roundtriprank.Request) {
+	if s.cfg.DegradeMargin <= 0 {
+		return
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		return
+	}
+	if req.Budget == nil {
+		req.Budget = &roundtriprank.Budget{}
+	}
+	if req.Budget.FlushMargin == 0 {
+		req.Budget.FlushMargin = s.cfg.DegradeMargin
+	}
 }
 
 // buildRequest translates the wire request into an Engine request, resolving
@@ -246,6 +308,14 @@ func buildRequest(g *roundtriprank.Graph, in rankRequest) (roundtriprank.Request
 	if in.Epsilon != nil {
 		eps = *in.Epsilon
 	}
+	var budget *roundtriprank.Budget
+	if in.Budget != nil {
+		budget = &roundtriprank.Budget{
+			MaxRounds:   in.Budget.MaxRounds,
+			MaxTouched:  in.Budget.MaxTouched,
+			FrontierCap: in.Budget.FrontierCap,
+		}
+	}
 	return roundtriprank.Request{
 		Query:   roundtriprank.MultiNode(nodes...),
 		K:       k,
@@ -254,6 +324,7 @@ func buildRequest(g *roundtriprank.Graph, in rankRequest) (roundtriprank.Request
 		Alpha:   in.Alpha,
 		Beta:    in.Beta,
 		Epsilon: eps,
+		Budget:  budget,
 	}, nil
 }
 

@@ -1,0 +1,150 @@
+package topk
+
+import (
+	"fmt"
+	"time"
+)
+
+// Budget bounds the work an online top-K query may spend before returning a
+// best-effort, certified partial result — the anytime execution contract. A
+// nil Budget keeps the historical behavior (run until convergence, the
+// MaxRounds valve, or cancellation). Zero-valued fields are unset.
+//
+// Rounds- and touched-capped budgets are deterministic: the same budget on
+// the same graph stops at the same round with the same bounds, so the result
+// and its certificate are bit-identical across the map, flat, packed-session
+// and remote execution paths. Deadline budgets depend on the wall clock and
+// carry no such guarantee.
+type Budget struct {
+	// MaxRounds caps expansion rounds. It composes with Options.MaxRounds:
+	// the tighter of the two wins.
+	MaxRounds int
+	// MaxTouched stops the search once |Sf| + |St| reaches this many nodes —
+	// a direct cap on working-set size (and, on the remote path, on rows
+	// fetched over the wire).
+	MaxTouched int
+	// Deadline is a soft wall-clock stop: checked between rounds, so the
+	// search overshoots by at most one round. At least one round always runs.
+	Deadline time.Time
+	// FrontierCap bounds the T-side node admissions per expansion round.
+	// Deferred nodes stay outside St under the (monotone) unseen upper bound,
+	// so every certificate computed under a cap remains sound; hub queries
+	// trade rounds for bounded per-round cost. The F side is never capped:
+	// BCA must spread each processed node's residual to all its out-neighbors
+	// or mass conservation (and with it every F bound) breaks.
+	FrontierCap int
+}
+
+// StopReason records why the search stopped.
+type StopReason int
+
+const (
+	// StopNone is the zero value (no search ran).
+	StopNone StopReason = iota
+	// StopConverged: the ε-relaxed top-K conditions (Eq. 13–14) were met.
+	StopConverged
+	// StopExhausted: no expansion remained anywhere; the graph around the
+	// query is fully explored and the result is as good as it can get.
+	StopExhausted
+	// StopRounds: the round cap (Options.MaxRounds or Budget.MaxRounds) hit.
+	StopRounds
+	// StopTouched: Budget.MaxTouched hit.
+	StopTouched
+	// StopDeadline: Budget.Deadline passed between rounds.
+	StopDeadline
+	// StopCanceled: the context was cancelled with a budget present, so the
+	// previous round's bounds were finalized into a certificate instead of
+	// discarding the completed work.
+	StopCanceled
+)
+
+// String names the stop reason for logs and wire responses.
+func (r StopReason) String() string {
+	switch r {
+	case StopNone:
+		return "none"
+	case StopConverged:
+		return "converged"
+	case StopExhausted:
+		return "exhausted"
+	case StopRounds:
+		return "rounds"
+	case StopTouched:
+		return "touched"
+	case StopDeadline:
+		return "deadline"
+	case StopCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// degraded reports whether the reason means the search was cut off with
+// certifiable work still remaining (as opposed to converging or exhausting
+// the graph).
+func (r StopReason) degraded() bool {
+	switch r {
+	case StopRounds, StopTouched, StopDeadline, StopCanceled:
+		return true
+	default:
+		return false
+	}
+}
+
+// certify computes the quality certificate for a (possibly partial) ranking
+// from the live bounds at termination: members is the full sorted candidate
+// neighborhood (lower descending, node ascending — the order TopK is cut
+// from), resultLen = len(TopK), and unseen is the Eq. 16 upper bound on every
+// node outside S.
+//
+// The certified prefix length is the largest c such that every position
+// j < c has a lower bound STRICTLY above the upper bound of every other
+// candidate ranked below it and of every unseen node. By induction position
+// 0 is then the exact top-1, position 1 the exact top-2, …: the certified
+// prefix is bit-identical to the exact top-K prefix. Ties never certify —
+// strictness is what makes the guarantee sound.
+//
+// The achieved epsilon is the residual bound gap: the smallest ε under which
+// the returned ranking of resultLen nodes would satisfy Eq. 13–14 right now.
+// A converged search therefore reports achieved ≤ its requested ε; a degraded
+// one reports how far it got.
+func certify(members []member, resultLen int, unseen float64) (certK int, achieved float64) {
+	// Reverse suffix-max sweep: suff holds the max upper bound over every
+	// candidate ranked strictly below j, seeded with the unseen bound.
+	firstFail := -1
+	suff := unseen
+	for j := len(members) - 1; j >= 0; j-- {
+		if j < resultLen && !(members[j].lower > suff) {
+			firstFail = j
+		}
+		if members[j].upper > suff {
+			suff = members[j].upper
+		}
+	}
+	certK = resultLen
+	if firstFail >= 0 {
+		certK = firstFail
+	}
+
+	if resultLen == 0 {
+		return 0, unseen
+	}
+	// Eq. 13 gap at the last returned position.
+	maxOther := unseen
+	for _, m := range members[resultLen:] {
+		if m.upper > maxOther {
+			maxOther = m.upper
+		}
+	}
+	if g := maxOther - members[resultLen-1].lower; g > achieved {
+		achieved = g
+	}
+	// Eq. 14 gaps between adjacent returned positions.
+	for i := 0; i+1 < resultLen; i++ {
+		if g := members[i+1].upper - members[i].lower; g > achieved {
+			achieved = g
+		}
+	}
+	return certK, achieved
+}

@@ -111,12 +111,30 @@ func flatTopKRows(ctx context.Context, rows graph.Rows, q walk.Query, opt Option
 	return s.run(ctx)
 }
 
-// run is Algorithm 1's round loop, mirroring searcher.run.
+// run is Algorithm 1's round loop, mirroring searcher.run — same budget
+// checks at the same points, so both paths stop at the same round with the
+// same bounds and emit bit-identical certificates.
 func (s *flatSearcher) run(ctx context.Context) (*Result, error) {
 	res := &Result{Flat: true}
-	for round := 0; round < s.opt.MaxRounds; round++ {
+	b := s.opt.Budget
+	maxRounds := effectiveMaxRounds(s.opt)
+	stop := StopRounds
+	for round := 0; round < maxRounds; round++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			// No budget: abort with ctx.Err() as always. With a budget, the
+			// anytime contract wins: finalize the completed rounds' bounds
+			// into a certificate instead of discarding them.
+			if b == nil {
+				return nil, err
+			}
+			s.candidate()
+			stop = StopCanceled
+			break
+		}
+		if pastDeadline(b, round) {
+			s.candidate()
+			stop = StopDeadline
+			break
 		}
 		fProgress := s.fb.Expand()
 		tProgress := s.tb.Expand()
@@ -124,8 +142,7 @@ func (s *flatSearcher) run(ctx context.Context) (*Result, error) {
 
 		ok := s.candidate()
 		if ok && s.satisfied() {
-			res.TopK = s.ranked()
-			res.Converged = true
+			stop = StopConverged
 			break
 		}
 		if fProgress == 0 && tProgress == 0 {
@@ -134,15 +151,23 @@ func (s *flatSearcher) run(ctx context.Context) (*Result, error) {
 			s.fb.Refine()
 			s.tb.Refine()
 			ok = s.candidate()
-			res.TopK = s.ranked()
-			res.Converged = ok && s.satisfied()
+			if ok && s.satisfied() {
+				stop = StopConverged
+			} else {
+				stop = StopExhausted
+			}
+			break
+		}
+		if overTouched(b, s.fb.SeenCount(), s.tb.SeenCount()) {
+			stop = StopTouched
 			break
 		}
 	}
-	if res.TopK == nil {
-		s.candidate()
-		res.TopK = s.ranked()
-	}
+	res.Stop = stop
+	res.Converged = stop == StopConverged
+	res.Degraded = stop.degraded()
+	res.TopK = s.ranked()
+	res.CertifiedK, res.AchievedEpsilon = certify(s.members, len(res.TopK), s.unseenUpper())
 	res.FSeen = s.fb.SeenCount()
 	res.TSeen = s.tb.SeenCount()
 	res.RSeen = s.intersectionSize()

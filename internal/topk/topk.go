@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"roundtriprank/internal/bounds"
 	"roundtriprank/internal/core"
@@ -79,9 +80,15 @@ type Options struct {
 	// TExpansion is the border-node expansion width.
 	TExpansion int
 	// MaxRounds caps the number of expansion rounds as a safety valve; the
-	// result is marked not converged when the cap is hit. Zero means a large
-	// default.
+	// result is marked not converged (and degraded) when the cap is hit. Zero
+	// means a large default.
 	MaxRounds int
+	// Budget, when non-nil, bounds the query's work (rounds, touched nodes,
+	// soft deadline, per-round frontier cap) and switches the searcher into
+	// anytime mode: on exhaustion it stops cleanly and returns the best
+	// candidate ranking with a quality certificate (Result.CertifiedK,
+	// Result.AchievedEpsilon) instead of burning until convergence.
+	Budget *Budget
 	// ForceMap forces the map-based searcher even on CSR-capable views. It
 	// exists for the flat-vs-map benchmarks (cmd/benchrunner -fig online,
 	// BenchmarkOnline*): with it, the baseline keeps the CSR-streaming BCA
@@ -132,9 +139,26 @@ type Result struct {
 	// from in Algorithm 1).
 	TopK []core.Ranked
 	// Converged reports whether the ε-relaxed top-K conditions were met; false
-	// means the round cap was hit or no further expansion was possible and the
-	// current candidate ranking was returned best-effort.
+	// means the round cap or a budget was hit, or no further expansion was
+	// possible, and the current candidate ranking was returned best-effort.
 	Converged bool
+	// Degraded reports the search stopped on a budget or the MaxRounds valve
+	// with certifiable work still remaining — as opposed to converging or
+	// exhausting the graph (Stop distinguishes the cases). A degraded result
+	// is never Converged.
+	Degraded bool
+	// CertifiedK is the length of the leading prefix of TopK proven exact by
+	// the live bounds at termination: each certified position's lower bound
+	// strictly beats every other candidate's and every unseen node's upper
+	// bound, so the certified prefix is bit-identical to the exact ranking.
+	CertifiedK int
+	// AchievedEpsilon is the residual bound gap: the smallest ε under which
+	// the returned ranking would satisfy Eq. 13–14 at termination. Converged
+	// results report at most the requested ε; degraded ones report how far
+	// the budget let them get.
+	AchievedEpsilon float64
+	// Stop records why the search stopped.
+	Stop StopReason
 	// Rounds is the number of expansion rounds executed.
 	Rounds int
 	// FSeen, TSeen and RSeen are the final sizes of the f-, t- and
@@ -235,6 +259,9 @@ func boundOptions(opt Options) (bounds.FOptions, bounds.TOptions, error) {
 	default:
 		return fOpt, tOpt, fmt.Errorf("topk: unknown scheme %d", int(opt.Scheme))
 	}
+	if opt.Budget != nil && opt.Budget.FrontierCap > 0 {
+		tOpt.FrontierCap = opt.Budget.FrontierCap
+	}
 	return fOpt, tOpt, nil
 }
 
@@ -278,20 +305,59 @@ func topKRowsNormalized(ctx context.Context, rows graph.Rows, q walk.Query, opt 
 	return flatTopKRows(ctx, rows, q, opt, fOpt, tOpt)
 }
 
+// effectiveMaxRounds composes the MaxRounds valve with the budget's round
+// cap; the tighter of the two wins.
+func effectiveMaxRounds(opt Options) int {
+	limit := opt.MaxRounds
+	if b := opt.Budget; b != nil && b.MaxRounds > 0 && b.MaxRounds < limit {
+		limit = b.MaxRounds
+	}
+	return limit
+}
+
+// overTouched reports whether the budget's working-set cap is exhausted.
+func overTouched(b *Budget, fSeen, tSeen int) bool {
+	return b != nil && b.MaxTouched > 0 && fSeen+tSeen >= b.MaxTouched
+}
+
+// pastDeadline reports whether the budget's soft deadline has passed; at
+// least one round always runs so the response is never empty-handed.
+func pastDeadline(b *Budget, round int) bool {
+	return b != nil && round > 0 && !b.Deadline.IsZero() && time.Now().After(b.Deadline)
+}
+
 func (s *searcher) run(ctx context.Context) (*Result, error) {
 	res := &Result{}
-	for round := 0; round < s.opt.MaxRounds; round++ {
+	b := s.opt.Budget
+	maxRounds := effectiveMaxRounds(s.opt)
+	var members []member
+	stop := StopRounds
+	for round := 0; round < maxRounds; round++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			// Without a budget, cancellation keeps its historical contract:
+			// abort and surface ctx.Err(). With one, the anytime contract
+			// wins — finalize the completed rounds' bounds into a certificate
+			// instead of discarding them.
+			if b == nil {
+				return nil, err
+			}
+			members, _ = s.candidate()
+			stop = StopCanceled
+			break
+		}
+		if pastDeadline(b, round) {
+			members, _ = s.candidate()
+			stop = StopDeadline
+			break
 		}
 		fProgress := s.fb.Expand()
 		tProgress := s.tb.Expand()
 		res.Rounds++
 
-		candidate, ok := s.candidate()
-		if ok && s.satisfied(candidate) {
-			res.TopK = s.rankedFrom(candidate)
-			res.Converged = true
+		var ok bool
+		members, ok = s.candidate()
+		if ok && s.satisfied(members) {
+			stop = StopConverged
 			break
 		}
 		if fProgress == 0 && tProgress == 0 {
@@ -301,16 +367,24 @@ func (s *searcher) run(ctx context.Context) (*Result, error) {
 			// around the query is smaller than K.
 			s.fb.Refine()
 			s.tb.Refine()
-			candidate, ok = s.candidate()
-			res.TopK = s.rankedFrom(candidate)
-			res.Converged = ok && s.satisfied(candidate)
+			members, ok = s.candidate()
+			if ok && s.satisfied(members) {
+				stop = StopConverged
+			} else {
+				stop = StopExhausted
+			}
+			break
+		}
+		if overTouched(b, s.fb.SeenCount(), s.tb.SeenCount()) {
+			stop = StopTouched
 			break
 		}
 	}
-	if res.TopK == nil {
-		candidate, _ := s.candidate()
-		res.TopK = s.rankedFrom(candidate)
-	}
+	res.Stop = stop
+	res.Converged = stop == StopConverged
+	res.Degraded = stop.degraded()
+	res.TopK = s.rankedFrom(members)
+	res.CertifiedK, res.AchievedEpsilon = certify(members, len(res.TopK), s.unseenUpper())
 	res.FSeen = s.fb.SeenCount()
 	res.TSeen = s.tb.SeenCount()
 	res.RSeen = s.intersectionSize()

@@ -113,6 +113,32 @@ expect "rtrankd /metrics latency quantile" 'rtrank_engine_query_latency_seconds{
 expect "rtrankd /metrics shed counter exposed" 'rtrank_http_requests_shed_total 0' "$out"
 expect "rtrankd /metrics fleet lag gauge" 'rtrank_fleet_epoch_lag 0' "$out"
 
+# The anytime-budget examples documented in docs/API.md ("Query budgets and
+# degraded results"): a starved round cap returns 200 with the degraded
+# certificate, a budget that dies before any venue is reachable returns 504,
+# and the degradations land on the documented metric family.
+out=$(curl -s "localhost:$RT_PORT/rank" -d '{
+    "query": ["term:spatio", "term:temporal", "term:data"],
+    "k": 3, "type": "venue", "method": "2sbound", "epsilon": 0,
+    "budget": {"max_rounds": 2}
+}')
+expect "API.md budgeted rank degraded" '"degraded":true' "$out"
+expect "API.md budgeted rank not converged" '"converged":false' "$out"
+expect "API.md budgeted rank certificate" '"certified_k":' "$out"
+expect "API.md budgeted rank residual" '"achieved_epsilon":' "$out"
+expect "API.md budgeted rank best venue" '"label":"venue:Spatio-Temporal Databases"' "$out"
+
+out=$(curl -s -o /dev/null -w '%{http_code}' "localhost:$RT_PORT/rank" -d '{
+    "query": ["term:spatio"], "k": 3, "type": "venue",
+    "method": "2sbound", "budget": {"max_rounds": 1}
+}')
+[ "$out" = "504" ] || fail "budget with nothing certifiable answered $out, want 504"
+echo "  ok: budget with nothing certifiable rejected with 504"
+
+out=$(curl -s "localhost:$RT_PORT/metrics")
+expect "rtrankd /metrics degraded counter" 'rtrank_engine_query_degraded_total{method="2sbound"} 2' "$out"
+expect "rtrankd /metrics certified-k histogram" 'rtrank_engine_query_certified_k_count{method="2sbound"} 2' "$out"
+
 echo "docs_examples: gpserver examples (docs/API.md)"
 out=$(curl -s "localhost:$GP_PORT/healthz")
 expect "gpserver /healthz" '"status":"ok"' "$out"
